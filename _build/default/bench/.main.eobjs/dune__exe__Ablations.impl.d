@@ -1,0 +1,1 @@
+bench/ablations.ml: Addr Array Common Controller Descriptor Dist Engine Env Float List Net Platform Printf Report Rng Splay Splay_apps Splay_runtime

@@ -1,0 +1,1 @@
+bench/common.ml: Controller Daemon Descriptor Dist Engine Env Float Fun List Platform Printexc Printf Report Rng Splay Splay_apps Splay_baselines

@@ -1,0 +1,1 @@
+bench/fig10.ml: Common Controller Dist Engine Env Float List Platform Printf Replayer Report Rng Script Series Splay Splay_apps Splay_runtime

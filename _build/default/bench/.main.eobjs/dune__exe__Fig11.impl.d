@@ -1,0 +1,1 @@
+bench/fig11.ml: Common Controller Engine Env Float List Platform Printf Replayer Report Rng Series Splay Splay_apps Splay_runtime Trace Transform

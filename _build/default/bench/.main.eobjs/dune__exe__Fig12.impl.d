@@ -1,0 +1,1 @@
+bench/fig12.ml: Common Controller Descriptor Engine Env List Option Platform Printf Report Splay

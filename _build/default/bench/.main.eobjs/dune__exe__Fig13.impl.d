@@ -1,0 +1,1 @@
+bench/fig13.ml: Common Controller Descriptor Dist Env Float List Platform Printf Report Splay Splay_apps Splay_baselines

@@ -1,0 +1,1 @@
+bench/fig14.ml: Common Controller Descriptor Dist Engine Env Float List Platform Printf Report Rng Series Splay Splay_apps

@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Common Controller Dist Env Float Ivar List Platform Report Splay

@@ -1,0 +1,1 @@
+bench/fig4.ml: Common Float List Printf Report Script Splay String

@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Common Controller Descriptor Dist Engine Env Float Ivar List Platform Printf Report Rng Splay Splay_apps Splay_baselines

@@ -1,0 +1,1 @@
+bench/fig7.ml: Common Dist Engine Env Float List Platform Printf Report Rng Splay Splay_apps Splay_baselines Splay_runtime

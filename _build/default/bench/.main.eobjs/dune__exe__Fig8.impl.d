@@ -1,0 +1,1 @@
+bench/fig8.ml: Common Controller Daemon Env Float List Platform Report Splay Splay_apps Testbed

@@ -1,0 +1,1 @@
+bench/fig9.ml: Common Dist Engine Env Float List Platform Report Rng Splay Splay_apps Splay_runtime

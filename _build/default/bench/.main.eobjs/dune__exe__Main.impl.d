@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Common Fig10 Fig11 Fig12 Fig13 Fig14 Fig3 Fig4 Fig6 Fig7 Fig8 Fig9 List Micro Printf String Sys Tab_loc

@@ -1,0 +1,1 @@
+bench/micro.ml: Addr Analyze Bechamel Benchmark Codec Crypto Engine Env Hashtbl Heap Instance Int List Measure Misc Net Printf Report Rng Rpc Splay Staged String Test Testbed Time Toolkit

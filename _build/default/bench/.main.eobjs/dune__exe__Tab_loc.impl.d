@@ -1,0 +1,1 @@
+bench/tab_loc.ml: Common Filename List Report Splay String Sys

@@ -1,0 +1,87 @@
+(* Shared machinery for the experiment harnesses: platform bring-up,
+   lookup-delay measurement, series printing. *)
+
+open Splay
+module Apps = Splay_apps
+module Baselines = Splay_baselines
+
+type scale = Quick | Full
+(* Quick keeps every experiment's *shape* while trimming populations and
+   durations so the whole suite runs in minutes; Full reproduces the
+   paper's sizes. *)
+
+let scale = ref Quick
+
+let pick ~quick ~full = match !scale with Quick -> quick | Full -> full
+
+(* Bring up a testbed + controller + daemons and run [main] to completion.
+   The engine is drained up to [horizon] after main finishes its work. *)
+let with_platform ?(seed = 42) ?daemon_config ?(horizon = 100_000.0) spec main =
+  let p = Platform.create ~seed ?daemon_config spec in
+  let result = ref None in
+  ignore
+    (Env.thread
+       (Controller.env (Platform.controller p))
+       ~name:"bench-main"
+       (fun () ->
+         Fun.protect
+           ~finally:(fun () ->
+             List.iter Daemon.shutdown (Platform.daemons p);
+             ignore
+               (Engine.schedule (Platform.engine p) ~delay:0.0 (fun () ->
+                    Env.stop (Controller.env (Platform.controller p)))))
+           (fun () -> result := Some (main p))));
+  Engine.run ~until:horizon (Platform.engine p);
+  (match Engine.crashed (Platform.engine p) with
+  | [] -> ()
+  | (proc, e) :: _ ->
+      failwith
+        (Printf.sprintf "experiment process %s crashed: %s" (Engine.proc_name proc)
+           (Printexc.to_string e)));
+  match !result with Some r -> r | None -> failwith "experiment did not finish"
+
+(* Deploy a Pastry overlay and wait for it to converge. *)
+let deploy_pastry ?(config = Apps.Pastry.default_config) ?(name = "pastry") ?superset ctl ~n =
+  let nodes = ref [] in
+  let dep =
+    Controller.deploy ctl ?superset ~name
+      ~main:(Apps.Pastry.app ~config ~register:(fun x -> nodes := x :: !nodes))
+      (Descriptor.make ~bootstrap:(Descriptor.Head 1) n)
+  in
+  (dep, nodes)
+
+let wait_convergence ~n ~join_delay ~rounds ~interval =
+  Env.sleep ((Float.of_int n *. join_delay) +. (Float.of_int rounds *. interval))
+
+(* Issue [count] random lookups from random live origins, collecting
+   delays (seconds), hop counts, and failures. *)
+let measure_pastry_lookups ~rng ~keyspace ~count nodes =
+  let delays = Dist.create () and hops = Dist.create () in
+  let failures = ref 0 in
+  let eng = Engine.engine () in
+  let live () = List.filter (fun x -> not (Apps.Pastry.is_stopped x)) nodes in
+  for _ = 1 to count do
+    match live () with
+    | [] -> incr failures
+    | l -> (
+        let origin = Rng.pick_list rng l in
+        let key = Rng.int rng keyspace in
+        let t0 = Engine.now eng in
+        match Apps.Pastry.lookup origin key with
+        | Some (_, h) ->
+            Dist.add delays (Engine.now eng -. t0);
+            Dist.add hops (Float.of_int h)
+        | None -> incr failures)
+  done;
+  (delays, hops, !failures)
+
+(* Percentile row helper used by the figure printers. *)
+let pcts = [ 5.0; 25.0; 50.0; 75.0; 90.0 ]
+
+let pct_cells d =
+  if Dist.is_empty d then List.map (fun _ -> "-") pcts
+  else List.map (fun p -> Report.float_cell ~decimals:4 (Dist.percentile d p)) pcts
+
+let ms v = Report.float_cell ~decimals:1 (1000.0 *. v)
+
+let shape_check name ok = Printf.printf "  [shape %s] %s\n" (if ok then "OK" else "MISS") name

@@ -1,0 +1,87 @@
+(* Figure 10: massive failure under the churn manager — Pastry on the
+   cluster, half the network fails at t = 5 min. The failure rate spikes
+   towards ~50%, recovery takes a few minutes, and delays *drop* after the
+   failure because the population shrank. *)
+
+open Splay
+module Apps = Splay_apps
+
+let run () =
+  Report.section "Figure 10 — massive failure (50% of nodes at t=5min)";
+  let n = Common.pick ~quick:300 ~full:1500 in
+  let horizon = 600.0 in
+  let failure_at = 300.0 in
+  let delays, failures, totals =
+    Common.with_platform ~seed:10 (Platform.Cluster 11) (fun p ->
+        let ctl = Platform.controller p in
+        let config =
+          { Apps.Pastry.default_config with join_delay_per_position = 0.05; rpc_timeout = 5.0 }
+        in
+        let dep, nodes = Common.deploy_pastry ~config ctl ~n in
+        Env.sleep ((Float.of_int n *. 0.05) +. 120.0);
+        let eng = Platform.engine p in
+        let rng = Rng.split (Engine.rng eng) in
+        let t0 = Engine.now eng in
+        let delays = Series.create ~bin_width:30.0 in
+        let fails = Series.Counter.create ~bin_width:30.0 in
+        let totals = Series.Counter.create ~bin_width:30.0 in
+        (* a steady stream of lookups from random live nodes *)
+        let lookup_rate = Common.pick ~quick:4 ~full:10 in
+        let stop = ref false in
+        for _ = 1 to lookup_rate do
+          ignore
+            (Env.thread (Controller.env ctl) (fun () ->
+                 let lrng = Rng.split rng in
+                 while not !stop do
+                   Env.sleep (Rng.float lrng 1.0);
+                   let live = List.filter (fun x -> not (Apps.Pastry.is_stopped x)) !nodes in
+                   if live <> [] then begin
+                     let origin = Rng.pick_list lrng live in
+                     let key = Rng.int lrng (Splay_runtime.Misc.pow2 32) in
+                     let start = Engine.now eng in
+                     let rel = start -. t0 in
+                     Series.Counter.incr totals ~time:rel;
+                     match Apps.Pastry.lookup origin key with
+                     | Some _ -> Series.add delays ~time:rel (Engine.now eng -. start)
+                     | None -> Series.Counter.incr fails ~time:rel
+                   end
+                 done))
+        done;
+        (* the churn script: kill half the network at t=5min *)
+        let script = Script.parse (Printf.sprintf "at %.0fs leave 50%%" failure_at) in
+        let _proc, _stats = Replayer.run_script dep script in
+        Env.sleep horizon;
+        stop := true;
+        (delays, fails, totals))
+  in
+  Report.table
+    ~header:
+      ([ "t (min)" ] @ Report.percentile_header Common.pcts @ [ "(ms)"; "failure rate %" ])
+    (List.map
+       (fun (edge, d) ->
+         let fail_pct =
+           let f = Series.Counter.get failures ~time:edge in
+           let tot = Series.Counter.get totals ~time:edge in
+           if tot = 0 then 0.0 else 100.0 *. Float.of_int f /. Float.of_int tot
+         in
+         (Report.float_cell ~decimals:1 (edge /. 60.0) :: Common.pct_cells d)
+         @ [ ""; Report.float_cell ~decimals:1 fail_pct ])
+       (Series.bins delays));
+  let rate_at t =
+    let f = Series.Counter.get failures ~time:t and tot = Series.Counter.get totals ~time:t in
+    if tot = 0 then 0.0 else Float.of_int f /. Float.of_int tot
+  in
+  let spike = rate_at (failure_at +. 15.0) in
+  let recovered = rate_at (horizon -. 30.0) in
+  Report.kvf "failure rate right after the event" "%.0f%% (paper: ~50%%)" (100.0 *. spike);
+  Report.kvf "failure rate at the end" "%.0f%%" (100.0 *. recovered);
+  Common.shape_check "failure spike after the massive failure" (spike > 0.15);
+  Common.shape_check "recovery within ~5 minutes" (recovered < spike /. 2.0);
+  (* delays after recovery at or below the pre-failure level (smaller ring) *)
+  let median_at t =
+    match Series.bin_at delays t with Some d -> Dist.percentile d 50.0 | None -> nan
+  in
+  let before = median_at (failure_at -. 60.0) and late = median_at (horizon -. 30.0) in
+  Report.kvf "median delay" "before %.1f ms, after recovery %.1f ms" (1000.0 *. before)
+    (1000.0 *. late);
+  Common.shape_check "delays do not worsen after the population shrinks" (late <= before *. 1.5)

@@ -1,0 +1,123 @@
+(* Figure 11: Pastry on the PlanetLab model under the Overnet availability
+   trace, sped up x2 / x5 / x10. Shows the churn description (population,
+   joins/leaves per minute) and the lookup delay / failure-rate series. The
+   paper's observation: Pastry keeps working even when as much as 14% of
+   the nodes change state within one minute. *)
+
+open Splay
+module Apps = Splay_apps
+
+let run_speedup ~speedup ~base_trace =
+  let trace = Transform.speedup speedup base_trace in
+  let duration = Trace.duration trace in
+  let init_pop = Trace.population trace ~at:0.0 in
+  Common.with_platform ~seed:(110 + int_of_float speedup)
+    (Platform.Planetlab (Common.pick ~quick:250 ~full:450))
+    (fun p ->
+      let ctl = Platform.controller p in
+      let config =
+        {
+          Apps.Pastry.default_config with
+          join_delay_per_position = 0.02;
+          (* aggressive timeouts, as one would configure for live churn *)
+          rpc_timeout = 2.0;
+          stabilize_interval = 3.0;
+        }
+      in
+      let dep, nodes = Common.deploy_pastry ~config ctl ~n:init_pop in
+      Env.sleep ((Float.of_int init_pop *. 0.02) +. 120.0);
+      let eng = Platform.engine p in
+      let rng = Rng.split (Engine.rng eng) in
+      let t0 = Engine.now eng in
+      let delays = Series.create ~bin_width:60.0 in
+      let fails = Series.Counter.create ~bin_width:60.0 in
+      let totals = Series.Counter.create ~bin_width:60.0 in
+      let stop = ref false in
+      for _ = 1 to Common.pick ~quick:3 ~full:8 do
+        ignore
+          (Env.thread (Controller.env ctl) (fun () ->
+               let lrng = Rng.split rng in
+               while not !stop do
+                 Env.sleep (0.5 +. Rng.float lrng 1.5);
+                 let live = List.filter (fun x -> not (Apps.Pastry.is_stopped x)) !nodes in
+                 if live <> [] then begin
+                   let origin = Rng.pick_list lrng live in
+                   let key = Rng.int lrng (Splay_runtime.Misc.pow2 32) in
+                   let start = Engine.now eng in
+                   let rel = start -. t0 in
+                   Series.Counter.incr totals ~time:rel;
+                   match Apps.Pastry.lookup origin key with
+                   | Some _ -> Series.add delays ~time:rel (Engine.now eng -. start)
+                   | None -> Series.Counter.incr fails ~time:rel
+                 end
+               done))
+      done;
+      (* new instances under churn register through the same deployment *)
+      let _proc, stats = Replayer.run_trace dep trace in
+      Env.sleep (duration +. 30.0);
+      stop := true;
+      let live_end = Controller.live_count dep in
+      (delays, fails, totals, stats, live_end))
+
+let print_one ~speedup (delays, fails, totals, stats, live_end) =
+  Printf.printf "\n  -- churn x%g --\n" speedup;
+  Report.kvf "events replayed" "%d joins, %d leaves (failed joins: %d)" stats.Replayer.joins
+    stats.Replayer.leaves stats.Replayer.failed_joins;
+  Report.kvf "population at the end" "%d" live_end;
+  Report.table
+    ~header:([ "t (min)" ] @ Report.percentile_header Common.pcts @ [ "(ms)"; "fail %" ])
+    (List.map
+       (fun (edge, d) ->
+         let f = Series.Counter.get fails ~time:edge in
+         let tot = Series.Counter.get totals ~time:edge in
+         let rate = if tot = 0 then 0.0 else 100.0 *. Float.of_int f /. Float.of_int tot in
+         (Report.float_cell ~decimals:0 (edge /. 60.0) :: Common.pct_cells d)
+         @ [ ""; Report.float_cell ~decimals:1 rate ])
+       (Series.bins delays))
+
+let overall_failure_rate (_, fails, totals, _, _) =
+  let f = List.fold_left (fun a (_, v) -> a + v) 0 (Series.Counter.series fails) in
+  let t = List.fold_left (fun a (_, v) -> a + v) 0 (Series.Counter.series totals) in
+  if t = 0 then 0.0 else Float.of_int f /. Float.of_int t
+
+let run () =
+  Report.section "Figure 11 — Pastry under the Overnet trace, sped up x2 / x5 / x10";
+  let rng = Rng.create 1111 in
+  let base_trace =
+    Trace.synthetic_overnet
+      ~concurrent:(Common.pick ~quick:120 ~full:550)
+      ~duration:3000.0
+      rng
+  in
+  Report.kvf "trace" "%d events, base churn rate %.1f%%/min" (List.length base_trace)
+    (100.0 *. Trace.churn_rate base_trace ~bin:60.0);
+  (* the churn description: population and joins/leaves per minute (x5) *)
+  let shown = Transform.speedup 5.0 base_trace in
+  Report.kv "churn description (x5)" "";
+  Report.table
+    ~header:[ "t (min)"; "population"; "joins/min"; "leaves/min" ]
+    (List.filteri
+       (fun i _ -> i mod 2 = 0)
+       (List.map2
+          (fun (t, pop) (_, j, l) ->
+            [
+              Report.float_cell ~decimals:0 (t /. 60.0);
+              string_of_int pop;
+              string_of_int j;
+              string_of_int l;
+            ])
+          (Trace.population_series shown ~bin:60.0)
+          (Trace.events_per_bin shown ~bin:60.0)));
+  let speedups = Common.pick ~quick:[ 2.0; 10.0 ] ~full:[ 2.0; 5.0; 10.0 ] in
+  let results = List.map (fun s -> (s, run_speedup ~speedup:s ~base_trace)) speedups in
+  List.iter (fun (s, r) -> print_one ~speedup:s r) results;
+  let rates = List.map (fun (s, r) -> (s, overall_failure_rate r)) results in
+  List.iter (fun (s, r) -> Report.kvf (Printf.sprintf "overall failure rate x%g" s) "%.1f%%" (100.0 *. r)) rates;
+  let max_churn = Trace.churn_rate (Transform.speedup 10.0 base_trace) ~bin:60.0 in
+  Report.kvf "peak churn at x10" "%.1f%% of nodes per minute (paper: ~14%%)" (100.0 *. max_churn);
+  Common.shape_check "Pastry keeps a low failure rate under churn"
+    (List.for_all (fun (_, r) -> r < 0.25) rates);
+  Common.shape_check "failure rate grows with churn speed"
+    (match rates with
+    | (_, a) :: rest -> List.for_all (fun (_, b) -> b >= a -. 0.02) rest
+    | [] -> false)

@@ -1,0 +1,53 @@
+(* Figure 12: deployment time on PlanetLab as a function of the number of
+   nodes requested and of the size of the superset of daemons probed
+   (110%..200%). Larger supersets find responsive daemons faster; the
+   default 125% is the paper's tradeoff. *)
+
+open Splay
+
+let noop (_ : Env.t) = ()
+
+let run () =
+  Report.section "Figure 12 — deployment time vs nodes requested and superset size";
+  let daemons = Common.pick ~quick:250 ~full:450 in
+  let requests = Common.pick ~quick:[ 50; 100; 150; 200 ] ~full:[ 50; 100; 150; 200; 250; 300; 350; 400 ] in
+  let supersets = [ 1.1; 1.3; 1.5; 1.7; 2.0 ] in
+  let grid =
+    Common.with_platform ~seed:12 (Platform.Planetlab daemons) (fun p ->
+        let ctl = Platform.controller p in
+        let eng = Platform.engine p in
+        List.map
+          (fun superset ->
+            List.map
+              (fun n ->
+                let t0 = Engine.now eng in
+                let dep =
+                  Controller.deploy ctl ~superset ~register_timeout:10.0 ~name:"noop"
+                    ~main:noop (Descriptor.make n)
+                in
+                let dt = Engine.now eng -. t0 in
+                Controller.undeploy dep;
+                Env.sleep 30.0;
+                (n, dt))
+              requests)
+          supersets)
+  in
+  Report.table
+    ~header:("superset" :: List.map (fun n -> Printf.sprintf "%d nodes (s)" n) requests)
+    (List.map2
+       (fun superset row ->
+         Printf.sprintf "%.0f%%" (100.0 *. superset)
+         :: List.map (fun (_, dt) -> Report.float_cell ~decimals:2 dt) row)
+       supersets grid);
+  (* shapes: larger supersets deploy faster; more nodes take longer *)
+  let at superset n =
+    let row = List.nth grid (Option.get (List.find_index (fun s -> s = superset) supersets)) in
+    List.assoc n row
+  in
+  let biggest = List.nth requests (List.length requests - 1) in
+  Common.shape_check
+    (Printf.sprintf "200%% superset beats 110%% at %d nodes (%.2f s < %.2f s)" biggest
+       (at 2.0 biggest) (at 1.1 biggest))
+    (at 2.0 biggest < at 1.1 biggest);
+  Common.shape_check "deployment time grows with the request size"
+    (at 1.3 biggest > at 1.3 (List.hd requests))

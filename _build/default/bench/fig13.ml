@@ -1,0 +1,105 @@
+(* Figure 13: dissemination of a 24 MB file to 63 nodes over two parallel
+   binary trees, SPLAY vs the native CRCP implementation, on a 1 Mbps
+   ModelNet configuration, for 16/128/512 kB blocks. Both complete around
+   the bandwidth bound; CRCP's sequential, acknowledged sends give its
+   completion curve a different shape. *)
+
+open Splay
+module Apps = Splay_apps
+module Baselines = Splay_baselines
+
+let nodes_count = 63
+let mbps x = x *. 1_000_000.0 /. 8.0
+
+let run_splay ~block_size ~file_size =
+  Common.with_platform ~seed:13 ~horizon:10_000.0
+    (Platform.Modelnet { hosts = nodes_count + 2; bandwidth = Some (mbps 1.0) })
+    (fun p ->
+      let ctl = Platform.controller p in
+      let handles = ref [] in
+      let config = { Apps.Trees.default_config with block_size; start_delay = 10.0 } in
+      ignore
+        (Controller.deploy ctl ~name:"trees"
+           ~main:(Apps.Trees.app ~config ~file_size ~register:(fun x -> handles := x :: !handles))
+           (Descriptor.make ~bootstrap:Descriptor.All nodes_count));
+      let rec wait () =
+        Env.sleep 10.0;
+        if
+          List.length !handles < nodes_count
+          || List.exists (fun x -> Apps.Trees.completion_time x = None) !handles
+        then wait ()
+      in
+      wait ();
+      List.filter_map Apps.Trees.completion_time !handles)
+
+let run_crcp ~block_size ~file_size =
+  Common.with_platform ~seed:13 ~horizon:10_000.0
+    (Platform.Modelnet { hosts = nodes_count + 2; bandwidth = Some (mbps 1.0) })
+    (fun p ->
+      let ctl = Platform.controller p in
+      let handles = ref [] in
+      let config = { Baselines.Crcp.default_config with block_size; start_delay = 10.0 } in
+      ignore
+        (Controller.deploy ctl ~name:"crcp"
+           ~main:
+             (Baselines.Crcp.app ~config ~file_size ~register:(fun x -> handles := x :: !handles))
+           (Descriptor.make ~bootstrap:Descriptor.All nodes_count));
+      let rec wait () =
+        Env.sleep 10.0;
+        if
+          List.length !handles < nodes_count
+          || List.exists (fun x -> Baselines.Crcp.completion_time x = None) !handles
+        then wait ()
+      in
+      wait ();
+      List.filter_map Baselines.Crcp.completion_time !handles)
+
+let completions_summary times =
+  let d = Dist.create () in
+  Dist.add_list d times;
+  d
+
+let run () =
+  Report.section "Figure 13 — file distribution over parallel trees (SPLAY vs CRCP)";
+  let file_size = Common.pick ~quick:(6 * 1024 * 1024) ~full:(24 * 1024 * 1024) in
+  Report.kvf "file" "%d MB to %d nodes at 1 Mbps, 2 binary trees"
+    (file_size / 1024 / 1024) nodes_count;
+  let blocks = [ 16 * 1024; 128 * 1024; 512 * 1024 ] in
+  let rows =
+    List.map
+      (fun block_size ->
+        let s = completions_summary (run_splay ~block_size ~file_size) in
+        let c = completions_summary (run_crcp ~block_size ~file_size) in
+        (block_size, s, c))
+      blocks
+  in
+  Report.table
+    ~header:
+      [ "block"; "impl"; "first done (s)"; "median (s)"; "last done (s)"; "completed" ]
+    (List.concat_map
+       (fun (bs, s, c) ->
+         let line name d =
+           [
+             Printf.sprintf "%d KB" (bs / 1024);
+             name;
+             Report.float_cell ~decimals:1 (Dist.min_value d);
+             Report.float_cell ~decimals:1 (Dist.percentile d 50.0);
+             Report.float_cell ~decimals:1 (Dist.max_value d);
+             string_of_int (Dist.count d);
+           ]
+         in
+         [ line "SPLAY" s; line "CRCP" c ])
+       rows);
+  (* the limiting link: an interior node uploads file/ntrees blocks to
+     fanout children = the whole file at 1 Mbps *)
+  let bound = Float.of_int file_size /. mbps 1.0 in
+  Report.kvf "bandwidth bound" "%.0f s" bound;
+  List.iter
+    (fun (bs, s, c) ->
+      Common.shape_check
+        (Printf.sprintf "%d KB: SPLAY completes near the bandwidth bound" (bs / 1024))
+        (Dist.max_value s < 3.0 *. bound);
+      Common.shape_check
+        (Printf.sprintf "%d KB: SPLAY not slower than native CRCP" (bs / 1024))
+        (Dist.percentile s 50.0 <= Dist.percentile c 50.0 *. 1.2))
+    rows

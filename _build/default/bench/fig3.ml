@@ -1,0 +1,50 @@
+(* Figure 3: RTT between the controller and PlanetLab hosts over
+   pre-established connections, 20 KB payload. The paper reports that only
+   17.10% of hosts answer within 250 ms and over 45% need more than one
+   second — the justification for probing a superset before deploying. *)
+
+open Splay
+
+let run () =
+  Report.section "Figure 3 — controller-to-PlanetLab RTT (20 KB payload)";
+  let n = Common.pick ~quick:400 ~full:450 in
+  let rtts =
+    Common.with_platform (Platform.Planetlab n) (fun p ->
+        let ctl = Platform.controller p in
+        let d = Dist.create () in
+        let remaining = ref (List.length (Platform.daemons p)) in
+        let done_iv = Ivar.create () in
+        List.iter
+          (fun daemon ->
+            ignore
+              (Env.thread (Controller.env ctl) (fun () ->
+                   (match Controller.probe ctl ~payload:(20 * 1024) daemon with
+                   | Some rtt -> Dist.add d rtt
+                   | None -> Dist.add d 10.0 (* timed out: cap at the probe deadline *));
+                   decr remaining;
+                   if !remaining = 0 then Ivar.try_fill done_iv () |> ignore)))
+          (Platform.daemons p);
+        Ivar.read done_iv;
+        d)
+  in
+  let frac_le x = List.assoc x (Dist.cdf rtts ~points:[ x ]) in
+  let under_250ms = 100.0 *. frac_le 0.25 in
+  let over_1s = 100.0 *. (1.0 -. frac_le 1.0) in
+  Report.kvf "hosts probed" "%d" (Dist.count rtts);
+  Report.kvf "median RTT" "%.2f s" (Dist.percentile rtts 50.0);
+  Report.kvf "answered within 250 ms" "%.1f%% (paper: 17.1%%)" under_250ms;
+  Report.kvf "needed more than 1 s" "%.1f%% (paper: >45%%)" over_1s;
+  Report.table
+    ~header:[ "delay (s)"; "CDF (%)"; "PDF (% per 0.5 s bin)" ]
+    (let pdf = Dist.pdf rtts ~bins:20 ~lo:0.0 ~hi:10.0 in
+     List.init 20 (fun i ->
+         let x = 0.5 *. Float.of_int (i + 1) in
+         let _, frac = List.nth (Dist.cdf rtts ~points:[ x ]) 0 in
+         let _, p = pdf.(i) in
+         [
+           Report.float_cell ~decimals:1 x;
+           Report.float_cell ~decimals:1 (100.0 *. frac);
+           Report.float_cell ~decimals:1 p;
+         ]));
+  Common.shape_check "minority of hosts answer within 250 ms" (under_250ms < 35.0);
+  Common.shape_check "heavy tail beyond 1 s" (over_1s > 30.0)

@@ -1,0 +1,43 @@
+(* Figure 4: the synthetic churn description example — the script on the
+   left, the binned joins/leaves and total population on the right. This is
+   a pure compilation of the script language (no deployment). *)
+
+open Splay
+
+let script_text =
+  {|at 30s join 10
+from 5m to 10m inc 10
+from 10m to 15m const churn 50%
+at 15m leave 50%
+from 15m to 20m inc 10 churn 150%
+at 20m stop|}
+
+let run () =
+  Report.section "Figure 4 — synthetic churn description";
+  print_endline "  script:";
+  List.iter (fun l -> Printf.printf "    %s\n" l) (String.split_on_char '\n' script_text);
+  let script = Script.parse script_text in
+  let prof = Script.profile script ~bin:60.0 ~initial:0 in
+  let max_pop = List.fold_left (fun acc (_, p, _, _) -> max acc p) 0 prof in
+  Report.table
+    ~header:[ "minute"; "population"; "joins/min"; "leaves/min"; "" ]
+    (List.map
+       (fun (t, pop, j, l) ->
+         [
+           string_of_int (int_of_float (t /. 60.0));
+           string_of_int pop;
+           string_of_int j;
+           string_of_int l;
+           Report.bar (Float.of_int pop) ~max:(Float.of_int max_pop) ~width:30;
+         ])
+       prof);
+  let pop_at m =
+    let _, p, _, _ = List.nth prof m in
+    p
+  in
+  Common.shape_check "initial join of 10 at 30 s" (pop_at 1 = 10);
+  Common.shape_check "linear growth reaches 60 by minute 10" (pop_at 10 = 60);
+  Common.shape_check "massive failure halves the population" (pop_at 15 <= 45);
+  Common.shape_check "stop empties the system" (pop_at 20 = 0);
+  let _, _, j12, l12 = List.nth prof 12 in
+  Common.shape_check "constant-churn phase has both joins and leaves" (j12 > 0 && l12 > 0)

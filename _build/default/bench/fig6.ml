@@ -1,0 +1,174 @@
+(* Figure 6: the Chord walkthrough of Section 4, deployed.
+   (a) route-length PDF and (b) lookup-delay CDF on ModelNet at several
+   ring sizes, with the exact base code of the paper; (c) delay CDF of the
+   fault-tolerant version on PlanetLab against MIT's optimized Chord. *)
+
+open Splay
+module Apps = Splay_apps
+module Baselines = Splay_baselines
+
+let deploy_chord ctl ~config ~n =
+  let nodes = ref [] in
+  ignore
+    (Controller.deploy ctl ~name:"chord"
+       ~main:(Apps.Chord.app ~config ~register:(fun c -> nodes := c :: !nodes))
+       (Descriptor.make ~bootstrap:(Descriptor.Head 1) n));
+  nodes
+
+let measure_chord_lookups ~rng ~m ~per_node nodes =
+  let delays = Dist.create () and hops = Dist.create () in
+  let failures = ref 0 in
+  let eng = Engine.engine () in
+  let remaining = ref (List.length nodes) in
+  let done_iv = Ivar.create () in
+  List.iter
+    (fun c ->
+      ignore
+        (Env.thread (Apps.Chord.node_env c) (fun () ->
+             for _ = 1 to per_node do
+               let key = Rng.int rng (1 lsl m) in
+               let t0 = Engine.now eng in
+               match Apps.Chord.lookup c key with
+               | Some (_, h) ->
+                   Dist.add delays (Engine.now eng -. t0);
+                   Dist.add hops (Float.of_int h)
+               | None -> incr failures
+             done;
+             decr remaining;
+             if !remaining = 0 then Ivar.try_fill done_iv () |> ignore)))
+    nodes;
+  Ivar.read done_iv;
+  (delays, hops, !failures)
+
+let run_modelnet () =
+  Report.section "Figure 6(a)(b) — Chord on ModelNet: route lengths and delays";
+  let sizes = Common.pick ~quick:[ 100; 200; 400 ] ~full:[ 300; 500; 1000 ] in
+  (* keep the paper's ratio between join spacing and the stabilization
+     period: compressing joins without speeding stabilization up leaves the
+     ring unconverged when lookups start *)
+  let join_delay = Common.pick ~quick:0.4 ~full:1.0 in
+  let stabilize = Common.pick ~quick:2.0 ~full:5.0 in
+  let per_node = Common.pick ~quick:10 ~full:50 in
+  let results =
+    List.map
+      (fun n ->
+        let config =
+          {
+            Apps.Chord.default_config with
+            join_delay_per_position = join_delay;
+            stabilize_interval = stabilize;
+          }
+        in
+        Common.with_platform ~seed:(1000 + n)
+          (Platform.Modelnet { hosts = max 1100 n; bandwidth = None })
+          (fun p ->
+            let ctl = Platform.controller p in
+            let nodes = deploy_chord ctl ~config ~n in
+            (* staggered join, then wait for the ring to close and for at
+               least two full finger sweeps ("we let the Chord overlay
+               stabilize before starting the measurements") *)
+            Env.sleep (Float.of_int n *. join_delay);
+            let rec converge k =
+              Env.sleep (10.0 *. stabilize);
+              if k > 0 && List.length (Apps.Chord.ring_of !nodes) < List.length !nodes then
+                converge (k - 1)
+            in
+            converge 40;
+            Env.sleep (2.0 *. stabilize *. Float.of_int config.Apps.Chord.m);
+            let rng = Rng.split (Env.engine (Controller.env ctl) |> Engine.rng) in
+            measure_chord_lookups ~rng ~m:config.Apps.Chord.m ~per_node !nodes))
+      sizes
+  in
+  Report.kv "Figure 6(a)" "route length PDF (%)";
+  let header = "hops" :: List.map (fun n -> Printf.sprintf "%d nodes" n) sizes in
+  Report.table ~header
+    (List.init 11 (fun h ->
+         string_of_int h
+         :: List.map
+              (fun (_, hops, _) ->
+                let pdf = Dist.pdf hops ~bins:11 ~lo:(-0.5) ~hi:10.5 in
+                let _, pct = pdf.(h) in
+                Report.float_cell ~decimals:1 pct)
+              results));
+  Report.kv "Figure 6(b)" "lookup delay CDF";
+  Report.table
+    ~header:("percentile" :: List.map (fun n -> Printf.sprintf "%d nodes (s)" n) sizes)
+    (List.map
+       (fun p ->
+         Report.float_cell ~decimals:0 p
+         :: List.map
+              (fun (delays, _, _) -> Report.float_cell ~decimals:3 (Dist.percentile delays p))
+              results)
+       [ 25.0; 50.0; 75.0; 90.0; 99.0 ]);
+  List.iter2
+    (fun n (delays, hops, failures) ->
+      Report.kvf (Printf.sprintf "N=%d" n) "avg hops %.2f, avg delay %.3f s, failures %d"
+        (Dist.mean hops) (Dist.mean delays) failures)
+    sizes results;
+  (* shape: mean hops stays below (log2 N)/2 + 1 and grows with N *)
+  let mean_hops = List.map (fun (_, h, _) -> Dist.mean h) results in
+  List.iter2
+    (fun n mh ->
+      Common.shape_check
+        (Printf.sprintf "N=%d: mean hops %.2f <= log2(N)/2 + 1" n mh)
+        (mh <= (log (Float.of_int n) /. log 2.0 /. 2.0) +. 1.0))
+    sizes mean_hops;
+  Common.shape_check "hops grow with ring size"
+    (match mean_hops with a :: rest -> List.for_all (fun b -> b >= a -. 0.2) rest | [] -> false)
+
+let run_planetlab () =
+  Report.section "Figure 6(c) — Chord vs MIT Chord on PlanetLab (delays CDF)";
+  let n = Common.pick ~quick:150 ~full:380 in
+  let lookups = Common.pick ~quick:1500 ~full:5000 in
+  let run_one ~name ~config =
+    Common.with_platform ~seed:77 (Platform.Planetlab (n + 20)) (fun p ->
+        let ctl = Platform.controller p in
+        let nodes = ref [] in
+        ignore
+          (Controller.deploy ctl ~name
+             ~main:(Apps.Chord_ft.app ~config ~register:(fun c -> nodes := c :: !nodes))
+             (Descriptor.make ~bootstrap:(Descriptor.Head 1) n));
+        Env.sleep ((Float.of_int n *. config.Apps.Chord_ft.join_delay_per_position) +. 300.0);
+        let eng = Platform.engine p in
+        let rng = Rng.split (Engine.rng eng) in
+        let delays = Dist.create () and hops = Dist.create () in
+        let failures = ref 0 in
+        let live () = List.filter (fun c -> not (Apps.Chord_ft.is_stopped c)) !nodes in
+        for _ = 1 to lookups do
+          let origin = Rng.pick_list rng (live ()) in
+          let key = Rng.int rng (1 lsl config.Apps.Chord_ft.m) in
+          let t0 = Engine.now eng in
+          match Apps.Chord_ft.lookup origin key with
+          | Some (_, h) ->
+              Dist.add delays (Engine.now eng -. t0);
+              Dist.add hops (Float.of_int h)
+          | None -> incr failures
+        done;
+        (delays, hops, !failures))
+  in
+  let splay_cfg = { Apps.Chord_ft.default_config with join_delay_per_position = 0.3 } in
+  let mit_cfg = { Baselines.Mit_chord.app_config with join_delay_per_position = 0.3 } in
+  let splay_d, splay_h, splay_f = run_one ~name:"splay-chord" ~config:splay_cfg in
+  let mit_d, mit_h, mit_f = run_one ~name:"mit-chord" ~config:mit_cfg in
+  Report.kvf "SPLAY Chord" "avg route %.2f hops, median delay %.3f s, failures %d"
+    (Dist.mean splay_h) (Dist.percentile splay_d 50.0) splay_f;
+  Report.kvf "MIT Chord" "avg route %.2f hops, median delay %.3f s, failures %d"
+    (Dist.mean mit_h) (Dist.percentile mit_d 50.0) mit_f;
+  Report.table
+    ~header:[ "percentile"; "MIT Chord (s)"; "SPLAY Chord (s)" ]
+    (List.map
+       (fun p ->
+         [
+           Report.float_cell ~decimals:0 p;
+           Report.float_cell ~decimals:3 (Dist.percentile mit_d p);
+           Report.float_cell ~decimals:3 (Dist.percentile splay_d p);
+         ])
+       [ 10.0; 25.0; 50.0; 75.0; 90.0 ]);
+  Common.shape_check "similar route lengths (paper: 4.1 for both)"
+    (Float.abs (Dist.mean splay_h -. Dist.mean mit_h) < 1.5);
+  Common.shape_check "MIT Chord faster thanks to latency-aware fingers"
+    (Dist.percentile mit_d 50.0 < Dist.percentile splay_d 50.0)
+
+let run () =
+  run_modelnet ();
+  run_planetlab ()

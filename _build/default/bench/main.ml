@@ -1,0 +1,78 @@
+(* The benchmark harness: one entry per table/figure of the paper's
+   evaluation (Section 5), plus ablations and framework microbenchmarks.
+
+     dune exec bench/main.exe                 # everything, quick scale
+     dune exec bench/main.exe -- fig6a fig13  # a subset
+     dune exec bench/main.exe -- --full       # paper-scale populations
+     dune exec bench/main.exe -- --list
+
+   Quick scale preserves every figure's *shape* (who wins, by how much,
+   where the knees are) with smaller populations so the suite runs in
+   minutes; --full uses the paper's sizes. *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("tab-loc", "Sec 5.1  development complexity (LoC table)", Tab_loc.run);
+    ("fig3", "Fig 3    controller-to-PlanetLab RTT distribution", Fig3.run);
+    ("fig4", "Fig 4    synthetic churn description", Fig4.run);
+    ("fig6a", "Fig 6ab  Chord on ModelNet (routes + delays)", Fig6.run_modelnet);
+    ("fig6c", "Fig 6c   Chord vs MIT Chord on PlanetLab", Fig6.run_planetlab);
+    ("fig7a", "Fig 7a   Pastry vs FreePastry delay CDF", Fig7.run_a);
+    ("fig7b", "Fig 7b   FreePastry delays vs density", Fig7.run_b);
+    ("fig7c", "Fig 7c   SPLAY Pastry delays vs density", Fig7.run_c);
+    ("fig8", "Fig 8    memory and load per instance", Fig8.run);
+    ("fig9", "Fig 9    mixed PlanetLab+ModelNet deployment", Fig9.run);
+    ("fig10", "Fig 10   massive failure and recovery", Fig10.run);
+    ("fig11", "Fig 11   Overnet trace churn x2/x5/x10", Fig11.run);
+    ("fig12", "Fig 12   deployment time vs superset", Fig12.run);
+    ("fig13", "Fig 13   tree dissemination vs native CRCP", Fig13.run);
+    ("fig14", "Fig 14   cooperative web cache over time", Fig14.run);
+    ("abl", "Ablations superset / leafset / proximity / stagger / vivaldi", Ablations.run);
+    ("micro", "Micro    framework hot paths (Bechamel)", Micro.run);
+  ]
+
+let aliases = [ ("fig6b", "fig6a"); ("fig6", "fig6a"); ("fig7", "fig7a"); ("loc", "tab-loc") ]
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter (fun (id, descr, _) -> Printf.printf "  %-8s %s\n" id descr) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let listing = List.mem "--list" args in
+  let selected =
+    List.filter_map
+      (fun a ->
+        if String.length a >= 2 && String.sub a 0 2 = "--" then None
+        else
+          match List.assoc_opt a aliases with
+          | Some target -> Some target
+          | None -> Some a)
+      args
+  in
+  if listing then list_experiments ()
+  else begin
+    Common.scale := (if full then Common.Full else Common.Quick);
+    Printf.printf "SPLAY reproduction benchmark harness (%s scale)\n"
+      (if full then "full/paper" else "quick");
+    let to_run =
+      match selected with
+      | [] -> experiments
+      | names ->
+          List.filter_map
+            (fun name ->
+              match List.find_opt (fun (id, _, _) -> id = name) experiments with
+              | Some e -> Some e
+              | None ->
+                  Printf.eprintf "unknown experiment %S (try --list)\n" name;
+                  exit 2)
+            names
+    in
+    List.iter
+      (fun (id, _, run) ->
+        let t0 = Sys.time () in
+        run ();
+        Printf.printf "  (%s took %.1f s of CPU)\n%!" id (Sys.time () -. t0))
+      to_run
+  end

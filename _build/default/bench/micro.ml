@@ -1,0 +1,92 @@
+(* Bechamel microbenchmarks for the hot paths of the framework itself: the
+   event queue, the PRNG, SHA-1, the codec, ring arithmetic, and one full
+   simulated RPC. These are wall-clock costs of the *simulator*, reported
+   in nanoseconds per operation. *)
+
+open Bechamel
+open Toolkit
+open Splay
+
+let bench_heap () =
+  let h = Heap.create ~cmp:Int.compare in
+  for i = 0 to 63 do
+    Heap.push h i
+  done;
+  Staged.stage (fun () ->
+      Heap.push h 17;
+      ignore (Heap.pop h))
+
+let bench_rng () =
+  let r = Rng.create 1 in
+  Staged.stage (fun () -> ignore (Rng.exponential r ~mean:1.0))
+
+let bench_sha1 () =
+  let input = String.make 1024 'a' in
+  Staged.stage (fun () -> ignore (Crypto.sha1 input))
+
+let bench_codec () =
+  let v =
+    Codec.Assoc
+      [
+        ("node", Codec.Assoc [ ("id", Codec.Int 123_456); ("a", Codec.String "42:2001") ]);
+        ("hops", Codec.Int 3);
+        ("args", Codec.List [ Codec.Int 1; Codec.String "x"; Codec.Bool true ]);
+      ]
+  in
+  Staged.stage (fun () -> ignore (Codec.decode (Codec.encode v)))
+
+let bench_between () =
+  Staged.stage (fun () ->
+      ignore (Misc.between 123_456 42 999_999 ~modulus:(1 lsl 24) ~incl_lo:false ~incl_hi:true))
+
+let bench_simulated_rpc () =
+  Staged.stage (fun () ->
+      (* one complete engine run: two endpoints, one call/reply *)
+      let eng = Engine.create ~seed:1 () in
+      let tb = Testbed.cluster ~n:2 (Engine.rng eng) in
+      let net = Net.create eng tb in
+      let server = Env.create net ~me:(Addr.make 0 2000) in
+      let client = Env.create net ~me:(Addr.make 1 2000) in
+      Rpc.server server [ ("echo", fun args -> Codec.List args) ];
+      ignore
+        (Env.thread client (fun () ->
+             ignore (Rpc.call client server.Env.me "echo" [ Codec.Int 42 ])));
+      Engine.run eng)
+
+let tests =
+  Test.make_grouped ~name:"splay"
+    [
+      Test.make ~name:"heap push+pop (64 entries)" (bench_heap ());
+      Test.make ~name:"rng exponential draw" (bench_rng ());
+      Test.make ~name:"sha1 (1 KiB)" (bench_sha1 ());
+      Test.make ~name:"codec encode+decode (rpc reply)" (bench_codec ());
+      Test.make ~name:"ring between" (bench_between ());
+      Test.make ~name:"simulated rpc (end to end)" (bench_simulated_rpc ());
+    ]
+
+let run () =
+  Report.section "Microbenchmarks — framework hot paths (Bechamel)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%.0f" t
+          | _ -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-"
+        in
+        [ name; est; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Report.table ~header:[ "benchmark"; "ns/op"; "r²" ] rows

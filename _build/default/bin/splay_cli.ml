@@ -1,0 +1,286 @@
+(* The splay command-line tool: submit jobs to a simulated testbed, and
+   generate / inspect / transform churn descriptions — the workflow the
+   paper drives through splayctl's command-line interface.
+
+     splay run --app pastry --nodes 100 --testbed planetlab --lookups 200
+     splay run --app chord --nodes 50 --churn-script churn.txt
+     splay profile churn.txt
+     splay trace gen --concurrent 200 --duration 3000 -o overnet.trace
+     splay trace info overnet.trace
+     splay trace speedup 5 overnet.trace -o fast.trace *)
+
+open Cmdliner
+open Splay
+module Apps = Splay_apps
+
+(* {1 splay run} *)
+
+type app_kind = Chord | Chord_ft | Pastry | Cyclon | Epidemic
+
+let app_conv =
+  Arg.enum
+    [
+      ("chord", Chord); ("chord-ft", Chord_ft); ("pastry", Pastry);
+      ("cyclon", Cyclon); ("epidemic", Epidemic);
+    ]
+
+type testbed_kind = Tb_planetlab | Tb_modelnet | Tb_cluster
+
+let testbed_conv =
+  Arg.enum [ ("planetlab", Tb_planetlab); ("modelnet", Tb_modelnet); ("cluster", Tb_cluster) ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace speedup seed descriptor_file =
+  let spec =
+    match testbed with
+    | Tb_planetlab -> Platform.Planetlab hosts
+    | Tb_modelnet -> Platform.Modelnet { hosts = max hosts nodes; bandwidth = None }
+    | Tb_cluster -> Platform.Cluster hosts
+  in
+  let p = Platform.create ~seed spec in
+  Platform.run p (fun p ->
+      let ctl = Platform.controller p in
+      let eng = Platform.engine p in
+      let rng = Rng.split (Engine.rng eng) in
+      (* a lookup driver where the protocol supports it *)
+      let lookup_fn = ref (fun _rng -> None) in
+      let main =
+        match app with
+        | Chord ->
+            let nodes_r = ref [] in
+            lookup_fn :=
+              (fun rng ->
+                match List.filter (fun c -> not (Apps.Chord.is_stopped c)) !nodes_r with
+                | [] -> None
+                | live ->
+                    let origin = Rng.pick_list rng live in
+                    Option.map
+                      (fun (_, h) -> h)
+                      (Apps.Chord.lookup origin (Rng.int rng (Misc.pow2 24))));
+            fun env -> Apps.Chord.app ~register:(fun c -> nodes_r := c :: !nodes_r) env
+        | Chord_ft ->
+            let nodes_r = ref [] in
+            lookup_fn :=
+              (fun rng ->
+                match List.filter (fun c -> not (Apps.Chord_ft.is_stopped c)) !nodes_r with
+                | [] -> None
+                | live ->
+                    let origin = Rng.pick_list rng live in
+                    Option.map
+                      (fun (_, h) -> h)
+                      (Apps.Chord_ft.lookup origin (Rng.int rng (Misc.pow2 24))));
+            fun env -> Apps.Chord_ft.app ~register:(fun c -> nodes_r := c :: !nodes_r) env
+        | Pastry ->
+            let nodes_r = ref [] in
+            lookup_fn :=
+              (fun rng ->
+                match List.filter (fun c -> not (Apps.Pastry.is_stopped c)) !nodes_r with
+                | [] -> None
+                | live ->
+                    let origin = Rng.pick_list rng live in
+                    Option.map
+                      (fun (_, h) -> h)
+                      (Apps.Pastry.lookup origin (Rng.int rng (Misc.pow2 32))));
+            fun env -> Apps.Pastry.app ~register:(fun c -> nodes_r := c :: !nodes_r) env
+        | Cyclon -> fun env -> Apps.Cyclon.app ~register:(fun _ -> ()) env
+        | Epidemic -> fun env -> Apps.Epidemic.app ~register:(fun _ -> ()) env
+      in
+      let nodes =
+        match descriptor_file with
+        | Some path -> (Descriptor.parse (read_file path)).Descriptor.nb_splayd
+        | None -> nodes
+      in
+      Printf.printf "deploying %d x %s on %s (%d hosts)...\n%!" nodes
+        (match app with
+        | Chord -> "chord" | Chord_ft -> "chord-ft" | Pastry -> "pastry"
+        | Cyclon -> "cyclon" | Epidemic -> "epidemic")
+        (match testbed with
+        | Tb_planetlab -> "planetlab" | Tb_modelnet -> "modelnet" | Tb_cluster -> "cluster")
+        hosts;
+      let descriptor =
+        match descriptor_file with
+        | Some path -> Descriptor.parse (read_file path)
+        | None -> Descriptor.make ~bootstrap:(Descriptor.Head 1) nodes
+      in
+      let t0 = Engine.now eng in
+      let dep = Controller.deploy ctl ~name:"cli-job" ~main descriptor in
+      Printf.printf "deployed %d instances in %.2f virtual seconds\n%!"
+        (Controller.live_count dep) (Engine.now eng -. t0);
+      (* churn, if requested *)
+      (match (churn_script, churn_trace) with
+      | Some path, _ ->
+          let script = Script.parse (read_file path) in
+          Printf.printf "running churn script %s (%.0f s)\n%!" path (Script.duration script);
+          ignore (Replayer.run_script dep script)
+      | None, Some path ->
+          let trace = Trace.of_string (read_file path) in
+          let trace = if speedup <> 1.0 then Transform.speedup speedup trace else trace in
+          Printf.printf "replaying trace %s at x%g (%.0f s)\n%!" path speedup
+            (Trace.duration trace);
+          ignore (Replayer.run_trace dep trace)
+      | None, None -> ());
+      Env.sleep duration;
+      (* measurements *)
+      let delays = Dist.create () and failures = ref 0 and hops = Dist.create () in
+      for _ = 1 to lookups do
+        let t0 = Engine.now eng in
+        match !lookup_fn rng with
+        | Some h ->
+            Dist.add delays (Engine.now eng -. t0);
+            Dist.add hops (Float.of_int h)
+        | None -> incr failures
+      done;
+      Printf.printf "\npopulation: %d live instances at t=%s\n" (Controller.live_count dep)
+        (Misc.duration_to_string (Engine.now eng));
+      if lookups > 0 && not (Dist.is_empty delays) then begin
+        Printf.printf "lookups: %d ok, %d failed; avg route %.2f hops\n"
+          (Dist.count delays) !failures (Dist.mean hops);
+        Printf.printf "delays: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms\n"
+          (1000.0 *. Dist.percentile delays 50.0)
+          (1000.0 *. Dist.percentile delays 90.0)
+          (1000.0 *. Dist.percentile delays 99.0)
+      end;
+      Printf.printf "network: %d messages, %d MB, %d dropped\n"
+        (Net.messages_sent (Platform.net p))
+        (Net.bytes_sent (Platform.net p) / 1024 / 1024)
+        (Net.messages_dropped (Platform.net p));
+      Controller.undeploy dep;
+      List.iter Daemon.shutdown (Platform.daemons p);
+      ignore
+        (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
+
+let run_term =
+  let app_arg =
+    Arg.(value & opt app_conv Pastry & info [ "app"; "a" ] ~docv:"APP" ~doc:"Application to deploy.")
+  in
+  let testbed =
+    Arg.(value & opt testbed_conv Tb_cluster & info [ "testbed"; "t" ] ~docv:"TB" ~doc:"Testbed model.")
+  in
+  let hosts = Arg.(value & opt int 20 & info [ "hosts" ] ~doc:"Number of testbed hosts.") in
+  let nodes = Arg.(value & opt int 50 & info [ "nodes"; "n" ] ~doc:"Instances to deploy.") in
+  let duration =
+    Arg.(value & opt float 180.0 & info [ "duration"; "d" ] ~doc:"Virtual seconds to run before measuring.")
+  in
+  let lookups = Arg.(value & opt int 100 & info [ "lookups" ] ~doc:"Lookups to measure (DHT apps).") in
+  let churn_script =
+    Arg.(value & opt (some file) None & info [ "churn-script" ] ~doc:"Synthetic churn script to run.")
+  in
+  let churn_trace =
+    Arg.(value & opt (some file) None & info [ "churn-trace" ] ~doc:"Availability trace to replay.")
+  in
+  let speedup = Arg.(value & opt float 1.0 & info [ "speedup" ] ~doc:"Trace speed-up factor.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let descriptor =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "descriptor" ]
+          ~doc:"Job file with a BEGIN SPLAY RESOURCES RESERVATION header (overrides --nodes).")
+  in
+  Term.(
+    const run_cmd $ app_arg $ testbed $ hosts $ nodes $ duration $ lookups $ churn_script
+    $ churn_trace $ speedup $ seed $ descriptor)
+
+let run_cmd_info = Cmd.info "run" ~doc:"Deploy an application on a simulated testbed and measure it."
+
+(* {1 splay profile} *)
+
+let profile_cmd path initial =
+  let script = Script.parse (read_file path) in
+  Printf.printf "%-8s %-12s %-10s %s\n" "minute" "population" "joins" "leaves";
+  List.iter
+    (fun (t, pop, j, l) ->
+      Printf.printf "%-8.0f %-12d %-10d %d\n" (t /. 60.0) pop j l)
+    (Script.profile script ~bin:60.0 ~initial)
+
+let profile_term =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT") in
+  let initial = Arg.(value & opt int 0 & info [ "initial" ] ~doc:"Initial population.") in
+  Term.(const profile_cmd $ path $ initial)
+
+let profile_cmd_info =
+  Cmd.info "profile" ~doc:"Print the expected population profile of a churn script."
+
+(* {1 splay trace ...} *)
+
+let write_out out data =
+  match out with
+  | None -> print_string data
+  | Some path ->
+      let oc = open_out path in
+      output_string oc data;
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+
+let trace_gen concurrent duration seed out =
+  let rng = Rng.create seed in
+  let t = Trace.synthetic_overnet ~concurrent ~duration rng in
+  write_out out (Trace.to_string t ^ "\n")
+
+let trace_info path =
+  let t = Trace.of_string (read_file path) in
+  Printf.printf "events:      %d\n" (List.length t);
+  Printf.printf "duration:    %s\n" (Misc.duration_to_string (Trace.duration t));
+  Printf.printf "initial:     %d nodes\n" (Trace.population t ~at:0.0);
+  Printf.printf "peak churn:  %.1f%% of the population per minute\n"
+    (100.0 *. Trace.churn_rate t ~bin:60.0);
+  let series = Trace.population_series t ~bin:(Trace.duration t /. 10.0) in
+  List.iter (fun (time, pop) -> Printf.printf "  t=%-8.0f %d nodes\n" time pop) series
+
+let trace_speedup factor path out =
+  let t = Trace.of_string (read_file path) in
+  write_out out (Trace.to_string (Transform.speedup factor t) ^ "\n")
+
+let trace_amplify factor path seed out =
+  let t = Trace.of_string (read_file path) in
+  let rng = Rng.create seed in
+  write_out out (Trace.to_string (Transform.renumber (Transform.amplify rng factor t)) ^ "\n")
+
+let out_arg = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+
+let trace_cmds =
+  let gen =
+    Cmd.v (Cmd.info "gen" ~doc:"Generate an Overnet-like availability trace.")
+      Term.(
+        const trace_gen
+        $ Arg.(value & opt int 600 & info [ "concurrent" ] ~doc:"Average online population.")
+        $ Arg.(value & opt float 3000.0 & info [ "duration" ] ~doc:"Trace length (seconds).")
+        $ Arg.(value & opt int 42 & info [ "seed" ])
+        $ out_arg)
+  in
+  let info_c =
+    Cmd.v (Cmd.info "info" ~doc:"Summarize a trace.")
+      Term.(const trace_info $ Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"))
+  in
+  let speedup =
+    Cmd.v (Cmd.info "speedup" ~doc:"Compress a trace in time.")
+      Term.(
+        const trace_speedup
+        $ Arg.(required & pos 0 (some float) None & info [] ~docv:"FACTOR")
+        $ Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE")
+        $ out_arg)
+  in
+  let amplify =
+    Cmd.v (Cmd.info "amplify" ~doc:"Scale a trace's churn volume, keeping its statistics.")
+      Term.(
+        const trace_amplify
+        $ Arg.(required & pos 0 (some float) None & info [] ~docv:"FACTOR")
+        $ Arg.(required & pos 1 (some file) None & info [] ~docv:"TRACE")
+        $ Arg.(value & opt int 42 & info [ "seed" ])
+        $ out_arg)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"Generate and transform availability traces.")
+    [ gen; info_c; speedup; amplify ]
+
+let () =
+  let root =
+    Cmd.group
+      (Cmd.info "splay" ~version:"1.0" ~doc:"SPLAY for OCaml — deploy and evaluate distributed systems.")
+      [ Cmd.v run_cmd_info run_term; Cmd.v profile_cmd_info profile_term; trace_cmds ]
+  in
+  exit (Cmd.eval root)

@@ -1,0 +1,1 @@
+examples/churn_failover.ml: Controller Daemon Descriptor Engine Env List Misc Platform Printf Replayer Rng Script Splay Splay_apps

@@ -1,0 +1,1 @@
+examples/filedist.ml: Controller Daemon Descriptor Dist Engine Env Float List Platform Printf Splay Splay_apps

@@ -1,0 +1,1 @@
+examples/indexing.ml: Controller Daemon Descriptor Engine Env List Platform Printf Replayer Rng Splay Splay_apps

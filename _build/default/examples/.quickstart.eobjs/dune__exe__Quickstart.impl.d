@@ -1,0 +1,1 @@
+examples/quickstart.ml: Controller Daemon Descriptor Engine Env List Misc Platform Printf Rng Splay Splay_apps

@@ -1,0 +1,1 @@
+examples/webcache_demo.ml: Controller Daemon Descriptor Dist Engine Env Float List Platform Printf Replayer Rng Splay Splay_apps

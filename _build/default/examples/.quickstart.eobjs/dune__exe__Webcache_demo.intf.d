@@ -1,0 +1,1 @@
+examples/webcache_demo.mli:

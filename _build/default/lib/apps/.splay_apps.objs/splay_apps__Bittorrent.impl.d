@@ -1,0 +1,1 @@
+lib/apps/bittorrent.ml: Addr Array Float Fun Hashtbl Int List Option Printf Splay_runtime Splay_sim String

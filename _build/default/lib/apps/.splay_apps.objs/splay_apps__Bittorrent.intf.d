@@ -1,0 +1,1 @@
+lib/apps/bittorrent.mli: Addr Env

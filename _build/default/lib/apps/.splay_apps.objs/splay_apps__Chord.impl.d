@@ -1,0 +1,1 @@
+lib/apps/chord.ml: Array Float Hashtbl Int List Node Splay_runtime

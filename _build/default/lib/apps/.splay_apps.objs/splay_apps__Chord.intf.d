@@ -1,0 +1,1 @@
+lib/apps/chord.mli: Addr Env Node

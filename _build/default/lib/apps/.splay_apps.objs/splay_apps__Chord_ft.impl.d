@@ -1,0 +1,1 @@
+lib/apps/chord_ft.ml: Addr Array Float Hashtbl Int List Net Node Option Splay_runtime

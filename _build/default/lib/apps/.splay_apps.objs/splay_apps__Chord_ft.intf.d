@@ -1,0 +1,1 @@
+lib/apps/chord_ft.mli: Addr Env Node

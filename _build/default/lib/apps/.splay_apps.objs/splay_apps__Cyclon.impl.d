@@ -1,0 +1,1 @@
+lib/apps/cyclon.ml: Addr Float Int List Node Splay_runtime Splay_sim

@@ -1,0 +1,1 @@
+lib/apps/cyclon.mli: Env Node

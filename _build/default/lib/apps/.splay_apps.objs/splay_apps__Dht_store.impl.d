@@ -1,0 +1,1 @@
+lib/apps/dht_store.ml: Hashtbl List Node Pastry Printf Splay_runtime String

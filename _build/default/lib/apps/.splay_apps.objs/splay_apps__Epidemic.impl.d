@@ -1,0 +1,1 @@
+lib/apps/epidemic.ml: Addr Hashtbl List Splay_runtime Splay_sim

@@ -1,0 +1,1 @@
+lib/apps/node.ml: Addr Int Printf Splay_runtime Splay_sim String

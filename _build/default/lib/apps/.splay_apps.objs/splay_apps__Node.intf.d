@@ -1,0 +1,1 @@
+lib/apps/node.mli: Addr Splay_runtime

@@ -1,0 +1,1 @@
+lib/apps/pastry.ml: Addr Array Float Fun Hashtbl Int List Net Node Option Splay_runtime Splay_sim Testbed

@@ -1,0 +1,1 @@
+lib/apps/pastry.mli: Addr Env Node

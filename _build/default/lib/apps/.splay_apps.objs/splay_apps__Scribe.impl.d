@@ -1,0 +1,1 @@
+lib/apps/scribe.ml: Hashtbl List Node Pastry Printf Splay_runtime Splay_sim

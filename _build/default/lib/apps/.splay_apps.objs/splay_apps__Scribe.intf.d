@@ -1,0 +1,1 @@
+lib/apps/scribe.mli: Node Pastry

@@ -1,0 +1,1 @@
+lib/apps/splitstream.ml: Array Buffer Hashtbl Printf Scribe String

@@ -1,0 +1,1 @@
+lib/apps/splitstream.mli: Scribe

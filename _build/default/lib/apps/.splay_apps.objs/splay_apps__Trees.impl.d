@@ -1,0 +1,1 @@
+lib/apps/trees.ml: Addr Array List Net Splay_runtime

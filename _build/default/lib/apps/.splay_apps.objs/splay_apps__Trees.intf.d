@@ -1,0 +1,1 @@
+lib/apps/trees.mli: Addr Env

@@ -1,0 +1,1 @@
+lib/apps/vivaldi.ml: Addr Array Float List Splay_runtime Splay_sim

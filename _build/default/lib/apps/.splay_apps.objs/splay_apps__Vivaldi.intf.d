@@ -1,0 +1,1 @@
+lib/apps/vivaldi.mli: Addr Env

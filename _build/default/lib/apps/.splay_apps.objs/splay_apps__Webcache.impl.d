@@ -1,0 +1,1 @@
+lib/apps/webcache.ml: Hashtbl Node Pastry Printf Splay_runtime Splay_sim String

@@ -1,0 +1,1 @@
+lib/apps/webcache.mli: Pastry

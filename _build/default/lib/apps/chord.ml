@@ -1,0 +1,183 @@
+module Codec = Splay_runtime.Codec
+module Rpc = Splay_runtime.Rpc
+module Env = Splay_runtime.Env
+module Misc = Splay_runtime.Misc
+
+type config = {
+  m : int;
+  stabilize_interval : float;
+  join_delay_per_position : float;
+  id_assignment : [ `Random | `Hash ];
+}
+
+let default_config =
+  { m = 24; stabilize_interval = 5.0; join_delay_per_position = 1.0; id_assignment = `Random }
+
+type node = {
+  cfg : config;
+  env : Env.t;
+  self : Node.t;
+  mutable predecessor : Node.t option;
+  finger : Node.t option array; (* finger.(0) is the successor *)
+  mutable refresh : int; (* next finger to refresh, 1-based like the paper *)
+}
+
+let id t = t.self.Node.id
+let addr t = t.self.Node.addr
+let successor t = t.finger.(0)
+let predecessor t = t.predecessor
+let fingers t = Array.copy t.finger
+let is_stopped t = Env.is_stopped t.env
+let node_env t = t.env
+
+let modulus t = Misc.pow2 t.cfg.m
+
+let between t x a b ~incl_lo ~incl_hi = Misc.between x a b ~modulus:(modulus t) ~incl_lo ~incl_hi
+
+(* closest_preceding_node from Listing 2: highest finger between us and the
+   target. *)
+let closest_preceding_node t key =
+  let rec scan i =
+    if i < 0 then t.self
+    else
+      match t.finger.(i) with
+      | Some f when between t f.Node.id t.self.Node.id key ~incl_lo:false ~incl_hi:false -> f
+      | _ -> scan (i - 1)
+  in
+  scan (t.cfg.m - 1)
+
+let call t dst proc args = Rpc.call t.env dst.Node.addr proc args
+
+(* find_successor from Listing 2, with a hop count threaded through for the
+   route-length figures. Returns (responsible node, hops). *)
+let rec find_successor t key ~hops =
+  match t.finger.(0) with
+  | Some succ when between t key t.self.Node.id succ.Node.id ~incl_lo:false ~incl_hi:true ->
+      (succ, hops)
+  | None -> (t.self, hops) (* alone on the ring *)
+  | Some succ ->
+      let n0 = closest_preceding_node t key in
+      (* when no finger strictly precedes the key (fingers still cold),
+         walk the ring through the successor — always makes progress,
+         where answering ourselves would hand out wrong owners during the
+         join phase *)
+      let next = if Node.equal n0 t.self then succ else n0 in
+      let v = call t next "find_successor" [ Codec.Int key; Codec.Int (hops + 1) ] in
+      (Node.of_value (Codec.member "node" v), Codec.to_int (Codec.member "hops" v))
+
+and handle_find_successor t args =
+  match args with
+  | [ key; hops ] ->
+      let n, h = find_successor t (Codec.to_int key) ~hops:(Codec.to_int hops) in
+      Codec.Assoc [ ("node", Node.to_value n); ("hops", Codec.Int h) ]
+  | _ -> failwith "find_successor: bad arguments"
+
+(* notify from Listing 1 *)
+let notify t n0 =
+  match t.predecessor with
+  | None -> t.predecessor <- Some n0
+  | Some p ->
+      if between t n0.Node.id p.Node.id t.self.Node.id ~incl_lo:false ~incl_hi:false then
+        t.predecessor <- Some n0
+
+(* join from Listing 1 *)
+let join t n0 =
+  t.predecessor <- None;
+  let v = call t n0 "find_successor" [ Codec.Int t.self.Node.id; Codec.Int 0 ] in
+  t.finger.(0) <- Some (Node.of_value (Codec.member "node" v));
+  match t.finger.(0) with
+  | Some succ -> ignore (call t succ "notify" [ Node.to_value t.self ])
+  | None -> ()
+
+(* stabilize from Listing 1: verify our successor's predecessor *)
+let stabilize t =
+  match t.finger.(0) with
+  | None -> ()
+  | Some succ ->
+      let x = Node.opt_of_value (call t succ "predecessor" []) in
+      (match x with
+      | Some x
+        when between t x.Node.id t.self.Node.id succ.Node.id ~incl_lo:false ~incl_hi:false ->
+          t.finger.(0) <- Some x
+      | _ -> ());
+      (match t.finger.(0) with
+      | Some s -> ignore (call t s "notify" [ Node.to_value t.self ])
+      | None -> ())
+
+(* fix_fingers from Listing 1 *)
+let fix_fingers t =
+  t.refresh <- (t.refresh mod t.cfg.m) + 1;
+  let target = Misc.ring_add t.self.Node.id (Misc.pow2 (t.refresh - 1)) ~modulus:(modulus t) in
+  let n, _ = find_successor t target ~hops:0 in
+  t.finger.(t.refresh - 1) <- Some n
+
+(* check_predecessor from Listing 1 *)
+let check_predecessor t =
+  match t.predecessor with
+  | Some p when not (Rpc.ping t.env p.Node.addr) -> t.predecessor <- None
+  | _ -> ()
+
+let default_config_ref = default_config
+
+let app ?(config = default_config_ref) ~register env =
+  let self = Node.self ~how:config.id_assignment ~bits:config.m env in
+  let t =
+    {
+      cfg = config;
+      env;
+      self;
+      predecessor = None;
+      finger = Array.make config.m None;
+      refresh = 0;
+    }
+  in
+  register t;
+  Rpc.server env
+    [
+      ("find_successor", handle_find_successor t);
+      ("predecessor", fun _ -> Node.opt_to_value t.predecessor);
+      ( "notify",
+        fun args ->
+          (match args with
+          | [ n ] -> notify t (Node.of_value n)
+          | _ -> failwith "notify: bad arguments");
+          Codec.Null );
+    ];
+  (* protect the periodic state updates against crashing the instance when
+     a peer disappears mid-call: base Chord simply retries next period *)
+  let guarded f () = try f t with Rpc.Rpc_error _ -> () in
+  ignore (Env.periodic env config.stabilize_interval (guarded stabilize));
+  ignore (Env.periodic env config.stabilize_interval (guarded check_predecessor));
+  ignore (Env.periodic env config.stabilize_interval (guarded fix_fingers));
+  (* staggered join: one node per join_delay, so a single ring forms *)
+  Env.sleep (Float.of_int env.Env.position *. config.join_delay_per_position);
+  match env.Env.nodes with
+  | rendezvous :: _ when env.Env.position > 1 ->
+      join t (Node.make ~id:0 ~addr:rendezvous)
+  | _ ->
+      (* create(): the first node is its own successor, so stabilization
+         can splice later arrivals in (the paper's finger[1] = n) *)
+      t.finger.(0) <- Some t.self
+
+let lookup t key =
+  match find_successor t key ~hops:0 with
+  | n, hops -> Some (n, hops)
+  | exception Rpc.Rpc_error _ -> None
+
+let ring_of nodes =
+  match List.sort (fun a b -> Int.compare (id a) (id b)) nodes with
+  | [] -> []
+  | first :: _ ->
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun n -> Hashtbl.replace by_id (id n) n) nodes;
+      let rec walk acc n =
+        match successor n with
+        | None -> List.rev acc
+        | Some s ->
+            if s.Node.id = id first then List.rev acc
+            else (
+              match Hashtbl.find_opt by_id s.Node.id with
+              | Some next when List.length acc <= List.length nodes -> walk (s.Node.id :: acc) next
+              | _ -> List.rev acc)
+      in
+      walk [ id first ] first

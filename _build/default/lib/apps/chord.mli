@@ -1,0 +1,40 @@
+(** Chord (Stoica et al.) — the base implementation of Section 4 of the
+    paper, a line-by-line transcription of Listings 1–3: plain successor
+    pointer, finger table, periodic [stabilize] / [fix_fingers] /
+    [check_predecessor], no fault tolerance. Deploy it on a failure-free
+    testbed (the ModelNet runs of Fig. 6a/6b); use {!Chord_ft} under churn. *)
+
+type config = {
+  m : int; (** identifier bits: [2^m] positions (paper: 24) *)
+  stabilize_interval : float; (** paper: 5 s *)
+  join_delay_per_position : float;
+      (** staggered-join pause: [position * this] seconds before joining,
+          as in the deployment code of §5.2 (1 s) *)
+  id_assignment : [ `Random | `Hash ];
+}
+
+val default_config : config
+
+type node
+(** In-process handle on one Chord instance, for experiment observation. *)
+
+val app : ?config:config -> register:(node -> unit) -> Env.t -> unit
+(** The application main, suitable for [Controller.deploy ~main]. Calls
+    [register] with the node handle before joining the ring. *)
+
+val id : node -> int
+val addr : node -> Addr.t
+val successor : node -> Node.t option
+val predecessor : node -> Node.t option
+val fingers : node -> Node.t option array
+val is_stopped : node -> bool
+val node_env : node -> Env.t
+
+val lookup : node -> int -> (Node.t * int) option
+(** [lookup n key] routes from [n]: [Some (responsible, hops)], or [None]
+    if an RPC on the path failed. Blocking. *)
+
+val ring_of : node list -> int list
+(** Successor-order walk of the ring starting from the lowest-id node, as
+    ids; a correctly converged ring visits every live node exactly once.
+    (Pure inspection of in-process state, for tests.) *)

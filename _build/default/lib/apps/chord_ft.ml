@@ -1,0 +1,241 @@
+module Codec = Splay_runtime.Codec
+module Rpc = Splay_runtime.Rpc
+module Env = Splay_runtime.Env
+module Misc = Splay_runtime.Misc
+
+type config = {
+  m : int;
+  stabilize_interval : float;
+  join_delay_per_position : float;
+  rpc_timeout : float;
+  suspect_threshold : int;
+  leafset_size : int;
+  proximity_fingers : bool;
+  id_assignment : [ `Random | `Hash ];
+}
+
+let default_config =
+  {
+    m = 24;
+    stabilize_interval = 2.0;
+    join_delay_per_position = 1.0;
+    rpc_timeout = 60.0;
+    suspect_threshold = 2;
+    leafset_size = 4;
+    proximity_fingers = false;
+    id_assignment = `Random;
+  }
+
+type node = {
+  cfg : config;
+  env : Env.t;
+  self : Node.t;
+  mutable succs : Node.t list; (* clockwise, nearest first; the leafset *)
+  mutable preds : Node.t list; (* counter-clockwise, nearest first *)
+  finger : Node.t option array;
+  mutable refresh : int;
+  misses : (int, int) Hashtbl.t; (* node id -> consecutive missed replies *)
+  mutable n_suspected : int;
+}
+
+let id t = t.self.Node.id
+let addr t = t.self.Node.addr
+let successors t = t.succs
+let predecessors t = t.preds
+let is_stopped t = Env.is_stopped t.env
+let node_env t = t.env
+let suspected_count t = t.n_suspected
+
+let modulus t = Misc.pow2 t.cfg.m
+let between t x a b ~incl_lo ~incl_hi = Misc.between x a b ~modulus:(modulus t) ~incl_lo ~incl_hi
+let dist_cw t a b = Misc.ring_distance a b ~modulus:(modulus t)
+
+let prune t n =
+  let not_n x = not (Node.equal x n) in
+  t.succs <- List.filter not_n t.succs;
+  t.preds <- List.filter not_n t.preds;
+  Array.iteri
+    (fun i f -> match f with Some x when Node.equal x n -> t.finger.(i) <- None | _ -> ())
+    t.finger
+
+(* The suspect() function the paper omits for brevity: prune after a
+   configurable number of missed replies. *)
+let suspect t n =
+  let k = 1 + Option.value ~default:0 (Hashtbl.find_opt t.misses n.Node.id) in
+  if k >= t.cfg.suspect_threshold then begin
+    Hashtbl.remove t.misses n.Node.id;
+    t.n_suspected <- t.n_suspected + 1;
+    prune t n
+  end
+  else Hashtbl.replace t.misses n.Node.id k
+
+let acall t n proc args =
+  match Rpc.a_call t.env n.Node.addr ~timeout:t.cfg.rpc_timeout proc args with
+  | Ok v ->
+      Hashtbl.remove t.misses n.Node.id;
+      Ok v
+  | Error _ ->
+      suspect t n;
+      Error ()
+
+(* Insert a peer into the leafsets, keeping them sorted by ring distance
+   and bounded. *)
+let learn t n =
+  if not (Node.equal n t.self) then begin
+    let insert lst ~dist =
+      if List.exists (Node.equal n) lst then lst
+      else
+        List.sort (fun a b -> Int.compare (dist a.Node.id) (dist b.Node.id)) (n :: lst)
+        |> Misc.take t.cfg.leafset_size
+    in
+    t.succs <- insert t.succs ~dist:(fun i -> dist_cw t t.self.Node.id i);
+    t.preds <- insert t.preds ~dist:(fun i -> dist_cw t i t.self.Node.id)
+  end
+
+let first_successor t = match t.succs with [] -> None | s :: _ -> Some s
+
+let closest_preceding_candidates t key =
+  let cands = ref [] in
+  Array.iter (function Some f -> cands := f :: !cands | None -> ()) t.finger;
+  List.iter (fun s -> cands := s :: !cands) t.succs;
+  let ok n = between t n.Node.id t.self.Node.id key ~incl_lo:false ~incl_hi:false in
+  let uniq = List.sort_uniq Node.compare_by_id (List.filter ok !cands) in
+  (* closest to the key first: maximal clockwise position before key *)
+  List.sort (fun a b -> Int.compare (dist_cw t a.Node.id key) (dist_cw t b.Node.id key)) uniq
+
+let rec find_successor t key ~hops =
+  match first_successor t with
+  | None -> Some (t.self, hops)
+  | Some succ when between t key t.self.Node.id succ.Node.id ~incl_lo:false ~incl_hi:true ->
+      Some (succ, hops)
+  | Some _ ->
+      (* try candidates closest-first, falling back as peers fail *)
+      let rec attempt = function
+        | [] -> Some (t.self, hops) (* nobody closer is alive: we answer *)
+        | n0 :: rest -> (
+            match acall t n0 "find_successor" [ Codec.Int key; Codec.Int (hops + 1) ] with
+            | Ok v -> (
+                match Codec.member "node" v with
+                | Codec.Null -> None
+                | nv -> Some (Node.of_value nv, Codec.to_int (Codec.member "hops" v)))
+            | Error () -> attempt rest)
+      in
+      attempt (closest_preceding_candidates t key)
+
+and handle_find_successor t args =
+  match args with
+  | [ key; hops ] -> (
+      match find_successor t (Codec.to_int key) ~hops:(Codec.to_int hops) with
+      | Some (n, h) -> Codec.Assoc [ ("node", Node.to_value n); ("hops", Codec.Int h) ]
+      | None -> Codec.Assoc [ ("node", Codec.Null); ("hops", Codec.Int 0) ])
+  | _ -> failwith "find_successor: bad arguments"
+
+let notify t n0 = learn t n0
+
+let join t n0 =
+  match acall t n0 "find_successor" [ Codec.Int t.self.Node.id; Codec.Int 0 ] with
+  | Ok v ->
+      (match Codec.member "node" v with Codec.Null -> () | nv -> learn t (Node.of_value nv));
+      (match first_successor t with
+      | Some succ -> ignore (acall t succ "notify" [ Node.to_value t.self ])
+      | None -> ())
+  | Error () -> () (* rendezvous unreachable; stabilization will keep trying via later joins *)
+
+(* Stabilize against the first live successor, and adopt its successor list
+   (the leafset replication that rides along in fault-tolerant Chord). *)
+let stabilize t =
+  let rec with_first_live = function
+    | [] -> ()
+    | s :: rest -> (
+        match acall t s "predecessor" [] with
+        | Error () -> with_first_live rest
+        | Ok pv ->
+            (match Node.opt_of_value pv with
+            | Some x
+              when between t x.Node.id t.self.Node.id s.Node.id ~incl_lo:false ~incl_hi:false ->
+                learn t x
+            | _ -> ());
+            (match acall t s "successors" [] with
+            | Ok (Codec.List l) -> List.iter (fun v -> learn t (Node.of_value v)) l
+            | Ok _ | Error () -> ());
+            (match first_successor t with
+            | Some s' -> ignore (acall t s' "notify" [ Node.to_value t.self ])
+            | None -> ()))
+  in
+  with_first_live t.succs
+
+let check_predecessors t =
+  match t.preds with
+  | [] -> ()
+  | p :: _ -> if not (Rpc.ping t.env ~timeout:t.cfg.rpc_timeout p.Node.addr) then suspect t p
+
+let rtt t n = Net.base_rtt t.env.Env.net t.self.Node.addr.Addr.host n.Node.addr.Addr.host
+
+let fix_fingers t =
+  t.refresh <- (t.refresh mod t.cfg.m) + 1;
+  let target = Misc.ring_add t.self.Node.id (Misc.pow2 (t.refresh - 1)) ~modulus:(modulus t) in
+  match find_successor t target ~hops:0 with
+  | Some (n, _) when not (Node.equal n t.self) ->
+      let choice =
+        if not t.cfg.proximity_fingers then n
+        else begin
+          (* latency-aware fingers: any node past the target is a valid
+             finger; among the owner and its successors still within the
+             finger's span, keep the closest in the network *)
+          let span_end =
+            Misc.ring_add t.self.Node.id (Misc.pow2 (min (t.cfg.m - 1) t.refresh))
+              ~modulus:(modulus t)
+          in
+          let candidates =
+            match acall t n "successors" [] with
+            | Ok (Codec.List l) ->
+                n
+                :: (List.map Node.of_value l
+                   |> List.filter (fun s ->
+                          between t s.Node.id target span_end ~incl_lo:true ~incl_hi:false))
+            | Ok _ | Error () -> [ n ]
+          in
+          List.fold_left (fun best c -> if rtt t c < rtt t best then c else best)
+            (List.hd candidates) candidates
+        end
+      in
+      t.finger.(t.refresh - 1) <- Some choice
+  | _ -> ()
+
+let app ?(config = default_config) ~register env =
+  let self = Node.self ~how:config.id_assignment ~bits:config.m env in
+  let t =
+    {
+      cfg = config;
+      env;
+      self;
+      succs = [];
+      preds = [];
+      finger = Array.make config.m None;
+      refresh = 0;
+      misses = Hashtbl.create 16;
+      n_suspected = 0;
+    }
+  in
+  register t;
+  Rpc.server env
+    [
+      ("find_successor", handle_find_successor t);
+      ("predecessor", fun _ -> Node.opt_to_value (match t.preds with [] -> None | p :: _ -> Some p));
+      ("successors", fun _ -> Codec.List (List.map Node.to_value t.succs));
+      ( "notify",
+        fun args ->
+          (match args with
+          | [ n ] -> notify t (Node.of_value n)
+          | _ -> failwith "notify: bad arguments");
+          Codec.Null );
+    ];
+  ignore (Env.periodic env config.stabilize_interval (fun () -> stabilize t));
+  ignore (Env.periodic env config.stabilize_interval (fun () -> check_predecessors t));
+  ignore (Env.periodic env config.stabilize_interval (fun () -> fix_fingers t));
+  Env.sleep (Float.of_int env.Env.position *. config.join_delay_per_position);
+  match env.Env.nodes with
+  | rendezvous :: _ when env.Env.position > 1 -> join t (Node.make ~id:0 ~addr:rendezvous)
+  | _ -> ()
+
+let lookup t key = find_successor t key ~hops:0

@@ -1,0 +1,169 @@
+module Codec = Splay_runtime.Codec
+module Rpc = Splay_runtime.Rpc
+module Env = Splay_runtime.Env
+module Crypto = Splay_runtime.Crypto
+module Sandbox = Splay_runtime.Sandbox
+
+type config = {
+  replicas : int;
+  republish_interval : float;
+  entry_ttl : float;
+  rpc_timeout : float;
+}
+
+let default_config =
+  { replicas = 3; republish_interval = 30.0; entry_ttl = 120.0; rpc_timeout = 10.0 }
+
+type entry = { value : string; mutable refreshed_at : float }
+
+type t = {
+  cfg : config;
+  p : Pastry.node;
+  env : Env.t;
+  store : (string, entry) Hashtbl.t;
+}
+
+let stored_entries t = Hashtbl.length t.store
+let stored_bytes t = Hashtbl.fold (fun _ e acc -> acc + String.length e.value) t.store 0
+
+let now t = Env.now t.env
+
+let replica_id t ~key i =
+  Crypto.hash_to_id (Printf.sprintf "%s#%d" key i) ~bits:(Pastry.config_of t.p).Pastry.bits
+
+(* Local (owner-side) operations, exposed over RPC. *)
+
+let store_local t ~key ~value =
+  (match Hashtbl.find_opt t.store key with
+  | Some old ->
+      Sandbox.free t.env.Env.sandbox (String.length old.value);
+      Hashtbl.remove t.store key
+  | None -> ());
+  (try Sandbox.alloc t.env.Env.sandbox (String.length value)
+   with Sandbox.Violation _ -> ());
+  Hashtbl.replace t.store key { value; refreshed_at = now t }
+
+let fetch_local t ~key =
+  match Hashtbl.find_opt t.store key with
+  | Some e when now t -. e.refreshed_at <= t.cfg.entry_ttl -> Some e.value
+  | Some e ->
+      Hashtbl.remove t.store key;
+      Sandbox.free t.env.Env.sandbox (String.length e.value);
+      None
+  | None -> None
+
+let delete_local t ~key =
+  match Hashtbl.find_opt t.store key with
+  | Some e ->
+      Hashtbl.remove t.store key;
+      Sandbox.free t.env.Env.sandbox (String.length e.value)
+  | None -> ()
+
+(* Route to the owner of one replica and run an operation there. *)
+let with_owner t ~key i f =
+  match Pastry.lookup t.p (replica_id t ~key i) with
+  | None -> None
+  | Some (owner, _) -> f owner
+
+let put t ~key ~value =
+  let acks = ref 0 in
+  for i = 0 to t.cfg.replicas - 1 do
+    ignore
+      (with_owner t ~key i (fun owner ->
+           if Node.equal owner (Pastry.self_node t.p) then begin
+             store_local t ~key ~value;
+             incr acks;
+             Some ()
+           end
+           else
+             match
+               Rpc.a_call t.env owner.Node.addr ~timeout:t.cfg.rpc_timeout "kv.store"
+                 [ Codec.String key; Codec.String value ]
+             with
+             | Ok _ ->
+                 incr acks;
+                 Some ()
+             | Error _ ->
+                 Pastry.report_failure t.p owner;
+                 None))
+  done;
+  !acks
+
+let get t ~key =
+  let rec try_replica i =
+    if i >= t.cfg.replicas then None
+    else
+      let found =
+        with_owner t ~key i (fun owner ->
+            if Node.equal owner (Pastry.self_node t.p) then fetch_local t ~key
+            else
+              match
+                Rpc.a_call t.env owner.Node.addr ~timeout:t.cfg.rpc_timeout "kv.fetch"
+                  [ Codec.String key ]
+              with
+              | Ok (Codec.String v) -> Some v
+              | Ok _ -> None
+              | Error _ ->
+                  Pastry.report_failure t.p owner;
+                  None)
+      in
+      match found with Some v -> Some v | None -> try_replica (i + 1)
+  in
+  try_replica 0
+
+let delete t ~key =
+  let acks = ref 0 in
+  for i = 0 to t.cfg.replicas - 1 do
+    ignore
+      (with_owner t ~key i (fun owner ->
+           if Node.equal owner (Pastry.self_node t.p) then begin
+             delete_local t ~key;
+             incr acks;
+             Some ()
+           end
+           else
+             match
+               Rpc.a_call t.env owner.Node.addr ~timeout:t.cfg.rpc_timeout "kv.delete"
+                 [ Codec.String key ]
+             with
+             | Ok _ ->
+                 incr acks;
+                 Some ()
+             | Error _ -> None))
+  done;
+  !acks
+
+(* Republish: push every held entry back towards the current owners of its
+   replicas; drop entries nobody has refreshed within the TTL. The churned
+   ring converges to holding each value at its live owners. *)
+let republish t =
+  let entries = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.store [] in
+  List.iter
+    (fun (key, e) ->
+      if now t -. e.refreshed_at > t.cfg.entry_ttl then delete_local t ~key
+      else
+        ignore (put t ~key ~value:e.value))
+    entries
+
+let create ?(config = default_config) p =
+  let env = Pastry.node_env p in
+  let t = { cfg = config; p; env; store = Hashtbl.create 32 } in
+  Rpc.add_handler env "kv.store" (fun args ->
+      match args with
+      | [ Codec.String key; Codec.String value ] ->
+          store_local t ~key ~value;
+          Codec.Null
+      | _ -> failwith "kv.store: bad arguments");
+  Rpc.add_handler env "kv.fetch" (fun args ->
+      match args with
+      | [ Codec.String key ] -> (
+          match fetch_local t ~key with Some v -> Codec.String v | None -> Codec.Null)
+      | _ -> failwith "kv.fetch: bad arguments");
+  Rpc.add_handler env "kv.delete" (fun args ->
+      match args with
+      | [ Codec.String key ] ->
+          delete_local t ~key;
+          Codec.Null
+      | _ -> failwith "kv.delete: bad arguments");
+  ignore (Env.periodic env config.republish_interval (fun () -> republish t));
+  t

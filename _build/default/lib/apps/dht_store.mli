@@ -1,0 +1,38 @@
+(** A replicated key-value store on Pastry — the "indexing service based on
+    a DHT" of the paper's long-running-application use case (§1, §3.2).
+
+    Replication is by salted keys: replica [i] of a key lives at the Pastry
+    owner of [hash(key # i)], so the [replicas] copies land on unrelated
+    nodes and a reader can fall back from one replica to the next without
+    knowing anyone's leafset. Storing nodes republish their entries
+    periodically, so data migrates to new owners as the ring churns and
+    expires when every holder is gone longer than the republish TTL. *)
+
+type config = {
+  replicas : int; (** copies kept (default 3) *)
+  republish_interval : float; (** default 30 s *)
+  entry_ttl : float; (** entries not republished for this long expire (default 120 s) *)
+  rpc_timeout : float;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Pastry.node -> t
+(** Layer the store over a Pastry instance (shared RPC endpoint). *)
+
+val put : t -> key:string -> value:string -> int
+(** Store the value; returns how many replicas acknowledged (0 means the
+    put failed entirely). Blocking. *)
+
+val get : t -> key:string -> string option
+(** Read, falling back across replicas. Blocking. *)
+
+val delete : t -> key:string -> int
+(** Remove from all reachable replicas; returns acknowledgements. *)
+
+val stored_entries : t -> int
+(** Entries this node currently holds (observability). *)
+
+val stored_bytes : t -> int

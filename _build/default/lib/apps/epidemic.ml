@@ -1,0 +1,67 @@
+module Codec = Splay_runtime.Codec
+module Rpc = Splay_runtime.Rpc
+module Env = Splay_runtime.Env
+module Rng = Splay_sim.Rng
+
+type config = { fanout : int; rpc_timeout : float }
+
+let default_config = { fanout = 6; rpc_timeout = 10.0 }
+
+type node = {
+  cfg : config;
+  env : Env.t;
+  mutable seen : string list;
+  seen_set : (string, unit) Hashtbl.t;
+  mutable forwarded : int;
+  e_rng : Rng.t;
+}
+
+let received t = t.seen
+let has_received t rumor = Hashtbl.mem t.seen_set rumor
+let messages_forwarded t = t.forwarded
+let is_stopped t = Env.is_stopped t.env
+
+let peers t = List.filter (fun a -> not (Addr.equal a t.env.Env.me)) t.env.Env.nodes
+
+let forward t rumor =
+  let targets = Rng.sample t.e_rng t.cfg.fanout (peers t) in
+  List.iter
+    (fun a ->
+      t.forwarded <- t.forwarded + 1;
+      ignore
+        (Env.thread t.env (fun () ->
+             ignore
+               (Rpc.a_call t.env a ~timeout:t.cfg.rpc_timeout "epidemic.rumor"
+                  [ Codec.String rumor ]))))
+    targets
+
+let receive t rumor =
+  if not (Hashtbl.mem t.seen_set rumor) then begin
+    Hashtbl.replace t.seen_set rumor ();
+    t.seen <- rumor :: t.seen;
+    forward t rumor
+  end
+
+let broadcast t rumor = receive t rumor
+
+let app ?(config = default_config) ~register env =
+  let t =
+    {
+      cfg = config;
+      env;
+      seen = [];
+      seen_set = Hashtbl.create 16;
+      forwarded = 0;
+      e_rng = Rng.split env.Env.env_rng;
+    }
+  in
+  register t;
+  Rpc.server env
+    [
+      ( "epidemic.rumor",
+        fun args ->
+          (match args with
+          | [ Codec.String rumor ] -> receive t rumor
+          | _ -> failwith "epidemic.rumor: bad arguments");
+          Codec.Null );
+    ]

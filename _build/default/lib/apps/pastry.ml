@@ -1,0 +1,368 @@
+module Codec = Splay_runtime.Codec
+module Rpc = Splay_runtime.Rpc
+module Env = Splay_runtime.Env
+module Misc = Splay_runtime.Misc
+module Rng = Splay_sim.Rng
+
+type config = {
+  bits : int;
+  b : int;
+  leaf_size : int;
+  stabilize_interval : float;
+  rpc_timeout : float;
+  suspect_threshold : int;
+  join_delay_per_position : float;
+  proximity : bool;
+  per_hop_overhead : float;
+  id_assignment : [ `Random | `Hash ];
+}
+
+let default_config =
+  {
+    bits = 32;
+    b = 4;
+    leaf_size = 16;
+    stabilize_interval = 5.0;
+    rpc_timeout = 30.0;
+    suspect_threshold = 2;
+    join_delay_per_position = 0.2;
+    proximity = true;
+    per_hop_overhead = 0.0;
+    id_assignment = `Hash;
+  }
+
+let digits cfg = cfg.bits / cfg.b
+
+type node = {
+  cfg : config;
+  env : Env.t;
+  self : Node.t;
+  mutable left : Node.t list; (* counter-clockwise, nearest first *)
+  mutable right : Node.t list; (* clockwise, nearest first *)
+  table : Node.t option array array; (* rows x 2^b *)
+  misses : (int, int) Hashtbl.t;
+  (* death certificates: recently pruned ids are not re-learned from
+     gossip until the certificate expires, or stale leafset exchanges
+     would reinject them forever *)
+  dead : (int, float) Hashtbl.t;
+  mutable n_suspected : int;
+  mutable bootstrap : Addr.t option;
+  p_rng : Rng.t;
+}
+
+let id t = t.self.Node.id
+let addr t = t.self.Node.addr
+let leafset t = t.left @ t.right
+let is_stopped t = Env.is_stopped t.env
+let suspected_count t = t.n_suspected
+
+let table_entries t =
+  Array.to_list t.table
+  |> List.concat_map (fun row -> Array.to_list row |> List.filter_map Fun.id)
+
+let modulus t = Misc.pow2 t.cfg.bits
+let dist_cw t a b = Misc.ring_distance a b ~modulus:(modulus t)
+let dist t a b = min (dist_cw t a b) (dist_cw t b a)
+
+let digit t key row = (key lsr (t.cfg.bits - (t.cfg.b * (row + 1)))) land ((1 lsl t.cfg.b) - 1)
+
+let shared_prefix t a b =
+  let nd = digits t.cfg in
+  let rec go row = if row < nd && digit t a row = digit t b row then go (row + 1) else row in
+  go 0
+
+let rtt t n = Net.base_rtt t.env.Env.net t.self.Node.addr.Addr.host n.Node.addr.Addr.host
+
+let all_known t =
+  List.sort_uniq Node.compare_by_id (t.self :: (leafset t @ table_entries t))
+
+(* Incorporate a peer: leafset halves stay sorted by ring distance and
+   bounded; the routing-table slot prefers the lower-RTT candidate when
+   proximity-aware construction is on (the locality optimization FreePastry
+   also implements). *)
+let now t = Splay_sim.Engine.now (Env.engine t.env)
+
+let certified_dead t n =
+  match Hashtbl.find_opt t.dead n.Node.id with
+  | Some expiry when now t < expiry -> true
+  | Some _ ->
+      Hashtbl.remove t.dead n.Node.id;
+      false
+  | None -> false
+
+let learn t n =
+  if (not (Node.equal n t.self)) && n.Node.id <> t.self.Node.id && not (certified_dead t n)
+  then begin
+    let half = t.cfg.leaf_size / 2 in
+    let insert lst ~d =
+      if List.exists (Node.equal n) lst then lst
+      else
+        List.sort (fun a b -> Int.compare (d a.Node.id) (d b.Node.id)) (n :: lst)
+        |> Misc.take half
+    in
+    t.right <- insert t.right ~d:(fun i -> dist_cw t t.self.Node.id i);
+    t.left <- insert t.left ~d:(fun i -> dist_cw t i t.self.Node.id);
+    let row = shared_prefix t t.self.Node.id n.Node.id in
+    if row < digits t.cfg then begin
+      let col = digit t n.Node.id row in
+      match t.table.(row).(col) with
+      | None ->
+          (* routing state costs real memory; Fig. 8's slight growth *)
+          (try Splay_runtime.Sandbox.alloc t.env.Env.sandbox 2048
+           with Splay_runtime.Sandbox.Violation _ -> ());
+          t.table.(row).(col) <- Some n
+      | Some cur ->
+          if (not (Node.equal cur n)) && t.cfg.proximity && rtt t n < rtt t cur then
+            t.table.(row).(col) <- Some n
+    end
+  end
+
+let prune t n =
+  let keep x = not (Node.equal x n) in
+  t.left <- List.filter keep t.left;
+  t.right <- List.filter keep t.right;
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun i e ->
+          match e with
+          | Some x when Node.equal x n ->
+              row.(i) <- None;
+              Splay_runtime.Sandbox.free t.env.Env.sandbox 2048
+          | _ -> ())
+        row)
+    t.table
+
+let suspect t n =
+  let k = 1 + Option.value ~default:0 (Hashtbl.find_opt t.misses n.Node.id) in
+  if k >= t.cfg.suspect_threshold then begin
+    Hashtbl.remove t.misses n.Node.id;
+    Hashtbl.replace t.dead n.Node.id (now t +. (10.0 *. t.cfg.stabilize_interval));
+    t.n_suspected <- t.n_suspected + 1;
+    prune t n
+  end
+  else Hashtbl.replace t.misses n.Node.id k
+
+let acall t n proc args =
+  match Rpc.a_call t.env n.Node.addr ~timeout:t.cfg.rpc_timeout proc args with
+  | Ok v ->
+      Hashtbl.remove t.misses n.Node.id;
+      Ok v
+  | Error _ ->
+      suspect t n;
+      Error ()
+
+(* Is the key within the span of our leafset? If so the owner is the
+   numerically closest node among leafset + self. *)
+let leafset_covers t key =
+  match (t.left, t.right) with
+  | [], [] -> true
+  | _ ->
+      let leftmost = match List.rev t.left with l :: _ -> l.Node.id | [] -> t.self.Node.id in
+      let rightmost = match List.rev t.right with r :: _ -> r.Node.id | [] -> t.self.Node.id in
+      Misc.between key leftmost rightmost ~modulus:(modulus t) ~incl_lo:true ~incl_hi:true
+
+let closest_among t key nodes =
+  List.fold_left
+    (fun best n -> if dist t n.Node.id key < dist t best.Node.id key then n else best)
+    t.self nodes
+
+type decision = Deliver | Forward of Node.t
+
+(* The Pastry routing decision. [excluded] lists next hops that already
+   failed for this message (dead, or reported no route), so alternates are
+   tried instead of looping on them. *)
+let decide ?(excluded = []) t key =
+  let usable n = not (List.exists (Node.equal n) excluded) in
+  if leafset_covers t key then begin
+    let owner = closest_among t key (List.filter usable (leafset t)) in
+    if Node.equal owner t.self then Deliver else Forward owner
+  end
+  else begin
+    let l = shared_prefix t t.self.Node.id key in
+    let slot =
+      match if l < digits t.cfg then t.table.(l).(digit t key l) else None with
+      | Some n when usable n -> Some n
+      | _ -> None
+    in
+    match slot with
+    | Some n -> Forward n
+    | None ->
+        (* rare case: any known node with at least as long a prefix and
+           numerically closer to the key *)
+        let my_d = dist t t.self.Node.id key in
+        let better n =
+          usable n
+          && (not (Node.equal n t.self))
+          && shared_prefix t n.Node.id key >= l
+          && dist t n.Node.id key < my_d
+        in
+        (match List.filter better (all_known t) with
+        | [] -> Deliver (* best effort: nobody better is known *)
+        | cands -> Forward (closest_among t key cands))
+  end
+
+let max_hops = 64
+
+(* Route one message, retrying alternates as next hops fail. *)
+let rec route t key ~hops =
+  if hops > max_hops then None
+  else begin
+    let rec attempts k excluded =
+      if k = 0 then None
+      else
+        match decide t ~excluded key with
+        | Deliver -> Some (t.self, hops)
+        | Forward n -> (
+            match acall t n "p.route" [ Codec.Int key; Codec.Int (hops + 1) ] with
+            | Ok v -> (
+                match Codec.member "node" v with
+                | Codec.Null -> attempts (k - 1) (n :: excluded)
+                | nv -> Some (Node.of_value nv, Codec.to_int (Codec.member "hops" v)))
+            | Error () -> attempts (k - 1) (n :: excluded))
+    in
+    attempts 6 []
+  end
+
+and handle_route t args =
+  match args with
+  | [ key; hops ] -> (
+      if t.cfg.per_hop_overhead > 0.0 then begin
+        let h = Testbed.host (Net.testbed t.env.Env.net) t.self.Node.addr.Addr.host in
+        Env.sleep (t.cfg.per_hop_overhead *. h.Testbed.service_mult)
+      end;
+      match route t (Codec.to_int key) ~hops:(Codec.to_int hops) with
+      | Some (n, h) -> Codec.Assoc [ ("node", Node.to_value n); ("hops", Codec.Int h) ]
+      | None -> Codec.Assoc [ ("node", Codec.Null); ("hops", Codec.Int 0) ])
+  | _ -> failwith "p.route: bad arguments"
+
+let lookup t key = route t key ~hops:0
+
+(* Join: the request travels from the bootstrap node towards the
+   newcomer's id; every hop contributes its leafset and the table rows the
+   newcomer will need; the newcomer learns everything and announces
+   itself. *)
+let join_payload t xid =
+  let l = shared_prefix t t.self.Node.id xid in
+  let rows =
+    List.concat
+      (List.init (min (l + 1) (digits t.cfg)) (fun r ->
+           Array.to_list t.table.(r) |> List.filter_map Fun.id))
+  in
+  t.self :: (rows @ leafset t)
+
+let handle_join t args =
+  match args with
+  | [ xid_v; hops_v ] ->
+      let xid = Codec.to_int xid_v and hops = Codec.to_int hops_v in
+      let mine = join_payload t xid in
+      let deeper =
+        if hops > max_hops then []
+        else
+          match decide t xid with
+          | Deliver -> []
+          | Forward n -> (
+              match acall t n "p.join" [ Codec.Int xid; Codec.Int (hops + 1) ] with
+              | Ok (Codec.List l) -> List.map Node.of_value l
+              | Ok _ | Error () -> [])
+      in
+      Codec.List (List.map Node.to_value (mine @ deeper))
+  | _ -> failwith "p.join: bad arguments"
+
+let announce t =
+  let targets = List.filter (fun n -> not (Node.equal n t.self)) (all_known t) in
+  List.iter
+    (fun n -> ignore (acall t n "p.announce" [ Node.to_value t.self ]))
+    targets
+
+let join t bootstrap =
+  match acall t bootstrap "p.join" [ Codec.Int t.self.Node.id; Codec.Int 0 ] with
+  | Ok (Codec.List l) ->
+      List.iter (fun v -> learn t (Node.of_value v)) l;
+      announce t
+  | Ok _ | Error () -> ()
+
+(* Periodic maintenance: exchange leafsets with a random neighbor, check
+   the closest ring neighbors are alive, probe a few table entries — and
+   occasionally re-contact the original bootstrap node, which is what lets
+   two halves of a healed partition find each other again instead of
+   living on as split-brain rings. *)
+let stabilize t =
+  (match t.bootstrap with
+  | Some b when (not (Addr.equal b t.self.Node.addr)) && Rng.chance t.p_rng 0.2 -> (
+      match Rpc.a_call t.env b ~timeout:t.cfg.rpc_timeout "p.leafset" [] with
+      | Ok (Codec.List l) -> List.iter (fun v -> learn t (Node.of_value v)) l
+      | Ok _ | Error _ -> ())
+  | _ -> ());
+  (match leafset t with
+  | [] -> ()
+  | leaves -> (
+      let peer = Rng.pick_list t.p_rng leaves in
+      match acall t peer "p.leafset" [] with
+      | Ok (Codec.List l) -> List.iter (fun v -> learn t (Node.of_value v)) l
+      | Ok _ | Error () -> ()));
+  (match t.left with p :: _ -> if not (Rpc.ping t.env ~timeout:t.cfg.rpc_timeout p.Node.addr) then suspect t p | [] -> ());
+  (match t.right with s :: _ -> if not (Rpc.ping t.env ~timeout:t.cfg.rpc_timeout s.Node.addr) then suspect t s | [] -> ());
+  (* also probe random leafset members: failures further out in the
+     leafset must be detected faster than gossip reinjects them *)
+  (match leafset t with
+  | [] -> ()
+  | leaves ->
+      for _ = 1 to min 4 (List.length leaves) do
+        let n = Rng.pick_list t.p_rng leaves in
+        if not (Rpc.ping t.env ~timeout:t.cfg.rpc_timeout n.Node.addr) then suspect t n
+      done);
+  match table_entries t with
+  | [] -> ()
+  | entries ->
+      (* probe a few random entries per round so dead table slots are
+         repaired within a handful of periods *)
+      for _ = 1 to min 3 (List.length entries) do
+        let n = Rng.pick_list t.p_rng entries in
+        if not (Rpc.ping t.env ~timeout:t.cfg.rpc_timeout n.Node.addr) then suspect t n
+      done
+
+let app ?(config = default_config) ~register env =
+  if config.bits mod config.b <> 0 then invalid_arg "Pastry: bits must be a multiple of b";
+  let self = Node.self ~how:config.id_assignment ~bits:config.bits env in
+  let t =
+    {
+      cfg = config;
+      env;
+      self;
+      left = [];
+      right = [];
+      table = Array.make_matrix (digits config) (1 lsl config.b) None;
+      misses = Hashtbl.create 16;
+      dead = Hashtbl.create 16;
+      n_suspected = 0;
+      bootstrap = (match env.Env.nodes with b :: _ -> Some b | [] -> None);
+      p_rng = Rng.split env.Env.env_rng;
+    }
+  in
+  register t;
+  Rpc.server env
+    [
+      ("p.route", handle_route t);
+      ("p.join", handle_join t);
+      ("p.leafset", fun _ -> Codec.List (List.map Node.to_value (t.self :: leafset t)));
+      ( "p.announce",
+        fun args ->
+          (match args with
+          | [ nv ] -> learn t (Node.of_value nv)
+          | _ -> failwith "p.announce: bad arguments");
+          Codec.Null );
+    ];
+  ignore (Env.periodic env config.stabilize_interval (fun () -> stabilize t));
+  Env.sleep (Float.of_int env.Env.position *. config.join_delay_per_position);
+  match env.Env.nodes with
+  | rendezvous :: _ when env.Env.position > 1 -> join t (Node.make ~id:0 ~addr:rendezvous)
+  | _ -> ()
+
+(* {2 Hooks for layered applications} *)
+
+let next_hop t key = match decide t key with Deliver -> None | Forward n -> Some n
+let report_failure t n = suspect t n
+let node_env t = t.env
+let self_node t = t.self
+let config_of t = t.cfg

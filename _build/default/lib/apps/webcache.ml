@@ -1,0 +1,136 @@
+module Codec = Splay_runtime.Codec
+module Rpc = Splay_runtime.Rpc
+module Env = Splay_runtime.Env
+module Crypto = Splay_runtime.Crypto
+module Sandbox = Splay_runtime.Sandbox
+module Rng = Splay_sim.Rng
+
+type config = {
+  max_entries : int;
+  ttl : float;
+  origin_delay_mean : float;
+  object_size : int;
+  rpc_timeout : float;
+}
+
+let default_config =
+  { max_entries = 100; ttl = 120.0; origin_delay_mean = 1.5; object_size = 2048; rpc_timeout = 30.0 }
+
+type entry = { value : string; fetched_at : float; mutable last_used : float }
+
+type t = {
+  cfg : config;
+  p : Pastry.node;
+  env : Env.t;
+  cache : (string, entry) Hashtbl.t;
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evicted : int;
+  w_rng : Rng.t;
+}
+
+let requests_served t = t.served
+let home_hits t = t.hits
+let home_misses t = t.misses
+let cached_entries t = Hashtbl.length t.cache
+let evictions t = t.evicted
+
+let now t = Env.now t.env
+
+(* Simulated origin server: heavy-ish fetch latency, as the paper's
+   non-cached accesses (1-2 s on average). *)
+let fetch_origin t url =
+  Env.sleep (Rng.exponential t.w_rng ~mean:t.cfg.origin_delay_mean);
+  let body = Printf.sprintf "content-of:%s:" url in
+  body ^ String.make (max 0 (t.cfg.object_size - String.length body)) 'x'
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun url e ->
+      match !victim with
+      | Some (_, ve) when ve.last_used <= e.last_used -> ()
+      | _ -> victim := Some (url, e))
+    t.cache;
+  match !victim with
+  | Some (url, e) ->
+      Hashtbl.remove t.cache url;
+      Sandbox.free t.env.Env.sandbox (String.length e.value);
+      t.evicted <- t.evicted + 1
+  | None -> ()
+
+let insert t url value =
+  while Hashtbl.length t.cache >= t.cfg.max_entries do
+    evict_lru t
+  done;
+  Sandbox.alloc t.env.Env.sandbox (String.length value);
+  Hashtbl.replace t.cache url { value; fetched_at = now t; last_used = now t }
+
+(* Serve a request as the home node. *)
+let serve t url =
+  t.served <- t.served + 1;
+  match Hashtbl.find_opt t.cache url with
+  | Some e when now t -. e.fetched_at <= t.cfg.ttl ->
+      e.last_used <- now t;
+      t.hits <- t.hits + 1;
+      (e.value, true)
+  | stale ->
+      (match stale with
+      | Some e ->
+          Hashtbl.remove t.cache url;
+          Sandbox.free t.env.Env.sandbox (String.length e.value)
+      | None -> ());
+      t.misses <- t.misses + 1;
+      let value = fetch_origin t url in
+      insert t url value;
+      (value, false)
+
+let handle_get t args =
+  match args with
+  | [ Codec.String url ] ->
+      let value, hit = serve t url in
+      Codec.Assoc [ ("v", Codec.String value); ("hit", Codec.Bool hit) ]
+  | _ -> failwith "wc.get: bad arguments"
+
+let get t url =
+  let t0 = now t in
+  let key = Crypto.hash_to_id url ~bits:(Pastry.config_of t.p).Pastry.bits in
+  match Pastry.lookup t.p key with
+  | None -> ("", `Failed, now t -. t0)
+  | Some (home, _) ->
+      if Node.equal home (Pastry.self_node t.p) then begin
+        let value, hit = serve t url in
+        (value, (if hit then `Hit else `Miss), now t -. t0)
+      end
+      else begin
+        match
+          Rpc.a_call t.env home.Node.addr ~timeout:t.cfg.rpc_timeout "wc.get"
+            [ Codec.String url ]
+        with
+        | Ok v ->
+            let value = Codec.to_string (Codec.member "v" v) in
+            let hit = Codec.to_bool (Codec.member "hit" v) in
+            (value, (if hit then `Hit else `Miss), now t -. t0)
+        | Error _ ->
+            Pastry.report_failure t.p home;
+            ("", `Failed, now t -. t0)
+      end
+
+let create ?(config = default_config) p =
+  let env = Pastry.node_env p in
+  let t =
+    {
+      cfg = config;
+      p;
+      env;
+      cache = Hashtbl.create 64;
+      served = 0;
+      hits = 0;
+      misses = 0;
+      evicted = 0;
+      w_rng = Rng.split env.Env.env_rng;
+    }
+  in
+  Rpc.add_handler env "wc.get" (handle_get t);
+  t

@@ -1,0 +1,37 @@
+(** Cooperative web cache on Pastry, after Squirrel (Iyer et al.) — the
+    long-running application of §5.7 / Fig. 14.
+
+    Every URL has a {e home node}: the Pastry owner of the URL's hash. A
+    node proxies a request by routing to the home node, which serves the
+    object from its cache or fetches it from the (simulated) origin server
+    on a miss. Caches are LRU-bounded and entries expire after a TTL
+    (paper: 100 entries per node, 120 s). *)
+
+type config = {
+  max_entries : int; (** per node (paper: 100) *)
+  ttl : float; (** seconds before an entry is stale (paper: 120) *)
+  origin_delay_mean : float; (** origin fetch time, exponential (paper: 1–2 s) *)
+  object_size : int; (** bytes of a fetched object *)
+  rpc_timeout : float;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Pastry.node -> t
+
+val get : t -> string -> (string * [ `Hit | `Miss | `Failed ] * float)
+(** [get t url] proxies one request: returns the object (empty on
+    [`Failed]), whether the home node had it cached, and the experienced
+    delay in simulated seconds. Blocking. *)
+
+(** Counters for the figure series. *)
+
+val requests_served : t -> int
+(** Requests this node served as a home node. *)
+
+val home_hits : t -> int
+val home_misses : t -> int
+val cached_entries : t -> int
+val evictions : t -> int

@@ -1,0 +1,1 @@
+lib/baselines/crcp.ml: Addr Array List Splay_runtime Splay_sim String

@@ -1,0 +1,1 @@
+lib/baselines/crcp.mli: Addr Env

@@ -1,0 +1,1 @@
+lib/baselines/freepastry.ml: Float Splay_apps Splay_ctl Splay_runtime

@@ -1,0 +1,1 @@
+lib/baselines/freepastry.mli: Env Splay_apps Splay_ctl

@@ -1,0 +1,1 @@
+lib/baselines/mit_chord.ml: Splay_apps

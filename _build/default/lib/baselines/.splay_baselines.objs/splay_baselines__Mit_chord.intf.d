@@ -1,0 +1,1 @@
+lib/baselines/mit_chord.mli: Env Splay_apps

@@ -1,0 +1,1 @@
+lib/churn/replayer.ml: Addr Float Hashtbl List Script Splay_ctl Splay_runtime Splay_sim Trace

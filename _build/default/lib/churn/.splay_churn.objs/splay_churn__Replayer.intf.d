@@ -1,0 +1,1 @@
+lib/churn/replayer.mli: Script Splay_ctl Splay_sim Trace

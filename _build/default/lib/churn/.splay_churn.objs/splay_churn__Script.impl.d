@@ -1,0 +1,1 @@
+lib/churn/script.ml: Array Float List Printf String

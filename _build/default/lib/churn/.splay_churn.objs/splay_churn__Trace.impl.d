@@ -1,0 +1,1 @@
+lib/churn/trace.ml: Array Float Fun Hashtbl List Option Printf Splay_sim String

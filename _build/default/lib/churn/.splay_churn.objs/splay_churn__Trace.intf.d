@@ -1,0 +1,1 @@
+lib/churn/trace.mli: Splay_sim

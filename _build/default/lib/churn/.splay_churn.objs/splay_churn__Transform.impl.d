@@ -1,0 +1,1 @@
+lib/churn/transform.ml: Float Hashtbl List Splay_sim Trace

@@ -1,0 +1,1 @@
+lib/churn/transform.mli: Splay_sim Trace

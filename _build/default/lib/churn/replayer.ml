@@ -1,0 +1,148 @@
+module Engine = Splay_sim.Engine
+module Rng = Splay_sim.Rng
+module Env = Splay_runtime.Env
+module Controller = Splay_ctl.Controller
+
+type stats = { mutable joins : int; mutable leaves : int; mutable failed_joins : int }
+
+let observe observer env kind =
+  match observer with Some f -> f (Env.now env) kind | None -> ()
+
+let join_one ?observer stats dep env =
+  match Controller.add_node dep with
+  | Some _ ->
+      stats.joins <- stats.joins + 1;
+      observe observer env `Join
+  | None -> stats.failed_joins <- stats.failed_joins + 1
+
+let crash_addr ?observer stats dep env a =
+  Controller.crash_node dep a;
+  stats.leaves <- stats.leaves + 1;
+  observe observer env `Leave
+
+let crash_one ?observer stats dep env rng =
+  match Controller.live_members dep with
+  | [] -> ()
+  | live ->
+      let _, a, _ = Rng.pick_list rng live in
+      crash_addr ?observer stats dep env a
+
+(* Spread [n] occurrences of [act] uniformly over [span] seconds, each in
+   its own process so a slow join does not delay the schedule. *)
+let spread env rng n span act =
+  for _ = 1 to n do
+    let delay = Rng.float rng span in
+    ignore
+      (Env.thread env (fun () ->
+           Env.sleep delay;
+           act ()))
+  done
+
+let apply_action ?observer stats dep env rng span = function
+  | Script.Join k -> spread env rng k span (fun () -> join_one ?observer stats dep env)
+  | Script.Leave_count k ->
+      let k = min k (Controller.live_count dep) in
+      spread env rng k span (fun () -> crash_one ?observer stats dep env rng)
+  | Script.Leave_pct pct ->
+      let k = int_of_float (Float.of_int (Controller.live_count dep) *. pct /. 100.0) in
+      spread env rng k span (fun () -> crash_one ?observer stats dep env rng)
+  | Script.Stop ->
+      List.iter
+        (fun (_, a, _) -> crash_addr ?observer stats dep env a)
+        (Controller.live_members dep)
+
+let run_script ?observer dep script =
+  let ctl = Controller.deployment_ctl dep in
+  let env = Controller.env ctl in
+  let rng = Rng.split env.Env.env_rng in
+  let stats = { joins = 0; leaves = 0; failed_joins = 0 } in
+  let proc =
+    Env.thread env ~name:"churn-script" (fun () ->
+        let t0 = Env.now env in
+        let wait_until time =
+          let d = t0 +. time -. Env.now env in
+          if d > 0.0 then Env.sleep d
+        in
+        List.iter
+          (fun phase ->
+            match phase with
+            | Script.At (time, action) ->
+                wait_until time;
+                (* point events hit together, not spread: a massive failure
+                   is instantaneous *)
+                apply_action ?observer stats dep env rng 0.0 action
+            | Script.Interval { start; finish; inc_per_min; churn_pct } ->
+                wait_until start;
+                let rec minutes t_cur =
+                  if t_cur < finish then begin
+                    let span = Float.min 60.0 (finish -. t_cur) in
+                    let frac = span /. 60.0 in
+                    let live = Controller.live_count dep in
+                    let churn_each =
+                      int_of_float (Float.of_int live *. churn_pct /. 100.0 *. frac)
+                    in
+                    let inc = int_of_float (Float.of_int inc_per_min *. frac) in
+                    let joins = churn_each + max 0 inc
+                    and leaves = churn_each + max 0 (-inc) in
+                    spread env rng joins span (fun () -> join_one ?observer stats dep env);
+                    spread env rng leaves span (fun () -> crash_one ?observer stats dep env rng);
+                    wait_until (t_cur +. span -. t0);
+                    minutes (t_cur +. span)
+                  end
+                in
+                minutes start)
+          script)
+  in
+  (proc, stats)
+
+let run_trace ?observer dep trace =
+  let ctl = Controller.deployment_ctl dep in
+  let env = Controller.env ctl in
+  let stats = { joins = 0; leaves = 0; failed_joins = 0 } in
+  let proc =
+    Env.thread env ~name:"churn-trace" (fun () ->
+        let t0 = Env.now env in
+        (* trace node -> instance address, for live claimed nodes *)
+        let claimed : (int, Addr.t) Hashtbl.t = Hashtbl.create 64 in
+        let free_pool = ref (List.map (fun (_, a, _) -> a) (Controller.live_members dep)) in
+        List.iter
+          (fun ev ->
+            let d = t0 +. ev.Trace.time -. Env.now env in
+            if d > 0.0 then Env.sleep d;
+            match ev.Trace.action with
+            | `Join -> (
+                match !free_pool with
+                | a :: rest ->
+                    (* an instance from the initial deployment stands in *)
+                    free_pool := rest;
+                    Hashtbl.replace claimed ev.Trace.node a;
+                    stats.joins <- stats.joins + 1;
+                    observe observer env `Join
+                | [] -> (
+                    match Controller.add_node dep with
+                    | Some a ->
+                        Hashtbl.replace claimed ev.Trace.node a;
+                        stats.joins <- stats.joins + 1;
+                        observe observer env `Join
+                    | None -> stats.failed_joins <- stats.failed_joins + 1))
+            | `Leave -> (
+                match Hashtbl.find_opt claimed ev.Trace.node with
+                | Some a ->
+                    Hashtbl.remove claimed ev.Trace.node;
+                    crash_addr ?observer stats dep env a
+                | None -> ()))
+          trace)
+  in
+  (proc, stats)
+
+let maintain ~target ~interval dep =
+  let ctl = Controller.deployment_ctl dep in
+  let env = Controller.env ctl in
+  Env.thread env ~name:"churn-maintain" (fun () ->
+      while true do
+        Env.sleep interval;
+        let missing = target - Controller.live_count dep in
+        for _ = 1 to missing do
+          ignore (Controller.add_node dep)
+        done
+      done)

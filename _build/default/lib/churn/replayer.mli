@@ -1,0 +1,36 @@
+(** The churn manager's execution engine: drives a live deployment from a
+    synthetic script or an availability trace, instructing daemons to start
+    and stop instances on the fly. *)
+
+type stats = {
+  mutable joins : int;
+  mutable leaves : int;
+  mutable failed_joins : int; (* no daemon accepted the new instance *)
+}
+
+val run_script :
+  ?observer:(float -> [ `Join | `Leave ] -> unit) ->
+  Splay_ctl.Controller.deployment ->
+  Script.t ->
+  Splay_sim.Engine.proc * stats
+(** Spawn the replay process (script time 0 = now). Individual events inside
+    a minute are spread uniformly, as a real population would behave.
+    [observer] sees every applied event. *)
+
+val run_trace :
+  ?observer:(float -> [ `Join | `Leave ] -> unit) ->
+  Splay_ctl.Controller.deployment ->
+  Trace.t ->
+  Splay_sim.Engine.proc * stats
+(** Replay a trace: trace nodes are mapped onto deployment instances as they
+    join (existing live instances are claimed first, then new ones are
+    deployed); a leave crashes the mapped instance. *)
+
+val maintain :
+  target:int ->
+  interval:float ->
+  Splay_ctl.Controller.deployment ->
+  Splay_sim.Engine.proc
+(** Keep a fixed-size population: every [interval], top the deployment back
+    up to [target] live instances (the long-running-service use case of
+    §3.2). Runs until killed. *)

@@ -1,0 +1,180 @@
+type action = Join of int | Leave_count of int | Leave_pct of float | Stop
+
+type phase =
+  | At of float * action
+  | Interval of { start : float; finish : float; inc_per_min : int; churn_pct : float }
+
+type t = phase list
+
+exception Syntax_error of string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Syntax_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let parse_time line s =
+  let n = String.length s in
+  if n = 0 then fail line "empty time"
+  else begin
+    let mult, digits =
+      match s.[n - 1] with
+      | 's' -> (1.0, String.sub s 0 (n - 1))
+      | 'm' -> (60.0, String.sub s 0 (n - 1))
+      | 'h' -> (3600.0, String.sub s 0 (n - 1))
+      | '0' .. '9' -> (1.0, s)
+      | c -> fail line "bad time suffix '%c'" c
+    in
+    match float_of_string_opt digits with
+    | Some v when v >= 0.0 -> v *. mult
+    | _ -> fail line "bad time %S" s
+  end
+
+let parse_count line s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '%' then
+    (* churn rates may exceed 100% (more than the whole population turns
+       over within a minute); leave percentages are capped separately *)
+    match float_of_string_opt (String.sub s 0 (n - 1)) with
+    | Some p when p >= 0.0 -> `Pct p
+    | _ -> fail line "bad percentage %S" s
+  else
+    match int_of_string_opt s with
+    | Some k when k >= 0 -> `Count k
+    | _ -> fail line "bad count %S" s
+
+let parse_pct line s =
+  match parse_count line s with `Pct p -> p | `Count _ -> fail line "expected percentage, got %S" s
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_line lineno text =
+  match tokens text with
+  | [] -> None
+  | [ "at"; t; "join"; k ] -> (
+      match parse_count lineno k with
+      | `Count k -> Some (At (parse_time lineno t, Join k))
+      | `Pct _ -> fail lineno "join takes a count")
+  | [ "at"; t; "leave"; k ] -> (
+      let time = parse_time lineno t in
+      match parse_count lineno k with
+      | `Count k -> Some (At (time, Leave_count k))
+      | `Pct p when p <= 100.0 -> Some (At (time, Leave_pct p))
+      | `Pct _ -> fail lineno "cannot leave more than 100%%")
+  | [ "at"; t; "stop" ] -> Some (At (parse_time lineno t, Stop))
+  | "from" :: t1 :: "to" :: t2 :: rest -> (
+      let start = parse_time lineno t1 and finish = parse_time lineno t2 in
+      if finish <= start then fail lineno "interval must move forward";
+      match rest with
+      | [ "inc"; k ] -> (
+          match parse_count lineno k with
+          | `Count k -> Some (Interval { start; finish; inc_per_min = k; churn_pct = 0.0 })
+          | `Pct _ -> fail lineno "inc takes a count")
+      | [ "inc"; k; "churn"; p ] -> (
+          match parse_count lineno k with
+          | `Count k ->
+              Some (Interval { start; finish; inc_per_min = k; churn_pct = parse_pct lineno p })
+          | `Pct _ -> fail lineno "inc takes a count")
+      | [ "dec"; k ] -> (
+          match parse_count lineno k with
+          | `Count k -> Some (Interval { start; finish; inc_per_min = -k; churn_pct = 0.0 })
+          | `Pct _ -> fail lineno "dec takes a count")
+      | [ "dec"; k; "churn"; p ] -> (
+          match parse_count lineno k with
+          | `Count k ->
+              Some (Interval { start; finish; inc_per_min = -k; churn_pct = parse_pct lineno p })
+          | `Pct _ -> fail lineno "dec takes a count")
+      | [ "const" ] -> Some (Interval { start; finish; inc_per_min = 0; churn_pct = 0.0 })
+      | [ "const"; "churn"; p ] ->
+          Some (Interval { start; finish; inc_per_min = 0; churn_pct = parse_pct lineno p })
+      | _ -> fail lineno "bad interval clause")
+  | w :: _ -> fail lineno "unknown directive %S" w
+
+let phase_start = function At (t, _) -> t | Interval { start; _ } -> start
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let phases = List.filteri (fun _ _ -> true) lines in
+  let parsed =
+    List.concat
+      (List.mapi
+         (fun i l -> match parse_line (i + 1) (String.trim l) with Some p -> [ p ] | None -> [])
+         phases)
+  in
+  List.stable_sort (fun a b -> Float.compare (phase_start a) (phase_start b)) parsed
+
+let time_to_string v =
+  if Float.is_integer (v /. 3600.0) && v > 0.0 then Printf.sprintf "%gh" (v /. 3600.0)
+  else if Float.is_integer (v /. 60.0) && v > 0.0 then Printf.sprintf "%gm" (v /. 60.0)
+  else Printf.sprintf "%gs" v
+
+let to_string t =
+  String.concat "\n"
+    (List.map
+       (fun phase ->
+         match phase with
+         | At (time, Join k) -> Printf.sprintf "at %s join %d" (time_to_string time) k
+         | At (time, Leave_count k) -> Printf.sprintf "at %s leave %d" (time_to_string time) k
+         | At (time, Leave_pct p) -> Printf.sprintf "at %s leave %g%%" (time_to_string time) p
+         | At (time, Stop) -> Printf.sprintf "at %s stop" (time_to_string time)
+         | Interval { start; finish; inc_per_min; churn_pct } ->
+             let base =
+               if inc_per_min > 0 then Printf.sprintf "inc %d" inc_per_min
+               else if inc_per_min < 0 then Printf.sprintf "dec %d" (-inc_per_min)
+               else "const"
+             in
+             let churn = if churn_pct > 0.0 then Printf.sprintf " churn %g%%" churn_pct else "" in
+             Printf.sprintf "from %s to %s %s%s" (time_to_string start) (time_to_string finish)
+               base churn)
+       t)
+
+let duration t =
+  List.fold_left
+    (fun acc p -> Float.max acc (match p with At (t, _) -> t | Interval { finish; _ } -> finish))
+    0.0 t
+
+(* Deterministic expected profile: events are attributed to the minute they
+   fall in; the replayer matches this in expectation. *)
+let profile t ~bin ~initial =
+  let horizon = duration t in
+  let nbins = int_of_float (Float.ceil (horizon /. bin)) + 1 in
+  let joins = Array.make nbins 0 and leaves = Array.make nbins 0 in
+  let idx time = min (nbins - 1) (int_of_float (time /. bin)) in
+  let pop = ref initial in
+  let out = ref [] in
+  (* walk bins in order, applying phases *)
+  for b = 0 to nbins - 1 do
+    let t0 = Float.of_int b *. bin and t1 = Float.of_int (b + 1) *. bin in
+    List.iter
+      (fun p ->
+        match p with
+        | At (time, a) when time >= t0 && time < t1 -> (
+            match a with
+            | Join k ->
+                joins.(idx time) <- joins.(idx time) + k;
+                pop := !pop + k
+            | Leave_count k ->
+                let k = min k !pop in
+                leaves.(idx time) <- leaves.(idx time) + k;
+                pop := !pop - k
+            | Leave_pct pct ->
+                let k = int_of_float (Float.of_int !pop *. pct /. 100.0) in
+                leaves.(idx time) <- leaves.(idx time) + k;
+                pop := !pop - k
+            | Stop ->
+                leaves.(idx time) <- leaves.(idx time) + !pop;
+                pop := 0)
+        | At _ -> ()
+        | Interval { start; finish; inc_per_min; churn_pct } ->
+            (* fraction of this bin covered by the interval *)
+            let lo = Float.max start t0 and hi = Float.min finish t1 in
+            if hi > lo then begin
+              let minutes = (hi -. lo) /. 60.0 in
+              let churn_each = int_of_float (Float.of_int !pop *. churn_pct /. 100.0 *. minutes) in
+              let inc = int_of_float (Float.of_int inc_per_min *. minutes) in
+              let j = churn_each + max 0 inc and l = churn_each + max 0 (-inc) in
+              joins.(b) <- joins.(b) + j;
+              leaves.(b) <- leaves.(b) + l;
+              pop := max 0 (!pop + inc)
+            end)
+      t;
+    out := (t0, !pop, joins.(b), leaves.(b)) :: !out
+  done;
+  List.rev !out

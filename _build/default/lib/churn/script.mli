@@ -1,0 +1,52 @@
+(** The synthetic churn description language (§3.2, Fig. 4).
+
+    {v
+    at 30s join 10
+    from 5m to 10m inc 10
+    from 10m to 15m const churn 50%
+    at 15m leave 50%
+    from 15m to 20m inc 10 churn 150%
+    at 20m stop
+    v}
+
+    [at T join N] adds [N] nodes at [T]; [at T leave N] (or [leave P%])
+    removes them; [from T1 to T2 inc N] grows the population by [N] nodes
+    per minute; [const] keeps it steady; an optional [churn P%] clause makes
+    [P]% of the current population leave — and as many join — every minute;
+    [stop] removes everyone. Times accept [s]/[m]/[h] suffixes (bare numbers
+    are seconds). *)
+
+type action =
+  | Join of int
+  | Leave_count of int
+  | Leave_pct of float (** percentage in [0, 100] *)
+  | Stop
+
+type phase =
+  | At of float * action
+  | Interval of {
+      start : float;
+      finish : float;
+      inc_per_min : int; (** net population growth per minute (0 = const) *)
+      churn_pct : float; (** % of population replaced per minute *)
+    }
+
+type t = phase list
+
+exception Syntax_error of string
+
+val parse : string -> t
+(** Raises {!Syntax_error} with a line-tagged message on malformed input.
+    Phases are returned in increasing time order. *)
+
+val duration : t -> float
+(** Time of the last event described. *)
+
+val to_string : t -> string
+(** Render back into the script language ([parse (to_string s)] is [s]). *)
+
+(** Expected population and event-rate series, for plotting a script before
+    running it (Fig. 4's right-hand side) and for cross-checking the
+    replayer. *)
+val profile : t -> bin:float -> initial:int -> (float * int * int * int) list
+(** [(bin_start, population_at_end_of_bin, joins_in_bin, leaves_in_bin)]. *)

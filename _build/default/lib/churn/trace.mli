@@ -1,0 +1,41 @@
+(** Availability traces: replayable records of node arrivals/departures.
+
+    Mirrors the trace-driven mode of SPLAY's churn manager, with the format
+    of the public availability repositories: one event per line,
+    ["<seconds> <join|leave> <node>"]. A synthetic generator reproduces the
+    statistics of the Overnet trace used in Fig. 11 (heavy-tailed sessions,
+    diurnal modulation, ~600 concurrent peers). *)
+
+type event = { time : float; node : int; action : [ `Join | `Leave ] }
+
+type t = event list
+(** Sorted by time; per node, joins and leaves alternate starting with a
+    join. *)
+
+exception Format_error of string
+
+val of_string : string -> t
+(** Parse; sorts and validates alternation. Raises {!Format_error}. *)
+
+val to_string : t -> string
+
+val synthetic_overnet :
+  ?concurrent:int -> ?duration:float -> Splay_sim.Rng.t -> t
+(** Generate an Overnet-like trace: [concurrent] (default 600) peers online
+    on average over [duration] (default 3000 s — 50 minutes as Fig. 11),
+    Weibull session and inter-session times with heavy tails, and a mild
+    diurnal wave. *)
+
+val population : t -> at:float -> int
+(** Number of nodes online at a given time. *)
+
+val population_series : t -> bin:float -> (float * int) list
+
+val events_per_bin : t -> bin:float -> (float * int * int) list
+(** [(bin, joins, leaves)]. *)
+
+val churn_rate : t -> bin:float -> float
+(** Peak fraction of the population changing state within one bin (the
+    paper quotes 14% per minute for the ×10 trace). *)
+
+val duration : t -> float

@@ -1,0 +1,63 @@
+module Rng = Splay_sim.Rng
+
+let speedup k t =
+  if k <= 0.0 then invalid_arg "Transform.speedup";
+  List.map (fun e -> { e with Trace.time = e.Trace.time /. k }) t
+
+let max_node t = List.fold_left (fun acc e -> max acc e.Trace.node) 0 t
+
+let amplify rng k t =
+  if k <= 0.0 then invalid_arg "Transform.amplify";
+  let stride = max_node t + 1 in
+  let n_full = int_of_float k in
+  let frac = k -. Float.of_int n_full in
+  let copy i evs = List.map (fun e -> { e with Trace.node = e.Trace.node + (i * stride) }) evs in
+  let full = List.concat (List.init n_full (fun i -> copy i t)) in
+  let partial =
+    if frac <= 0.0 then []
+    else begin
+      (* keep a [frac] fraction of the nodes of one more copy *)
+      let keep = Hashtbl.create 64 in
+      List.iter
+        (fun e ->
+          if not (Hashtbl.mem keep e.Trace.node) then
+            Hashtbl.replace keep e.Trace.node (Rng.chance rng frac))
+        t;
+      copy n_full (List.filter (fun e -> Hashtbl.find keep e.Trace.node) t)
+    end
+  in
+  List.stable_sort (fun a b -> Float.compare a.Trace.time b.Trace.time) (full @ partial)
+
+let crop ~from ~until t =
+  if until <= from then invalid_arg "Transform.crop";
+  let state = Hashtbl.create 64 in
+  let opening = ref [] and window = ref [] in
+  List.iter
+    (fun e ->
+      if e.Trace.time < from then Hashtbl.replace state e.Trace.node (e.Trace.action = `Join)
+      else if e.Trace.time <= until then window := e :: !window)
+    t;
+  Hashtbl.iter
+    (fun node up -> if up then opening := { Trace.time = 0.0; node; action = `Join } :: !opening)
+    state;
+  let rebased =
+    List.rev_map (fun e -> { e with Trace.time = e.Trace.time -. from }) !window
+  in
+  List.stable_sort (fun a b -> Float.compare a.Trace.time b.Trace.time) (!opening @ rebased)
+
+let renumber t =
+  let map = Hashtbl.create 64 in
+  let next = ref 0 in
+  List.map
+    (fun e ->
+      let id =
+        match Hashtbl.find_opt map e.Trace.node with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.replace map e.Trace.node id;
+            id
+      in
+      { e with Trace.node = id })
+    t

@@ -1,0 +1,19 @@
+(** Trace transformations ("SPLAY provides a set of tools to generate and
+    process trace files"): speed a trace up, scale its churn amplitude while
+    keeping its statistical shape, crop a window, renumber nodes. *)
+
+val speedup : float -> Trace.t -> Trace.t
+(** [speedup k t] compresses time by [k] (×2: one trace minute becomes 30
+    seconds — Fig. 11's knob). *)
+
+val amplify : Splay_sim.Rng.t -> float -> Trace.t -> Trace.t
+(** [amplify rng k t] multiplies the churn volume by [k] by overlaying [⌈k⌉]
+    independently time-shifted copies of the trace (sampled down to the
+    fractional part), renumbering nodes to stay disjoint. *)
+
+val crop : from:float -> until:float -> Trace.t -> Trace.t
+(** Keep the window and rebase times to 0, closing sessions cut at the
+    edges so the result is still a valid trace. *)
+
+val renumber : Trace.t -> Trace.t
+(** Compact node identifiers to [0..n-1] in order of first appearance. *)

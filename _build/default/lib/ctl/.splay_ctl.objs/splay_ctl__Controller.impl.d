@@ -1,0 +1,1 @@
+lib/ctl/controller.ml: Addr Array Daemon Descriptor Float Hashtbl List Misc Net Option Splay_runtime Splay_sim String Testbed Wire

@@ -1,0 +1,1 @@
+lib/ctl/controller.mli: Addr Daemon Descriptor Env Net Testbed

@@ -1,0 +1,1 @@
+lib/ctl/daemon.ml: Addr Float List Net Printf Splay_runtime Splay_sim Testbed Wire

@@ -1,0 +1,1 @@
+lib/ctl/daemon.mli: Addr Env Net Splay_runtime

@@ -1,0 +1,1 @@
+lib/ctl/descriptor.ml: Buffer List Printf Splay_runtime String

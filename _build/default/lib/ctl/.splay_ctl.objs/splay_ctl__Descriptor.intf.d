@@ -1,0 +1,1 @@
+lib/ctl/descriptor.mli: Splay_runtime

@@ -1,0 +1,1 @@
+lib/ctl/wire.ml: Addr List Splay_runtime String

@@ -1,0 +1,379 @@
+module Engine = Splay_sim.Engine
+module Rng = Splay_sim.Rng
+module Ivar = Splay_sim.Ivar
+module Env = Splay_runtime.Env
+module Rpc = Splay_runtime.Rpc
+module Codec = Splay_runtime.Codec
+module Log = Splay_runtime.Log
+
+type drec = { dr_daemon : Daemon.t; mutable dr_last_seen : float }
+
+type job = {
+  j_id : int;
+  j_desc : Descriptor.t;
+  mutable j_members : (Daemon.t * Addr.t * int) list; (* newest first *)
+  mutable j_next_position : int;
+  mutable j_log_lines : int;
+  mutable j_log_bytes : int;
+}
+
+type t = {
+  c_net : Net.t;
+  c_env : Env.t;
+  mutable c_daemons : drec list;
+  c_jobs : (int, job) Hashtbl.t;
+  c_specs : (int, Daemon.job_spec) Hashtbl.t;
+  mutable c_next_job : int;
+  c_unseen : float;
+  c_rng : Rng.t;
+}
+
+type deployment = { dep_ctl : t; dep_job : job }
+
+let addr t = t.c_env.Env.me
+let env t = t.c_env
+let net t = t.c_net
+
+let create ?(unseen_timeout = 3600.0) net ~host =
+  let c_env = Env.create net ~me:(Addr.make host 1) in
+  let t =
+    {
+      c_net = net;
+      c_env;
+      c_daemons = [];
+      c_jobs = Hashtbl.create 16;
+      c_specs = Hashtbl.create 16;
+      c_next_job = 0;
+      c_unseen = unseen_timeout;
+      c_rng = Rng.split (Engine.rng (Net.engine net));
+    }
+  in
+  Rpc.server c_env
+    [
+      ( "ctl.heartbeat",
+        fun args ->
+          (match args with
+          | [ h ] -> (
+              let h = Codec.to_int h in
+              match List.find_opt (fun d -> Daemon.host d.dr_daemon = h) t.c_daemons with
+              | Some d -> d.dr_last_seen <- Engine.now (Net.engine net)
+              | None -> ())
+          | _ -> failwith "heartbeat: bad arguments");
+          Codec.Null );
+    ];
+  t
+
+let now t = Engine.now (Net.engine t.c_net)
+
+let attach_daemon t d =
+  t.c_daemons <- { dr_daemon = d; dr_last_seen = now t } :: t.c_daemons
+
+let boot_daemons ?config t hosts =
+  List.map
+    (fun h ->
+      let d =
+        Daemon.start t.c_net ~host:h ~controller:(addr t) ?config
+          ~lookup_job:(fun id -> Hashtbl.find_opt t.c_specs id)
+          ()
+      in
+      attach_daemon t d;
+      d)
+    hosts
+
+let daemons t = List.rev_map (fun d -> d.dr_daemon) t.c_daemons
+
+let daemon_alive t d =
+  Net.host_up t.c_net (Daemon.host d.dr_daemon) && now t -. d.dr_last_seen < t.c_unseen
+
+let alive_daemons t =
+  List.rev_map (fun d -> d.dr_daemon) (List.filter (daemon_alive t) t.c_daemons)
+
+let heartbeat_age t d =
+  match List.find_opt (fun r -> r.dr_daemon == d) t.c_daemons with
+  | Some r -> now t -. r.dr_last_seen
+  | None -> infinity
+
+(* {1 Selection} *)
+
+type criterion =
+  | Min_bandwidth of float
+  | Near of (float * float) * float
+  | On_testbed of Testbed.kind
+  | Custom of (Testbed.host -> bool)
+
+let matches tb crit d =
+  let h = Testbed.host tb (Daemon.host d) in
+  match crit with
+  | Min_bandwidth bw -> h.Testbed.bw_up >= bw
+  | Near ((x, y), dmax) ->
+      let cx, cy = h.Testbed.coord in
+      let dx = cx -. x and dy = cy -. y in
+      sqrt ((dx *. dx) +. (dy *. dy)) <= dmax
+  | On_testbed k -> h.Testbed.kind = k
+  | Custom f -> f h
+
+let select t ?(criteria = []) n =
+  let tb = Net.testbed t.c_net in
+  let pool =
+    List.filter (fun d -> List.for_all (fun c -> matches tb c d) criteria) (alive_daemons t)
+  in
+  match pool with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list pool in
+      Rng.shuffle t.c_rng arr;
+      List.init n (fun i -> arr.(i mod Array.length arr))
+
+(* {1 Probing} *)
+
+let probe t ?(payload = 20 * 1024) d =
+  let t0 = now t in
+  match
+    Rpc.a_call t.c_env (Daemon.addr d) ~timeout:10.0 Daemon.proc_probe
+      [ Codec.String (String.make payload 'x') ]
+  with
+  | Ok _ -> Some (now t -. t0)
+  | Error _ -> None
+
+(* {1 Deployment} *)
+
+let job_id j = j.j_id
+
+let new_job t name main desc =
+  let id = t.c_next_job in
+  t.c_next_job <- id + 1;
+  let job =
+    {
+      j_id = id;
+      j_desc = desc;
+      j_members = [];
+      j_next_position = 1;
+      j_log_lines = 0;
+      j_log_bytes = 0;
+    }
+  in
+  let sink =
+    Log.Forward
+      (fun ~time:_ ~level:_ msg ->
+        job.j_log_lines <- job.j_log_lines + 1;
+        job.j_log_bytes <- job.j_log_bytes + String.length msg)
+  in
+  Hashtbl.replace t.c_jobs id job;
+  Hashtbl.replace t.c_specs id
+    {
+      Daemon.js_name = name;
+      js_main = main;
+      js_limits = desc.Descriptor.limits;
+      js_log_sink = sink;
+      js_loss = desc.Descriptor.loss;
+    };
+  job
+
+(* Issuing a command costs the controller a little CPU and connection
+   setup; commands fan out in parallel but their dispatch serializes. This
+   is what makes deploying 400 instances take longer than deploying 50 at
+   the same superset ratio (Fig. 12). *)
+let dispatch_interval = 0.002
+
+(* Register a batch of candidate slots in parallel; return the first [need]
+   acknowledgements (in arrival order) and FREE the stragglers. *)
+let register_round t job ~timeout candidates ~need =
+  let winners = ref [] and n_winners = ref 0 in
+  let remaining = ref (List.length candidates) in
+  let done_iv = Ivar.create () in
+  List.iter
+    (fun d ->
+      ignore
+        (Env.thread t.c_env (fun () ->
+             let res =
+               Rpc.a_call t.c_env (Daemon.addr d) ~timeout Daemon.proc_register
+                 [ Codec.Int job.j_id ]
+             in
+             (match res with
+             | Ok port_v ->
+                 let a = Addr.make (Daemon.host d) (Codec.to_int port_v) in
+                 if !n_winners < need then begin
+                   winners := (d, a) :: !winners;
+                   incr n_winners
+                 end
+                 else
+                   (* supernumerary: free it, asynchronously *)
+                   ignore
+                     (Env.thread t.c_env (fun () ->
+                          ignore
+                            (Rpc.a_call t.c_env (Daemon.addr d) ~timeout:30.0 Daemon.proc_free
+                               [ Codec.Int a.Addr.port ])))
+             | Error _ -> ());
+             decr remaining;
+             if !n_winners >= need || !remaining = 0 then Ivar.try_fill done_iv () |> ignore));
+      Engine.sleep dispatch_interval)
+    candidates;
+  if candidates <> [] then Ivar.read done_iv;
+  List.rev !winners
+
+let bootstrap_nodes t desc ~all_members ~for_position:_ =
+  match desc.Descriptor.bootstrap with
+  | Descriptor.Head k -> Misc.take k all_members
+  | Descriptor.All -> all_members
+  | Descriptor.Random_subset k -> Rng.sample t.c_rng k all_members
+
+(* Push LIST then START to one member; true on success. *)
+let start_member t job ~position ~nodes (d, a) =
+  let ok_list =
+    Rpc.a_call t.c_env (Daemon.addr d) ~timeout:30.0 Daemon.proc_list
+      [ Codec.Int a.Addr.port; Codec.Int position; Wire.addrs_to_value nodes ]
+  in
+  match ok_list with
+  | Error _ -> false
+  | Ok _ -> (
+      match
+        Rpc.a_call t.c_env (Daemon.addr d) ~timeout:30.0 Daemon.proc_start
+          [ Codec.Int job.j_id; Codec.Int a.Addr.port ]
+      with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let parallel_all ?(paced = false) t thunks =
+  let remaining = ref (List.length thunks) in
+  let done_iv = Ivar.create () in
+  List.iter
+    (fun f ->
+      ignore
+        (Env.thread t.c_env (fun () ->
+             f ();
+             decr remaining;
+             if !remaining = 0 then Ivar.try_fill done_iv () |> ignore));
+      if paced then Engine.sleep dispatch_interval)
+    thunks;
+  if thunks <> [] then Ivar.read done_iv
+
+let deploy t ?(superset = 1.25) ?(register_timeout = 10.0) ?(criteria = []) ~name ~main desc =
+  let job = new_job t name main desc in
+  let need = desc.Descriptor.nb_splayd in
+  (* the initial superset, then up to two refill rounds for shortfalls *)
+  let rec gather acc round =
+    let missing = need - List.length acc in
+    if missing <= 0 || round > 3 then acc
+    else begin
+      let factor = if round = 1 then superset else superset +. 0.25 in
+      let want = int_of_float (Float.ceil (Float.of_int missing *. factor)) in
+      let cands = select t ~criteria want in
+      let won = register_round t job ~timeout:register_timeout cands ~need:missing in
+      gather (acc @ won) (round + 1)
+    end
+  in
+  let winners = gather [] 1 in
+  let all_addrs = List.map snd winners in
+  let members =
+    List.mapi
+      (fun i (d, a) ->
+        let position = i + 1 in
+        (d, a, position))
+      winners
+  in
+  job.j_next_position <- List.length members + 1;
+  parallel_all ~paced:true t
+    (List.map
+       (fun (d, a, position) ->
+         fun () ->
+          let nodes = bootstrap_nodes t desc ~all_members:all_addrs ~for_position:position in
+          ignore (start_member t job ~position ~nodes (d, a)))
+       members);
+  job.j_members <- List.rev members;
+  { dep_ctl = t; dep_job = job }
+
+let deployment_job dep = dep.dep_job
+let deployment_ctl dep = dep.dep_ctl
+
+let members dep = List.rev dep.dep_job.j_members
+
+let member_instance (d, a, _) =
+  List.find_opt (fun i -> Addr.equal (Daemon.instance_addr i) a) (Daemon.instances d)
+
+let live_members dep =
+  List.filter
+    (fun ((d, _, _) as m) ->
+      Net.host_up dep.dep_ctl.c_net (Daemon.host d)
+      &&
+      match member_instance m with
+      | Some i -> Daemon.instance_started i && not (Env.is_stopped (Daemon.instance_env i))
+      | None -> false)
+    (members dep)
+
+let live_envs dep =
+  List.filter_map
+    (fun m -> Option.map Daemon.instance_env (member_instance m))
+    (live_members dep)
+
+let live_count dep = List.length (live_members dep)
+
+let add_node dep =
+  let t = dep.dep_ctl and job = dep.dep_job in
+  match select t 1 with
+  | [] -> None
+  | d :: _ -> (
+      match register_round t job ~timeout:10.0 [ d ] ~need:1 with
+      | [] -> None
+      | (d, a) :: _ ->
+          let position = job.j_next_position in
+          job.j_next_position <- position + 1;
+          let live = List.map (fun (_, a, _) -> a) (live_members dep) in
+          let nodes = bootstrap_nodes t job.j_desc ~all_members:live ~for_position:position in
+          if start_member t job ~position ~nodes (d, a) then begin
+            job.j_members <- (d, a, position) :: job.j_members;
+            Some a
+          end
+          else None)
+
+let crash_node dep a =
+  List.iter
+    (fun (d, ma, _) -> if Addr.equal ma a then Daemon.stop_instance d a)
+    dep.dep_job.j_members
+
+let stop_node dep a =
+  List.iter
+    (fun (d, ma, _) ->
+      if Addr.equal ma a then
+        ignore
+          (Rpc.a_call dep.dep_ctl.c_env (Daemon.addr d) ~timeout:30.0 Daemon.proc_stop
+             [ Codec.Int a.Addr.port ]))
+    dep.dep_job.j_members
+
+let restart_node dep a =
+  let t = dep.dep_ctl and job = dep.dep_job in
+  List.iter
+    (fun ((d, ma, position) as m) ->
+      if Addr.equal ma a then begin
+        let live = List.map (fun (_, x, _) -> x) (live_members dep) in
+        let nodes = bootstrap_nodes t job.j_desc ~all_members:live ~for_position:position in
+        ignore (start_member t job ~position ~nodes (d, a));
+        ignore m
+      end)
+    dep.dep_job.j_members
+
+let free_node dep a =
+  List.iter
+    (fun (d, ma, _) ->
+      if Addr.equal ma a then
+        ignore
+          (Rpc.a_call dep.dep_ctl.c_env (Daemon.addr d) ~timeout:30.0 Daemon.proc_free
+             [ Codec.Int a.Addr.port ]))
+    dep.dep_job.j_members
+
+let undeploy dep =
+  let t = dep.dep_ctl in
+  parallel_all t
+    (List.map (fun (_, a, _) -> fun () -> free_node dep a) (live_members dep))
+
+let log_lines dep = dep.dep_job.j_log_lines
+let log_bytes dep = dep.dep_job.j_log_bytes
+
+let push_blacklist t h =
+  parallel_all t
+    (List.map
+       (fun d ->
+         fun () ->
+          ignore
+            (Rpc.a_call t.c_env (Daemon.addr d.dr_daemon) ~timeout:30.0 "splayd.blacklist"
+               [ Codec.Int h ]))
+       t.c_daemons)

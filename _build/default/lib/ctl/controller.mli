@@ -1,0 +1,126 @@
+(** The [splayctl] controller.
+
+    Keeps the database of daemons and jobs, probes and selects hosts,
+    deploys jobs with the REGISTER / LIST / START / FREE protocol (always
+    registering a superset of candidates and keeping the most responsive
+    ones, the tradeoff of Fig. 12), collects application logs, distributes
+    blacklists, and tracks daemon sessions ([unseen]). The churn manager
+    drives {!add_node} / {!crash_node} to reshape a running deployment.
+
+    Control traffic flows over the same simulated network as applications,
+    so deployment timings inherit the testbed's latency, bandwidth and host
+    responsiveness models.
+
+    Blocking operations ({!probe}, {!deploy}, {!add_node}) must be called
+    from inside a simulation process. *)
+
+type t
+
+val create : ?unseen_timeout:float -> Net.t -> host:Addr.host_id -> t
+(** [host] is the trusted machine the controller processes run on. *)
+
+val addr : t -> Addr.t
+val env : t -> Env.t
+val net : t -> Net.t
+
+(** {1 Daemon database} *)
+
+val attach_daemon : t -> Daemon.t -> unit
+(** Record a daemon that connected. (The [Daemon.start] convenience
+    {!boot_daemons} does this for you.) *)
+
+val boot_daemons : ?config:Daemon.config -> t -> Addr.host_id list -> Daemon.t list
+(** Start a daemon on each host and attach it. *)
+
+val daemons : t -> Daemon.t list
+val alive_daemons : t -> Daemon.t list
+(** Daemons whose host is up and whose session is fresh (heartbeat within
+    the unseen timeout). *)
+
+val heartbeat_age : t -> Daemon.t -> float
+
+(** {1 Selection} *)
+
+type criterion =
+  | Min_bandwidth of float (** bytes/second on the uplink *)
+  | Near of (float * float) * float (** within given delay of virtual coordinates *)
+  | On_testbed of Testbed.kind
+  | Custom of (Testbed.host -> bool)
+
+val select : t -> ?criteria:criterion list -> int -> Daemon.t list
+(** [select t n] returns up to [n] instance slots over the alive daemons
+    matching all criteria — cycling over daemons when [n] exceeds the host
+    population, since many instances may share a host. *)
+
+(** {1 Probing} *)
+
+val probe : t -> ?payload:int -> Daemon.t -> float option
+(** Round-trip time of a [payload]-byte probe (default 20 kB, as Fig. 3),
+    [None] on timeout (10 s). Blocking. *)
+
+(** {1 Jobs} *)
+
+type job
+type deployment
+
+val job_id : job -> int
+
+val deploy :
+  t ->
+  ?superset:float ->
+  ?register_timeout:float ->
+  ?criteria:criterion list ->
+  name:string ->
+  main:(Env.t -> unit) ->
+  Descriptor.t ->
+  deployment
+(** Deploy a job: select [superset] (default 1.25, the paper's default ×
+    the requested size) candidate slots, REGISTER them all, keep the first
+    [nb_splayd] to acknowledge, FREE the rest, push LIST (positions and
+    bootstrap nodes per the descriptor) and START. Blocking; returns once
+    every kept instance has started. *)
+
+val deployment_job : deployment -> job
+val deployment_ctl : deployment -> t
+
+val members : deployment -> (Daemon.t * Addr.t * int) list
+(** All instances ever started (daemon, address, position), including ones
+    that have since died. *)
+
+val live_members : deployment -> (Daemon.t * Addr.t * int) list
+val live_envs : deployment -> Env.t list
+val live_count : deployment -> int
+
+val add_node : deployment -> Addr.t option
+(** Churn join: register + start one more instance on a random alive
+    daemon, bootstrapped per the descriptor against current live members.
+    Blocking. [None] if no daemon accepted. *)
+
+val crash_node : deployment -> Addr.t -> unit
+(** Churn leave / failure: kill the instance immediately, no protocol
+    (the node simply disappears, as under real churn). *)
+
+val stop_node : deployment -> Addr.t -> unit
+(** The STOP command of the job state machine: terminate the application
+    but keep the instance registered ("selected"); {!restart_node} brings
+    it back with a fresh sandbox. Blocking. *)
+
+val restart_node : deployment -> Addr.t -> unit
+(** Re-START a stopped instance: new LIST (bootstrapped against current
+    live members) + START. Blocking. *)
+
+val free_node : deployment -> Addr.t -> unit
+(** Graceful removal through the FREE command. Blocking. *)
+
+val undeploy : deployment -> unit
+(** FREE every live instance. Blocking. *)
+
+val log_lines : deployment -> int
+val log_bytes : deployment -> int
+(** Volume received by this job's log collector. *)
+
+(** {1 Blacklist} *)
+
+val push_blacklist : t -> Addr.host_id -> unit
+(** Forbid a host to all daemons and their current and future instances.
+    Blocking. *)

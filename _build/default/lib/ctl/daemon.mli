@@ -1,0 +1,85 @@
+(** The [splayd] daemon: one per participating host.
+
+    A daemon accepts control commands from the controller (over RPC, so
+    command latencies follow the host and network models), instantiates
+    application instances in sandboxes, enforces the administrator's
+    resource restrictions (the controller may only strengthen them), tracks
+    per-instance memory, and feeds the host contention model — when the
+    instances outgrow the host's RAM the host starts "swapping" and every
+    operation on it slows down (Fig. 7b / Fig. 8 behaviour). *)
+
+type config = {
+  base_footprint : int;
+      (** resident bytes one idle instance costs (SPLAY: ~600 kB with all
+          libraries loaded, growing towards ~1.5 MB with protocol state) *)
+  admin_limits : Splay_runtime.Sandbox.limits; (** local administrator's caps *)
+  heartbeat_interval : float;
+  cpu_per_instance : float;
+      (** marginal scheduler load of one mostly-idle instance (dimensionless
+          runnable-process fraction) *)
+  contention_extra : int -> float;
+      (** additional service-time multiplier as a function of the instance
+          count — heavyweight runtimes degrade superlinearly once past
+          their comfortable density (GC pressure); 0 for SPLAY *)
+}
+
+val splay_config : config
+(** Defaults reproducing the paper's SPLAY measurements. *)
+
+type t
+
+type instance
+
+type job_spec = {
+  js_name : string;
+  js_main : Env.t -> unit;
+  js_limits : Splay_runtime.Sandbox.limits; (** controller restrictions *)
+  js_log_sink : Splay_runtime.Log.sink;
+  js_loss : float; (** outgoing packet loss imposed on the instance *)
+}
+
+val start :
+  Net.t ->
+  host:Addr.host_id ->
+  controller:Addr.t ->
+  ?config:config ->
+  lookup_job:(int -> job_spec option) ->
+  unit ->
+  t
+(** Boot a daemon on [host]: binds its control endpoint (port 1), begins
+    heartbeating to the controller. [lookup_job] resolves a job id received
+    in a REGISTER command to its specification (the controller's database
+    access). *)
+
+val addr : t -> Addr.t
+val host : t -> Addr.host_id
+
+val instances : t -> instance list
+val instances_of_job : t -> int -> instance list
+val instance_env : instance -> Env.t
+val instance_addr : instance -> Addr.t
+val instance_started : instance -> bool
+val instance_count : t -> int
+
+val memory_used : t -> int
+(** Total resident memory of all instances (base footprint + sandboxed
+    application state), in bytes. *)
+
+val load : t -> float
+(** Scheduler load estimate (average runnable processes). *)
+
+val stop_instance : t -> Addr.t -> unit
+(** Kill one instance directly (used by the churn manager for node
+    departures; the FREE command does the same over RPC). *)
+
+val shutdown : t -> unit
+(** Kill the daemon and every instance it hosts (host crash). *)
+
+(** RPC procedure names the daemon serves — exposed for tests. *)
+
+val proc_probe : string
+val proc_register : string
+val proc_list : string
+val proc_start : string
+val proc_free : string
+val proc_stop : string

@@ -1,0 +1,17 @@
+(* Wire encoding of control-plane values carried in RPC arguments. *)
+
+module Codec = Splay_runtime.Codec
+
+let addr_to_value (a : Addr.t) = Codec.String (Addr.to_string a)
+
+let addr_of_value v =
+  match String.split_on_char ':' (Codec.to_string v) with
+  | [ h; p ] -> (
+      match (int_of_string_opt h, int_of_string_opt p) with
+      | Some h, Some p -> Addr.make h p
+      | _ -> raise (Codec.Parse_error "bad address"))
+  | _ -> raise (Codec.Parse_error "bad address")
+
+let addrs_to_value addrs = Codec.List (List.map addr_to_value addrs)
+
+let addrs_of_value v = List.map addr_of_value (Codec.to_list v)

@@ -1,0 +1,1 @@
+lib/net/net.ml: Addr Float Hashtbl Printf Splay_sim Testbed

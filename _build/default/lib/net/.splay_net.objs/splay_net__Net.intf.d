@@ -1,0 +1,1 @@
+lib/net/net.mli: Addr Splay_sim Testbed

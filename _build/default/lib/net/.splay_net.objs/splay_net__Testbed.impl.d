@@ -1,0 +1,1 @@
+lib/net/testbed.ml: Addr Array Splay_sim Topology

@@ -1,0 +1,1 @@
+lib/net/testbed.mli: Addr Splay_sim Topology

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Float Hashtbl List Splay_sim

@@ -1,0 +1,17 @@
+type host_id = int
+
+type t = { host : host_id; port : int }
+
+let make host port = { host; port }
+
+let compare a b =
+  let c = Int.compare a.host b.host in
+  if c <> 0 then c else Int.compare a.port b.port
+
+let equal a b = compare a b = 0
+
+let hash a = (a.host * 65_537) + a.port
+
+let to_string a = Printf.sprintf "%d:%d" a.host a.port
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,15 @@
+(** Network endpoints.
+
+    A host is a physical machine of a testbed; an address is one bound port
+    on a host — one SPLAY application instance endpoint. *)
+
+type host_id = int
+
+type t = { host : host_id; port : int }
+
+val make : host_id -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

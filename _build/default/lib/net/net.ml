@@ -1,0 +1,105 @@
+module Engine = Splay_sim.Engine
+module Rng = Splay_sim.Rng
+
+type payload = ..
+
+type handler = src:Addr.t -> payload -> unit
+
+module AddrTbl = Hashtbl.Make (struct
+  type t = Addr.t
+
+  let equal = Addr.equal
+  let hash = Addr.hash
+end)
+
+type t = {
+  eng : Engine.t;
+  tb : Testbed.t;
+  handlers : handler AddrTbl.t;
+  net_rng : Rng.t;
+  mutable loss : float;
+  mutable partition : (Addr.host_id -> int) option;
+  mutable n_sent : int;
+  mutable n_bytes : int;
+  mutable n_dropped : int;
+}
+
+let create eng tb =
+  {
+    eng;
+    tb;
+    handlers = AddrTbl.create 1024;
+    net_rng = Rng.split (Testbed.rng tb);
+    loss = 0.0;
+    partition = None;
+    n_sent = 0;
+    n_bytes = 0;
+    n_dropped = 0;
+  }
+
+let engine t = t.eng
+let testbed t = t.tb
+
+let bind t addr handler =
+  if AddrTbl.mem t.handlers addr then
+    invalid_arg (Printf.sprintf "Net.bind: %s already bound" (Addr.to_string addr));
+  AddrTbl.replace t.handlers addr handler
+
+let unbind t addr = AddrTbl.remove t.handlers addr
+
+let is_bound t addr = AddrTbl.mem t.handlers addr
+
+let set_loss t p = t.loss <- p
+
+let set_partition t f = t.partition <- Some f
+let clear_partition t = t.partition <- None
+
+let partitioned t a b =
+  match t.partition with Some f -> f a <> f b | None -> false
+
+let host_up t id = (Testbed.host t.tb id).Testbed.up
+
+let set_host_up t id up = (Testbed.host t.tb id).Testbed.up <- up
+
+let base_rtt t a b = 2.0 *. Testbed.base_delay t.tb a b
+
+(* Store-and-forward through sender uplink and receiver downlink queues:
+   a transfer occupies the uplink for size/bw_up starting when the uplink
+   frees, propagates, then occupies the downlink. This is what makes links
+   saturate under bulk transfers (Fig. 13). *)
+let send t ?(size = 256) ?loss ~src ~dst payload =
+  t.n_sent <- t.n_sent + 1;
+  t.n_bytes <- t.n_bytes + size;
+  let drop () = t.n_dropped <- t.n_dropped + 1 in
+  let hs = Testbed.host t.tb src.Addr.host in
+  if (not hs.Testbed.up) || partitioned t src.Addr.host dst.Addr.host then drop ()
+  else begin
+    let p = match loss with Some p -> p | None -> t.loss in
+    if p > 0.0 && Rng.chance t.net_rng p then drop ()
+    else begin
+      let now = Engine.now t.eng in
+      let sz = Float.of_int size in
+      let tx_up = sz /. hs.Testbed.bw_up in
+      let start_up = Float.max now hs.Testbed.up_busy in
+      hs.Testbed.up_busy <- start_up +. tx_up;
+      let propagation = Testbed.delay t.tb src.Addr.host dst.Addr.host in
+      let arrival = start_up +. tx_up +. propagation in
+      let hd = Testbed.host t.tb dst.Addr.host in
+      let tx_down = sz /. hd.Testbed.bw_down in
+      let start_down = Float.max arrival hd.Testbed.down_busy in
+      hd.Testbed.down_busy <- start_down +. tx_down;
+      let processing = Testbed.proc_cost t.tb dst.Addr.host in
+      let deliver_at = start_down +. tx_down +. processing in
+      ignore
+        (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
+             if not hd.Testbed.up then drop ()
+             else
+               match AddrTbl.find_opt t.handlers dst with
+               | None -> drop ()
+               | Some h -> h ~src payload))
+    end
+  end
+
+let messages_sent t = t.n_sent
+let bytes_sent t = t.n_bytes
+let messages_dropped t = t.n_dropped

@@ -1,0 +1,66 @@
+(** Message transport between application endpoints.
+
+    Models what the testbed's IP network plus the kernel gives a SPLAY
+    daemon: unicast datagrams between bound ports, with propagation delay
+    from the {!Testbed} latency model, store-and-forward transmission
+    through per-host uplink/downlink bandwidth queues (so links saturate,
+    which drives the tree-dissemination experiment), optional loss, and
+    delivery only to hosts that are up.
+
+    Payloads are an extensible variant: each layer (RPC, streams,
+    applications) declares its own constructors. *)
+
+type payload = ..
+
+type t
+
+type handler = src:Addr.t -> payload -> unit
+
+val create : Splay_sim.Engine.t -> Testbed.t -> t
+
+val engine : t -> Splay_sim.Engine.t
+val testbed : t -> Testbed.t
+
+val bind : t -> Addr.t -> handler -> unit
+(** Claim a port. Raises [Invalid_argument] if already bound. *)
+
+val unbind : t -> Addr.t -> unit
+val is_bound : t -> Addr.t -> bool
+
+val set_loss : t -> float -> unit
+(** Global probability that any message is dropped (default 0). The paper's
+    library feature "drop a given proportion of the packets" for lossy-link
+    studies. *)
+
+val send : t -> ?size:int -> ?loss:float -> src:Addr.t -> dst:Addr.t -> payload -> unit
+(** Fire-and-forget datagram. [size] in bytes (default 256, a small control
+    message) governs transmission time through the bandwidth queues; [loss]
+    overrides the global loss probability for this message. Messages from or
+    to a down host, or to an unbound port, are silently dropped — exactly
+    the failure model protocols must tolerate. *)
+
+val set_partition : t -> (Addr.host_id -> int) -> unit
+(** Split the network: messages between hosts mapped to different groups
+    are dropped (the "disconnection of an inter-continental link or a WAN
+    link between two corporate LANs" scenario behind Fig. 10). *)
+
+val clear_partition : t -> unit
+(** Heal the split. *)
+
+val partitioned : t -> Addr.host_id -> Addr.host_id -> bool
+(** Whether traffic between two hosts is currently blocked. *)
+
+val host_up : t -> Addr.host_id -> bool
+val set_host_up : t -> Addr.host_id -> bool -> unit
+(** Bringing a host down drops all traffic to and from it. Queued messages
+    already "in flight" to it are lost on delivery. *)
+
+val base_rtt : t -> Addr.host_id -> Addr.host_id -> float
+(** Stable round-trip estimate between two hosts (what an application-level
+    ping would measure on an idle network); used by proximity-aware
+    protocols. *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val messages_dropped : t -> int
+(** Counters over the lifetime of the network (monitoring). *)

@@ -1,0 +1,210 @@
+module Rng = Splay_sim.Rng
+
+type kind = Planetlab | Modelnet | Cluster
+
+type host = {
+  id : Addr.host_id;
+  kind : kind;
+  mutable up : bool;
+  coord : float * float;
+  load_factor : float;
+  slowness : float;
+  bw_up : float;
+  bw_down : float;
+  stub : Topology.router;
+  mem_mb : float;
+  mutable up_busy : float;
+  mutable down_busy : float;
+  mutable service_mult : float;
+  host_rng : Rng.t;
+}
+
+type t = {
+  t_rng : Rng.t;
+  all : host array;
+  topo : Topology.t option;
+  gateway_delay : float; (* extra one-way delay crossing testbeds *)
+}
+
+let mbps x = x *. 1_000_000.0 /. 8.0
+
+(* PlanetLab host responsiveness: a mixture calibrated against Fig. 3 —
+   a fast fifth, a loaded middle, and a badly overloaded tail. *)
+let draw_slowness rng =
+  let u = Rng.float rng 1.0 in
+  if u < 0.14 then Rng.float rng 0.10
+  else if u < 0.45 then 0.2 +. Rng.float rng 0.6
+  else if u < 0.75 then 0.8 +. Rng.float rng 1.4
+  else 1.2 +. Rng.pareto rng ~scale:1.0 ~shape:1.15
+
+let mk_planetlab_host rng id =
+  (* coordinates spread over ~80 ms of one-way delay in each dimension:
+     intercontinental paths reach ~120 ms one-way *)
+  let coord = (Rng.float rng 0.080, Rng.float rng 0.080) in
+  {
+    id;
+    kind = Planetlab;
+    up = true;
+    coord;
+    load_factor = 1.0 +. Rng.float rng 4.0;
+    slowness = draw_slowness rng;
+    bw_up = mbps (0.5 +. Rng.float rng 9.5);
+    bw_down = mbps (1.0 +. Rng.float rng 9.0);
+    stub = 0;
+    mem_mb = 4096.0;
+    up_busy = 0.0;
+    down_busy = 0.0;
+    service_mult = 1.0;
+    host_rng = Rng.split rng;
+  }
+
+let planetlab ?(n = 450) rng =
+  let t_rng = Rng.split rng in
+  { t_rng; all = Array.init n (mk_planetlab_host rng); topo = None; gateway_delay = 0.0 }
+
+let modelnet ?(hosts = 1100) ?bandwidth ?topology rng =
+  let topo = match topology with Some t -> t | None -> Topology.transit_stub rng in
+  let bw = match bandwidth with Some b -> b | None -> mbps 10.0 in
+  let t_rng = Rng.split rng in
+  let mk id =
+    {
+      id;
+      kind = Modelnet;
+      up = true;
+      coord = (0.0, 0.0);
+      load_factor = 1.0;
+      slowness = 0.005;
+      bw_up = bw;
+      bw_down = bw;
+      stub = Topology.random_stub topo rng;
+      mem_mb = 2048.0;
+      up_busy = 0.0;
+      down_busy = 0.0;
+      service_mult = 1.0;
+      host_rng = Rng.split rng;
+    }
+  in
+  { t_rng; all = Array.init hosts mk; topo = Some topo; gateway_delay = 0.0 }
+
+let cluster ?(n = 11) ?(mem_mb = 2048.0) rng =
+  let t_rng = Rng.split rng in
+  let mk id =
+    {
+      id;
+      kind = Cluster;
+      up = true;
+      coord = (0.0, 0.0);
+      load_factor = 1.0;
+      slowness = 0.001;
+      bw_up = mbps 1000.0;
+      bw_down = mbps 1000.0;
+      stub = 0;
+      mem_mb;
+      up_busy = 0.0;
+      down_busy = 0.0;
+      service_mult = 1.0;
+      host_rng = Rng.split rng;
+    }
+  in
+  { t_rng; all = Array.init n mk; topo = None; gateway_delay = 0.0 }
+
+let mixed ~planetlab:np ~modelnet:nm rng =
+  let topo = Topology.transit_stub rng in
+  let pl = Array.init np (mk_planetlab_host rng) in
+  let mn =
+    Array.init nm (fun i ->
+        {
+          id = np + i;
+          kind = Modelnet;
+          up = true;
+          coord = (0.0, 0.0);
+          load_factor = 1.0;
+          slowness = 0.005;
+          bw_up = mbps 10.0;
+          bw_down = mbps 10.0;
+          stub = Topology.random_stub topo rng;
+          mem_mb = 2048.0;
+          up_busy = 0.0;
+          down_busy = 0.0;
+          service_mult = 1.0;
+          host_rng = Rng.split rng;
+        })
+  in
+  {
+    t_rng = Rng.split rng;
+    all = Array.append pl mn;
+    topo = Some topo;
+    gateway_delay = 0.020;
+  }
+
+let with_extra_host t =
+  let id = Array.length t.all in
+  let h =
+    {
+      id;
+      kind = Cluster;
+      up = true;
+      coord = (0.040, 0.040);
+      load_factor = 1.0;
+      slowness = 0.001;
+      bw_up = mbps 1000.0;
+      bw_down = mbps 1000.0;
+      stub = 0;
+      mem_mb = 16384.0;
+      up_busy = 0.0;
+      down_busy = 0.0;
+      service_mult = 1.0;
+      host_rng = Rng.split t.t_rng;
+    }
+  in
+  ({ t with all = Array.append t.all [| h |] }, id)
+
+let size t = Array.length t.all
+let host t id = t.all.(id)
+let hosts t = t.all
+let rng t = t.t_rng
+
+let euclid (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let base_delay t a b =
+  if a = b then 0.000_05
+  else begin
+    let ha = t.all.(a) and hb = t.all.(b) in
+    match (ha.kind, hb.kind) with
+    | Planetlab, Planetlab -> 0.005 +. euclid ha.coord hb.coord
+    | Modelnet, Modelnet -> (
+        match t.topo with
+        | Some topo -> Topology.delay topo ha.stub hb.stub
+        | None -> 0.015)
+    | Cluster, Cluster -> 0.000_05
+    | Planetlab, Modelnet | Modelnet, Planetlab -> (
+        (* cross the WAN gateway of the emulated site *)
+        let pl, mn = if ha.kind = Planetlab then (ha, hb) else (hb, ha) in
+        let edge = 0.005 +. euclid pl.coord (0.040, 0.040) in
+        match t.topo with
+        | Some topo -> edge +. t.gateway_delay +. Topology.delay topo mn.stub mn.stub
+        | None -> edge +. t.gateway_delay)
+    | Cluster, Planetlab | Planetlab, Cluster ->
+        (* controller / cluster machines sit at the virtual centre *)
+        let pl = if ha.kind = Planetlab then ha else hb in
+        0.005 +. euclid pl.coord (0.040, 0.040)
+    | Cluster, Modelnet | Modelnet, Cluster -> 0.002
+  end
+
+let delay t a b =
+  let base = base_delay t a b in
+  let ha = t.all.(a) and hb = t.all.(b) in
+  if ha.kind = Planetlab || hb.kind = Planetlab then
+    (* wide-area jitter: median ~5% of base, occasional 2-3x spikes *)
+    base *. Rng.lognormal t.t_rng ~mu:0.0 ~sigma:0.25
+  else base
+
+let service_delay t id =
+  let h = t.all.(id) in
+  Rng.exponential h.host_rng ~mean:(h.slowness *. h.service_mult)
+
+let proc_cost t id =
+  let h = t.all.(id) in
+  0.000_1 *. h.load_factor *. h.service_mult

@@ -1,0 +1,88 @@
+type router = int
+
+type t = {
+  n : int;
+  adj : (router * float) list array; (* one-way link delays, seconds *)
+  stubs : router array;
+  intra_stub : float;
+  dijkstra_cache : (router, float array) Hashtbl.t;
+}
+
+let add_edge adj a b d =
+  adj.(a) <- (b, d) :: adj.(a);
+  adj.(b) <- (a, d) :: adj.(b)
+
+let transit_stub ?(transits = 10) ?(stubs_per_transit = 49) ?(transit_transit_rtt = 0.100)
+    ?(stub_transit_rtt = 0.030) ?(intra_stub_rtt = 0.010) rng =
+  if transits < 1 || stubs_per_transit < 1 then invalid_arg "Topology.transit_stub";
+  let n = transits * (1 + stubs_per_transit) in
+  let adj = Array.make n [] in
+  (* transit routers are 0..transits-1, connected in a ring plus a few
+     random chords for path diversity *)
+  let tt = transit_transit_rtt /. 2.0 in
+  for i = 0 to transits - 1 do
+    add_edge adj i ((i + 1) mod transits) tt
+  done;
+  if transits > 3 then
+    for _ = 1 to transits / 2 do
+      let a = Splay_sim.Rng.int rng transits and b = Splay_sim.Rng.int rng transits in
+      if a <> b && not (List.mem_assoc b adj.(a)) then add_edge adj a b tt
+    done;
+  (* stub routers hang off their transit *)
+  let st = stub_transit_rtt /. 2.0 in
+  let stubs = Array.make (transits * stubs_per_transit) 0 in
+  let idx = ref 0 in
+  for tr = 0 to transits - 1 do
+    for s = 0 to stubs_per_transit - 1 do
+      let r = transits + (tr * stubs_per_transit) + s in
+      add_edge adj tr r st;
+      stubs.(!idx) <- r;
+      incr idx
+    done
+  done;
+  { n; adj; stubs; intra_stub = intra_stub_rtt /. 2.0; dijkstra_cache = Hashtbl.create 64 }
+
+let router_count t = t.n
+
+let stub_routers t = Array.copy t.stubs
+
+let random_stub t rng = t.stubs.(Splay_sim.Rng.int rng (Array.length t.stubs))
+
+let dijkstra t src =
+  let dist = Array.make t.n infinity in
+  dist.(src) <- 0.0;
+  let heap = Splay_sim.Heap.create ~cmp:(fun (a, _) (b, _) -> Float.compare a b) in
+  Splay_sim.Heap.push heap (0.0, src);
+  let rec loop () =
+    match Splay_sim.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          List.iter
+            (fun (v, w) ->
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                Splay_sim.Heap.push heap (nd, v)
+              end)
+            t.adj.(u);
+        loop ()
+  in
+  loop ();
+  dist
+
+let delay t a b =
+  if a = b then t.intra_stub
+  else begin
+    let row =
+      match Hashtbl.find_opt t.dijkstra_cache a with
+      | Some row -> row
+      | None ->
+          let row = dijkstra t a in
+          Hashtbl.replace t.dijkstra_cache a row;
+          row
+    in
+    row.(b)
+  end
+
+let intra_stub_delay t = t.intra_stub

@@ -1,0 +1,1 @@
+lib/runtime/codec.ml: Buffer Char Float List Printf String

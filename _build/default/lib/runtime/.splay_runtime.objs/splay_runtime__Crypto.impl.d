@@ -1,0 +1,1 @@
+lib/runtime/crypto.ml: Array Buffer Bytes Char Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/runtime/env.ml: Addr Codec Effect Hashtbl List Log Net Sandbox Splay_sim

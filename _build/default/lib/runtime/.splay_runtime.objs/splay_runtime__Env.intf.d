@@ -1,0 +1,1 @@
+lib/runtime/env.mli: Addr Codec Hashtbl Log Net Sandbox Splay_sim

@@ -1,0 +1,1 @@
+lib/runtime/events.ml: Env Splay_sim

@@ -1,0 +1,1 @@
+lib/runtime/events.mli: Env Splay_sim

@@ -1,0 +1,1 @@
+lib/runtime/log.ml: List Printf Queue Splay_sim

@@ -1,0 +1,1 @@
+lib/runtime/log.mli: Splay_sim

@@ -1,0 +1,1 @@
+lib/runtime/rpc.ml: Addr Codec Env Hashtbl List Net Printexc Printf Sb_socket Splay_sim String

@@ -1,0 +1,1 @@
+lib/runtime/rpc.mli: Addr Codec Env

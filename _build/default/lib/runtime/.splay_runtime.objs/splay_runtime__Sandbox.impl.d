@@ -1,0 +1,1 @@
+lib/runtime/sandbox.ml: Addr List Printf

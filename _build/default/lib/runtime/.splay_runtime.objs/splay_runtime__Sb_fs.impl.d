@@ -1,0 +1,1 @@
+lib/runtime/sb_fs.ml: Buffer Env Hashtbl List Printf Sandbox String

@@ -1,0 +1,1 @@
+lib/runtime/sb_socket.ml: Addr Env Net Printf Sandbox

@@ -1,0 +1,1 @@
+lib/runtime/sb_socket.mli: Addr Env Net

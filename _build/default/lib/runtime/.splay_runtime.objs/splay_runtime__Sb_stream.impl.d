@@ -1,0 +1,1 @@
+lib/runtime/sb_stream.ml: Addr Env Hashtbl Net Printf Sandbox Sb_socket Splay_sim String

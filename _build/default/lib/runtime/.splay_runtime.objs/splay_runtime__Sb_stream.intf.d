@@ -1,0 +1,1 @@
+lib/runtime/sb_stream.mli: Addr Env

@@ -1,0 +1,51 @@
+(** Serialization: the [json] + [llenc] pair of SPLAY's library stack.
+
+    RPC arguments and return values are structured {!value}s; {!encode}
+    renders them in a compact JSON-compatible text form (which also gives
+    realistic message sizes to the network model) and {!decode} parses them
+    back. {!frame}/{!unframe} add the length-prefixed message demarcation
+    that [llenc] provides over stream transports. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Assoc of (string * value) list
+
+exception Parse_error of string
+
+val encode : value -> string
+(** Compact JSON text. Strings are escaped; floats use a round-trippable
+    representation. *)
+
+val decode : string -> value
+(** Parse a JSON text. Raises {!Parse_error} on malformed input. *)
+
+val encoded_size : value -> int
+(** [String.length (encode v)] without building the intermediate string. *)
+
+val frame : string -> string
+(** Length-prefixed message: decimal length, ['\n'], payload. *)
+
+val unframe : string -> pos:int -> (string * int) option
+(** [unframe buf ~pos] extracts the next complete frame starting at [pos]:
+    [Some (payload, next_pos)], or [None] if the buffer does not yet hold a
+    complete frame. Raises {!Parse_error} on a corrupt header. *)
+
+(** Accessors raising {!Parse_error} on shape mismatch — RPC handlers use
+    these to destructure arguments. *)
+
+val to_int : value -> int
+val to_float : value -> float
+(** [to_float] accepts both [Int] and [Float]. *)
+
+val to_string : value -> string
+val to_bool : value -> bool
+val to_list : value -> value list
+val member : string -> value -> value
+(** Field of an [Assoc]; {!Parse_error} if absent. *)
+
+val equal : value -> value -> bool

@@ -1,0 +1,14 @@
+(** SPLAY's [crypto] library: secure hashing for node identifiers and cache
+    keys. Pure-OCaml SHA-1 (no external digest dependency is available in
+    the build environment). *)
+
+val sha1 : string -> string
+(** Raw 20-byte digest. *)
+
+val sha1_hex : string -> string
+(** Lowercase hexadecimal digest (40 chars). *)
+
+val hash_to_id : string -> bits:int -> int
+(** Map a string onto the identifier ring [\[0, 2^bits)] by truncating its
+    SHA-1 digest — how a joining node derives its position from "ip:port".
+    [bits] must be within [1..62]. *)

@@ -1,0 +1,102 @@
+module Engine = Splay_sim.Engine
+
+type t = {
+  net : Net.t;
+  me : Addr.t;
+  mutable position : int;
+  mutable nodes : Addr.t list;
+  sandbox : Sandbox.t;
+  log : Log.t;
+  env_rng : Splay_sim.Rng.t;
+  mutable procs : Engine.proc list;
+  mutable ports : Addr.t list;
+  mutable loss_rate : float;
+  mutable stopped : bool;
+  mutable stop_hooks : (unit -> unit) list;
+  rpc_pending : (int, (Codec.value, string) result -> unit) Hashtbl.t;
+  mutable rpc_next_rid : int;
+  mutable rpc_handlers : (string * (Codec.value list -> Codec.value)) list;
+  mutable rpc_bound : bool;
+}
+
+let engine t = Net.engine t.net
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    List.iter (Net.unbind t.net) t.ports;
+    t.ports <- [];
+    List.iter (fun h -> h ()) (List.rev t.stop_hooks);
+    t.stop_hooks <- [];
+    let eng = engine t in
+    let procs = t.procs in
+    t.procs <- [];
+    (* Kill own process last: self-kill raises and unwinds the caller. *)
+    let self = try Some (Engine.self ()) with Effect.Unhandled _ -> None in
+    let self_in_list =
+      match self with
+      | Some s -> List.exists (fun p -> p == s) procs
+      | None -> false
+    in
+    List.iter
+      (fun p ->
+        match self with
+        | Some s when p == s -> ()
+        | _ -> Engine.kill eng p)
+      procs;
+    if self_in_list then
+      match self with Some s -> Engine.kill eng s | None -> ()
+  end
+
+let create ?(position = 1) ?(nodes = []) ?limits ?(log_level = Log.Info) net ~me =
+  let sandbox = Sandbox.create ?limits () in
+  let log = Log.create ~level:log_level ~name:(Addr.to_string me) (Net.engine net) in
+  let t =
+    {
+      net;
+      me;
+      position;
+      nodes;
+      sandbox;
+      log;
+      env_rng = Splay_sim.Rng.split (Engine.rng (Net.engine net));
+      procs = [];
+      ports = [];
+      loss_rate = 0.0;
+      stopped = false;
+      stop_hooks = [];
+      rpc_pending = Hashtbl.create 16;
+      rpc_next_rid = 0;
+      rpc_handlers = [];
+      rpc_bound = false;
+    }
+  in
+  Sandbox.set_on_kill sandbox (fun reason ->
+      Log.error log "killed by sandbox: %s" reason;
+      stop t);
+  t
+
+let thread t ?name f =
+  if t.stopped then invalid_arg "Env.thread: instance stopped";
+  let p = Engine.spawn ?name (engine t) f in
+  t.procs <- p :: t.procs;
+  (* prune dead processes opportunistically to keep the list short *)
+  if List.length t.procs mod 32 = 0 then t.procs <- List.filter Engine.alive t.procs;
+  p
+
+let periodic t interval f =
+  thread t (fun () ->
+      while true do
+        Engine.sleep interval;
+        f ()
+      done)
+
+let sleep = Engine.sleep
+
+let now t = Engine.now (engine t)
+
+let on_stop t h = if t.stopped then h () else t.stop_hooks <- h :: t.stop_hooks
+
+let is_stopped t = t.stopped
+
+let register_port t addr = t.ports <- addr :: t.ports

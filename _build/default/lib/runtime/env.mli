@@ -1,0 +1,68 @@
+(** Execution environment of one application instance.
+
+    This is what a SPLAY application sees at startup: its own endpoint
+    ([job.me]), its rank in the deployment sequence ([job.position]), the
+    bootstrap peers chosen by the controller ([job.nodes]), plus the handles
+    to the sandboxed libraries. It also owns every process and port the
+    instance creates, so the daemon can stop the whole instance at once
+    (churn, FREE command, sandbox kill). *)
+
+type t = {
+  net : Net.t;
+  me : Addr.t;
+  mutable position : int; (* 1-based rank in the deployment sequence *)
+  mutable nodes : Addr.t list; (* rendez-vous peers from the controller *)
+  sandbox : Sandbox.t;
+  log : Log.t;
+  env_rng : Splay_sim.Rng.t;
+  mutable procs : Splay_sim.Engine.proc list;
+  mutable ports : Addr.t list;
+  mutable loss_rate : float;
+      (** proportion of this instance's outgoing packets dropped by the
+          network library — the paper's lossy-link study knob, set at
+          deployment time *)
+  mutable stopped : bool;
+  mutable stop_hooks : (unit -> unit) list;
+  (* RPC plumbing (owned here so client and server share the endpoint) *)
+  rpc_pending : (int, (Codec.value, string) result -> unit) Hashtbl.t;
+  mutable rpc_next_rid : int;
+  mutable rpc_handlers : (string * (Codec.value list -> Codec.value)) list;
+  mutable rpc_bound : bool;
+}
+
+val create :
+  ?position:int ->
+  ?nodes:Addr.t list ->
+  ?limits:Sandbox.limits ->
+  ?log_level:Log.level ->
+  Net.t ->
+  me:Addr.t ->
+  t
+(** A sandbox memory violation automatically stops the instance, as the
+    paper specifies. *)
+
+val engine : t -> Splay_sim.Engine.t
+
+val thread : t -> ?name:string -> (unit -> unit) -> Splay_sim.Engine.proc
+(** [events.thread]: spawn a process owned by this instance. *)
+
+val periodic : t -> float -> (unit -> unit) -> Splay_sim.Engine.proc
+(** [events.periodic f interval]: run [f] every [interval] simulated
+    seconds (first run after one interval). The body may block. *)
+
+val sleep : float -> unit
+(** Re-export of {!Splay_sim.Engine.sleep} under the application-facing
+    namespace. *)
+
+val now : t -> float
+
+val on_stop : t -> (unit -> unit) -> unit
+
+val stop : t -> unit
+(** Kill all processes, unbind all ports, run stop hooks. Idempotent.
+    Safe to call from within one of the instance's own processes. *)
+
+val is_stopped : t -> bool
+
+val register_port : t -> Addr.t -> unit
+(** Record a port for cleanup at {!stop} (called by the socket layer). *)

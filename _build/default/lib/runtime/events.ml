@@ -1,0 +1,4 @@
+let thread env ?name f = Env.thread env ?name f
+let periodic env f interval = Env.periodic env interval f
+let sleep = Splay_sim.Engine.sleep
+let yield = Splay_sim.Engine.yield

@@ -1,0 +1,18 @@
+(** The [events] library, under the paper's name.
+
+    Thin aliases over {!Env}'s process management so application code reads
+    like the listings ([events.thread], [events.periodic], [events.sleep]).
+    The main loop ([events.loop]) is implicit here: the simulation engine
+    drives every instance. *)
+
+val thread : Env.t -> ?name:string -> (unit -> unit) -> Splay_sim.Engine.proc
+(** [events.thread(f)]. *)
+
+val periodic : Env.t -> (unit -> unit) -> float -> Splay_sim.Engine.proc
+(** [events.periodic(f, interval)] — note the paper's argument order. *)
+
+val sleep : float -> unit
+(** [events.sleep(seconds)]. *)
+
+val yield : unit -> unit
+(** Give other coroutines the processor, as a bare [events.sleep(0)]. *)

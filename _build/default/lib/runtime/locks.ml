@@ -1,0 +1,36 @@
+type waiter = { mutable waiting : bool; wake : unit -> unit }
+
+type t = { mutable held : bool; queue : waiter Queue.t }
+
+let create () = { held = false; queue = Queue.create () }
+
+let lock t =
+  if not t.held then t.held <- true
+  else
+    Splay_sim.Engine.suspend (fun resolve ->
+        let w = { waiting = true; wake = (fun () -> resolve (Ok ())) } in
+        Queue.add w t.queue;
+        fun () -> w.waiting <- false)
+
+let rec wake_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.held <- false
+  | Some w -> if w.waiting then w.wake () (* lock stays held, ownership transfers *)
+              else wake_next t
+
+let unlock t =
+  if not t.held then invalid_arg "Locks.unlock: not held";
+  wake_next t
+
+let try_lock t =
+  if t.held then false
+  else begin
+    t.held <- true;
+    true
+  end
+
+let with_lock t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f
+
+let is_locked t = t.held

@@ -1,0 +1,22 @@
+(** Cooperative mutual exclusion ([lock] library).
+
+    Coroutines only race when they block mid-critical-section (an RPC in the
+    middle of a state update — the Chord stabilization pitfall the paper
+    walks through). A lock serializes such sections. *)
+
+type t
+
+val create : unit -> t
+
+val lock : t -> unit
+(** Block until the lock is free, then take it. FIFO fairness. *)
+
+val unlock : t -> unit
+(** Raises [Invalid_argument] if not held. *)
+
+val try_lock : t -> bool
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Take, run, release — also on exception or kill. *)
+
+val is_locked : t -> bool

@@ -1,0 +1,51 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type sink =
+  | Discard
+  | Memory of int
+  | Forward of (time:float -> level:level -> string -> unit)
+
+type t = {
+  name : string;
+  eng : Splay_sim.Engine.t;
+  mutable level : level;
+  mutable sink : sink;
+  entries : (float * level * string) Queue.t;
+  mutable emitted : int;
+}
+
+let create ?(level = Info) ?(sink = Memory 10_000) ~name eng =
+  { name; eng; level; sink; entries = Queue.create (); emitted = 0 }
+
+let set_level t l = t.level <- l
+let set_sink t s = t.sink <- s
+let enabled t l = severity l >= severity t.level
+
+let emit t l msg =
+  if enabled t l then begin
+    t.emitted <- t.emitted + 1;
+    let now = Splay_sim.Engine.now t.eng in
+    match t.sink with
+    | Discard -> ()
+    | Memory cap ->
+        Queue.add (now, l, msg) t.entries;
+        if Queue.length t.entries > cap then ignore (Queue.take t.entries)
+    | Forward f -> f ~time:now ~level:l (Printf.sprintf "[%s] %s" t.name msg)
+  end
+
+let log t l fmt = Printf.ksprintf (emit t l) fmt
+let debug t fmt = log t Debug fmt
+let info t fmt = log t Info fmt
+let warn t fmt = log t Warn fmt
+let error t fmt = log t Error fmt
+
+let entries t = List.of_seq (Queue.to_seq t.entries)
+let count t = t.emitted

@@ -1,0 +1,35 @@
+(** SPLAY's [log] library: leveled logging, locally buffered or forwarded to
+    the controller's log collector over the (accounted) network. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+
+type sink =
+  | Discard
+  | Memory of int (* keep at most n entries locally *)
+  | Forward of (time:float -> level:level -> string -> unit)
+      (** Forward each entry to a collector (the controller installs one);
+          the callback performs its own transport accounting. *)
+
+type t
+
+val create : ?level:level -> ?sink:sink -> name:string -> Splay_sim.Engine.t -> t
+(** Default level [Info], default sink [Memory 10_000]. *)
+
+val set_level : t -> level -> unit
+val set_sink : t -> sink -> unit
+val enabled : t -> level -> bool
+
+val log : t -> level -> ('a, unit, string, unit) format4 -> 'a
+val debug : t -> ('a, unit, string, unit) format4 -> 'a
+val info : t -> ('a, unit, string, unit) format4 -> 'a
+val warn : t -> ('a, unit, string, unit) format4 -> 'a
+val error : t -> ('a, unit, string, unit) format4 -> 'a
+
+val entries : t -> (float * level * string) list
+(** Locally retained entries, oldest first (empty unless sink is
+    [Memory _]). *)
+
+val count : t -> int
+(** Number of entries emitted at an enabled level over the lifetime. *)

@@ -1,0 +1,112 @@
+module Engine = Splay_sim.Engine
+
+type error = Timeout | Remote of string | Network of string
+
+let error_to_string = function
+  | Timeout -> "timeout"
+  | Remote m -> "remote error: " ^ m
+  | Network m -> "network error: " ^ m
+
+exception Rpc_error of error
+
+type handler = Codec.value list -> Codec.value
+
+type Net.payload +=
+  | Request of { rid : int; proc : string; args : Codec.value list }
+  | Reply of { rid : int; result : (Codec.value, string) result }
+
+let request_size proc args =
+  32 + String.length proc + List.fold_left (fun acc a -> acc + Codec.encoded_size a) 0 args
+
+let reply_size = function
+  | Ok v -> 32 + Codec.encoded_size v
+  | Error m -> 32 + String.length m
+
+let add_handler env name h =
+  env.Env.rpc_handlers <- (name, h) :: List.remove_assoc name env.Env.rpc_handlers
+
+let send_reply env ~dst rid result =
+  try Sb_socket.send env ~dst ~size:(reply_size result) (Reply { rid; result })
+  with Sb_socket.Network_error _ -> ()
+
+let dispatch env ~src payload =
+  match payload with
+  | Request { rid; proc; args } ->
+      ignore
+        (Env.thread env ~name:("rpc:" ^ proc) (fun () ->
+             let result =
+               match List.assoc_opt proc env.Env.rpc_handlers with
+               | None -> Error (Printf.sprintf "unknown procedure %S" proc)
+               | Some h -> (
+                   try Ok (h args) with
+                   | Engine.Process_killed as e -> raise e
+                   | e -> Error (Printexc.to_string e))
+             in
+             send_reply env ~dst:src rid result))
+  | Reply { rid; result } -> (
+      match Hashtbl.find_opt env.Env.rpc_pending rid with
+      | None -> () (* reply after timeout: dropped, as with a late TCP answer *)
+      | Some resolve ->
+          Hashtbl.remove env.Env.rpc_pending rid;
+          resolve result)
+  | _ -> () (* not RPC traffic; other layers may share the port *)
+
+let ensure_bound env =
+  if not env.Env.rpc_bound then begin
+    env.Env.rpc_bound <- true;
+    add_handler env "__ping" (fun _ -> Codec.Null);
+    ignore (Sb_socket.udp env ~port:env.Env.me.Addr.port (dispatch env))
+  end
+
+let server env handlers =
+  ensure_bound env;
+  List.iter (fun (name, h) -> add_handler env name h) handlers
+
+let client env = ensure_bound env
+
+(* Error transport through the string-typed pending table: tagged
+   prefixes, decoded back into the variant here. *)
+let decode_error m =
+  match String.index_opt m ':' with
+  | Some i when String.sub m 0 i = "net" -> Network (String.sub m (i + 1) (String.length m - i - 1))
+  | _ when m = "timeout" -> Timeout
+  | _ -> Remote m
+
+let a_call env dst ?(timeout = 120.0) proc args =
+  ensure_bound env;
+  let rid = env.Env.rpc_next_rid in
+  env.Env.rpc_next_rid <- rid + 1;
+  let eng = Env.engine env in
+  let outcome =
+    Engine.suspend (fun resolve ->
+        Hashtbl.replace env.Env.rpc_pending rid (fun r -> resolve (Ok r));
+        (try Sb_socket.send env ~dst ~size:(request_size proc args) (Request { rid; proc; args })
+         with Sb_socket.Network_error m ->
+           (match Hashtbl.find_opt env.Env.rpc_pending rid with
+           | Some r ->
+               Hashtbl.remove env.Env.rpc_pending rid;
+               r (Error ("net:" ^ m))
+           | None -> ()));
+        let timer =
+          Engine.schedule eng ~delay:timeout (fun () ->
+              match Hashtbl.find_opt env.Env.rpc_pending rid with
+              | Some r ->
+                  Hashtbl.remove env.Env.rpc_pending rid;
+                  r (Error "timeout")
+              | None -> ())
+        in
+        fun () ->
+          Engine.cancel eng timer;
+          Hashtbl.remove env.Env.rpc_pending rid)
+  in
+  match outcome with Ok v -> Ok v | Error m -> Error (decode_error m)
+
+let call env dst ?timeout proc args =
+  match a_call env dst ?timeout proc args with
+  | Ok v -> v
+  | Error e -> raise (Rpc_error e)
+
+let ping env ?(timeout = 5.0) dst =
+  match a_call env dst ~timeout "__ping" [] with Ok _ -> true | Error _ -> false
+
+let calls_issued env = env.Env.rpc_next_rid

@@ -1,0 +1,45 @@
+(** Remote procedure calls — the workhorse of SPLAY applications.
+
+    Calling a remote function is almost as simple as calling a local one:
+    arguments and results are {!Codec.value}s, transparently serialized (the
+    serialized size is what the network model charges). Communication errors
+    are reported as a result value, mirroring Lua's second return value.
+
+    A handler runs in its own process on the callee, so it may itself block
+    on RPCs (recursive routing, as in Chord's [find_successor]). *)
+
+type error =
+  | Timeout (** no reply within the deadline — the node may have failed *)
+  | Remote of string (** the handler raised; message attached *)
+  | Network of string (** local send refused (blacklist, budget) *)
+
+val error_to_string : error -> string
+
+exception Rpc_error of error
+
+type handler = Codec.value list -> Codec.value
+
+val server : Env.t -> (string * handler) list -> unit
+(** Start the RPC server on the instance's endpoint ([rpc.server(n.port)]).
+    Also enables this instance to issue calls (replies share the socket).
+    Re-registering a name replaces the handler. *)
+
+val client : Env.t -> unit
+(** Enable calls without exposing any procedure (pure client). *)
+
+val add_handler : Env.t -> string -> handler -> unit
+
+val a_call :
+  Env.t -> Addr.t -> ?timeout:float -> string -> Codec.value list -> (Codec.value, error) result
+(** [rpc.a_call(node, proc, args, timeout)]: call and report failure as a
+    value. Default timeout 120 s — the "standard 2 minutes" the paper
+    mentions tuning down for PlanetLab. *)
+
+val call : Env.t -> Addr.t -> ?timeout:float -> string -> Codec.value list -> Codec.value
+(** [rpc.call]: like {!a_call} but raises {!Rpc_error} on failure. *)
+
+val ping : Env.t -> ?timeout:float -> Addr.t -> bool
+(** Liveness probe (default timeout 5 s). *)
+
+val calls_issued : Env.t -> int
+(** Number of outgoing calls this instance has made (monitoring). *)

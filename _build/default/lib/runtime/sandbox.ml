@@ -1,0 +1,102 @@
+type limits = {
+  max_memory : int;
+  max_sockets : int;
+  max_fs_bytes : int;
+  max_open_files : int;
+  max_send_bytes : int;
+}
+
+let unlimited =
+  {
+    max_memory = max_int;
+    max_sockets = max_int;
+    max_fs_bytes = max_int;
+    max_open_files = max_int;
+    max_send_bytes = max_int;
+  }
+
+let default =
+  {
+    max_memory = 16 * 1024 * 1024;
+    max_sockets = 64;
+    max_fs_bytes = 8 * 1024 * 1024;
+    max_open_files = 64;
+    max_send_bytes = max_int;
+  }
+
+let restrict a b =
+  {
+    max_memory = min a.max_memory b.max_memory;
+    max_sockets = min a.max_sockets b.max_sockets;
+    max_fs_bytes = min a.max_fs_bytes b.max_fs_bytes;
+    max_open_files = min a.max_open_files b.max_open_files;
+    max_send_bytes = min a.max_send_bytes b.max_send_bytes;
+  }
+
+exception Violation of string
+
+type t = {
+  lim : limits;
+  mutable mem : int;
+  mutable sockets : int;
+  mutable fs : int;
+  mutable files : int;
+  mutable sent : int;
+  mutable banned : Addr.host_id list;
+  mutable on_kill : string -> unit;
+}
+
+let create ?(limits = default) () =
+  { lim = limits; mem = 0; sockets = 0; fs = 0; files = 0; sent = 0; banned = []; on_kill = ignore }
+
+let limits t = t.lim
+
+let set_on_kill t f = t.on_kill <- f
+
+let violation t ~fatal msg =
+  if fatal then t.on_kill msg;
+  raise (Violation msg)
+
+let alloc t n =
+  t.mem <- t.mem + n;
+  if t.mem > t.lim.max_memory then
+    violation t ~fatal:true
+      (Printf.sprintf "memory limit exceeded (%d > %d bytes)" t.mem t.lim.max_memory)
+
+let free t n = t.mem <- max 0 (t.mem - n)
+let memory_used t = t.mem
+
+let socket_opened t =
+  if t.sockets >= t.lim.max_sockets then
+    violation t ~fatal:false (Printf.sprintf "socket limit reached (%d)" t.lim.max_sockets);
+  t.sockets <- t.sockets + 1
+
+let socket_closed t = t.sockets <- max 0 (t.sockets - 1)
+let sockets_open t = t.sockets
+
+let fs_grow t n =
+  if t.fs + n > t.lim.max_fs_bytes then
+    violation t ~fatal:false
+      (Printf.sprintf "filesystem quota exceeded (%d + %d > %d)" t.fs n t.lim.max_fs_bytes);
+  t.fs <- t.fs + n
+
+let fs_shrink t n = t.fs <- max 0 (t.fs - n)
+let fs_used t = t.fs
+
+let file_opened t =
+  if t.files >= t.lim.max_open_files then
+    violation t ~fatal:false (Printf.sprintf "open-file limit reached (%d)" t.lim.max_open_files);
+  t.files <- t.files + 1
+
+let file_closed t = t.files <- max 0 (t.files - 1)
+
+let network_send t n =
+  if t.sent + n > t.lim.max_send_bytes then
+    violation t ~fatal:false "network budget exhausted";
+  t.sent <- t.sent + n
+
+let bytes_sent t = t.sent
+
+let blacklist t h = if not (List.mem h t.banned) then t.banned <- h :: t.banned
+
+let blacklisted t h = List.mem h t.banned

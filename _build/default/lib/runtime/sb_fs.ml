@@ -1,0 +1,90 @@
+exception Fs_error of string
+
+type entry = { mutable data : Buffer.t; mutable open_count : int }
+
+type t = { env : Env.t; files : (string, entry) Hashtbl.t }
+
+type file = {
+  fs : t;
+  path : string;
+  entry : entry;
+  mode : [ `Read | `Write | `Append ];
+  mutable read_pos : int;
+  mutable closed : bool;
+}
+
+(* Map any path shape onto a flat private namespace, as the wrapped io
+   library does: the application believes in directories, the daemon stores
+   flat files. *)
+let normalize path =
+  let parts = String.split_on_char '/' path in
+  let keep = List.filter (fun p -> p <> "" && p <> ".") parts in
+  let no_dots = List.filter (fun p -> p <> "..") keep in
+  if no_dots = [] then raise (Fs_error "empty path")
+  else String.concat "/" no_dots
+
+let create env = { env; files = Hashtbl.create 16 }
+
+let open_file t path ~mode =
+  let path = normalize path in
+  let entry =
+    match (Hashtbl.find_opt t.files path, mode) with
+    | Some e, `Write ->
+        Sandbox.fs_shrink t.env.Env.sandbox (Buffer.length e.data);
+        Buffer.clear e.data;
+        e
+    | Some e, (`Read | `Append) -> e
+    | None, `Read -> raise (Fs_error (Printf.sprintf "no such file: %s" path))
+    | None, (`Write | `Append) ->
+        let e = { data = Buffer.create 256; open_count = 0 } in
+        Hashtbl.replace t.files path e;
+        e
+  in
+  (try Sandbox.file_opened t.env.Env.sandbox
+   with Sandbox.Violation m -> raise (Fs_error m));
+  entry.open_count <- entry.open_count + 1;
+  { fs = t; path; entry; mode; read_pos = 0; closed = false }
+
+let check_open f = if f.closed then raise (Fs_error "file closed")
+
+let write f s =
+  check_open f;
+  if f.mode = `Read then raise (Fs_error "file opened read-only");
+  (try Sandbox.fs_grow f.fs.env.Env.sandbox (String.length s)
+   with Sandbox.Violation m -> raise (Fs_error m));
+  Buffer.add_string f.entry.data s
+
+let read_all f =
+  check_open f;
+  let s = Buffer.contents f.entry.data in
+  f.read_pos <- String.length s;
+  s
+
+let size f = Buffer.length f.entry.data
+
+let close f =
+  if not f.closed then begin
+    f.closed <- true;
+    f.entry.open_count <- f.entry.open_count - 1;
+    Sandbox.file_closed f.fs.env.Env.sandbox
+  end
+
+let exists t path = Hashtbl.mem t.files (normalize path)
+
+let file_size t path =
+  match Hashtbl.find_opt t.files (normalize path) with
+  | Some e -> Some (Buffer.length e.data)
+  | None -> None
+
+let remove t path =
+  let path = normalize path in
+  match Hashtbl.find_opt t.files path with
+  | None -> raise (Fs_error (Printf.sprintf "no such file: %s" path))
+  | Some e ->
+      if e.open_count > 0 then raise (Fs_error (Printf.sprintf "file in use: %s" path));
+      Sandbox.fs_shrink t.env.Env.sandbox (Buffer.length e.data);
+      Hashtbl.remove t.files path
+
+let list_files t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.files [])
+
+let used_bytes t = Hashtbl.fold (fun _ e acc -> acc + Buffer.length e.data) t.files 0

@@ -1,0 +1,36 @@
+(** Sandboxed virtual filesystem ([sb_fs]).
+
+    Simulates a filesystem confined to the instance's private directory:
+    arbitrary path names map onto private storage, an instance can never see
+    another instance's files, and the sandbox enforces a byte quota and an
+    open-file cap. BitTorrent and the web cache store their payloads here. *)
+
+exception Fs_error of string
+
+type t
+(** One instance's private filesystem. *)
+
+val create : Env.t -> t
+(** Storage is accounted against the environment's sandbox. *)
+
+type file
+
+val open_file : t -> string -> mode:[ `Read | `Write | `Append ] -> file
+(** [`Write] truncates; [`Read] on a missing path raises {!Fs_error};
+    the open-file cap raises {!Fs_error}. *)
+
+val write : file -> string -> unit
+(** Raises {!Fs_error} when the quota would be exceeded (the write fails,
+    the application continues — the paper's disk-limit semantics). *)
+
+val read_all : file -> string
+val size : file -> int
+val close : file -> unit
+
+val exists : t -> string -> bool
+val file_size : t -> string -> int option
+val remove : t -> string -> unit
+(** Removing an open or missing file raises {!Fs_error}. *)
+
+val list_files : t -> string list
+val used_bytes : t -> int

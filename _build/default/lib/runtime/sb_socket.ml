@@ -1,0 +1,28 @@
+exception Network_error of string
+
+let udp env ~port handler =
+  let addr = Addr.make env.Env.me.Addr.host port in
+  (try Sandbox.socket_opened env.Env.sandbox
+   with Sandbox.Violation m -> raise (Network_error m));
+  (try Net.bind env.Env.net addr handler
+   with Invalid_argument m ->
+     Sandbox.socket_closed env.Env.sandbox;
+     raise (Network_error m));
+  Env.register_port env addr;
+  Env.on_stop env (fun () -> Sandbox.socket_closed env.Env.sandbox);
+  addr
+
+let close env addr =
+  Net.unbind env.Env.net addr;
+  Sandbox.socket_closed env.Env.sandbox
+
+let send env ~dst ?(size = 256) payload =
+  if Sandbox.blacklisted env.Env.sandbox dst.Addr.host then
+    raise (Network_error (Printf.sprintf "destination %s blacklisted" (Addr.to_string dst)));
+  (try Sandbox.network_send env.Env.sandbox size
+   with Sandbox.Violation m -> raise (Network_error m));
+  if env.Env.loss_rate > 0.0 then
+    Net.send env.Env.net ~size ~loss:env.Env.loss_rate ~src:env.Env.me ~dst payload
+  else Net.send env.Env.net ~size ~src:env.Env.me ~dst payload
+
+let sent_bytes env = Sandbox.bytes_sent env.Env.sandbox

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Float Fun Hashtbl Heap Int List Printf Rng

@@ -1,0 +1,263 @@
+open Effect
+open Effect.Deep
+
+exception Process_killed
+
+type event = { at : float; seq : int; ev_id : int; fn : unit -> unit }
+
+type proc_state = Pending | Active | Dead
+
+type t = {
+  mutable now : float;
+  queue : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable next_event_id : int;
+  mutable next_seq : int;
+  mutable next_pid : int;
+  root_rng : Rng.t;
+  mutable current : proc option;
+  mutable crashed_list : (proc * exn) list;
+  mutable live_events : int;
+}
+
+and proc = {
+  pid : int;
+  pname : string;
+  eng : t;
+  mutable state : proc_state;
+  mutable killed : bool;
+  (* Cooperative processes have at most one outstanding suspension; this
+     thunk discontinues it with Process_killed. *)
+  mutable cancel_pending : (unit -> unit) option;
+  mutable exit_hooks : (unit -> unit) list;
+}
+
+type event_id = int
+
+type _ Effect.t += Suspend : ((('a, exn) result -> unit) -> (unit -> unit)) -> 'a Effect.t
+type _ Effect.t += Self : proc Effect.t
+
+let cmp_event a b =
+  let c = Float.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 42) () =
+  {
+    now = 0.0;
+    queue = Heap.create ~cmp:cmp_event;
+    cancelled = Hashtbl.create 64;
+    next_event_id = 0;
+    next_seq = 0;
+    next_pid = 0;
+    root_rng = Rng.create seed;
+    current = None;
+    crashed_list = [];
+    live_events = 0;
+  }
+
+let now t = t.now
+let rng t = t.root_rng
+
+let schedule_at t ~at fn =
+  let at = if at < t.now then t.now else at in
+  let id = t.next_event_id in
+  t.next_event_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { at; seq; ev_id = id; fn };
+  t.live_events <- t.live_events + 1;
+  id
+
+let schedule t ~delay fn =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~at:(t.now +. delay) fn
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live_events <- t.live_events - 1
+  end
+
+let pending_events t = t.live_events
+
+let pop_live t =
+  let rec loop () =
+    match Heap.pop t.queue with
+    | None -> None
+    | Some ev ->
+        if Hashtbl.mem t.cancelled ev.ev_id then begin
+          Hashtbl.remove t.cancelled ev.ev_id;
+          loop ()
+        end
+        else Some ev
+  in
+  loop ()
+
+let step t =
+  match pop_live t with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.at;
+      t.live_events <- t.live_events - 1;
+      ev.fn ();
+      true
+
+let run ?until t =
+  let continue_run = ref true in
+  while !continue_run do
+    match Heap.peek t.queue with
+    | None -> continue_run := false
+    | Some ev when Hashtbl.mem t.cancelled ev.ev_id ->
+        ignore (Heap.pop t.queue);
+        Hashtbl.remove t.cancelled ev.ev_id
+    | Some ev -> (
+        match until with
+        | Some limit when ev.at > limit ->
+            t.now <- limit;
+            continue_run := false
+        | _ -> ignore (step t))
+  done;
+  match until with Some limit when t.now < limit -> t.now <- limit | _ -> ()
+
+(* {2 Processes} *)
+
+let alive p = p.state <> Dead
+let proc_id p = p.pid
+let proc_name p = p.pname
+
+let run_exit_hooks p =
+  let hooks = p.exit_hooks in
+  p.exit_hooks <- [];
+  List.iter (fun h -> h ()) (List.rev hooks)
+
+let on_exit p h = if p.state = Dead then h () else p.exit_hooks <- h :: p.exit_hooks
+
+let crashed t = t.crashed_list
+
+let with_current t p f =
+  let saved = t.current in
+  t.current <- Some p;
+  Fun.protect ~finally:(fun () -> t.current <- saved) f
+
+let spawn ?name t f =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let pname = match name with Some n -> n | None -> Printf.sprintf "proc-%d" pid in
+  let p =
+    { pid; pname; eng = t; state = Pending; killed = false; cancel_pending = None; exit_hooks = [] }
+  in
+  let finish () =
+    if p.state <> Dead then begin
+      p.state <- Dead;
+      p.cancel_pending <- None;
+      run_exit_hooks p
+    end
+  in
+  let handler =
+    {
+      retc = (fun () -> finish ());
+      exnc =
+        (fun e ->
+          (match e with
+          | Process_killed -> ()
+          | e -> t.crashed_list <- (p, e) :: t.crashed_list);
+          finish ());
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Self -> Some (fun (k : (b, unit) continuation) -> continue k p)
+          | Suspend register ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  let settled = ref false in
+                  let cleanup = ref (fun () -> ()) in
+                  let settle () =
+                    settled := true;
+                    p.cancel_pending <- None;
+                    let c = !cleanup in
+                    cleanup := (fun () -> ());
+                    c ()
+                  in
+                  p.cancel_pending <-
+                    Some
+                      (fun () ->
+                        if not !settled then begin
+                          settle ();
+                          with_current t p (fun () -> discontinue k Process_killed)
+                        end);
+                  let resolve r =
+                    if not !settled then begin
+                      settle ();
+                      ignore
+                        (schedule t ~delay:0.0 (fun () ->
+                             if p.state = Dead then ()
+                             else if p.killed then
+                               with_current t p (fun () -> discontinue k Process_killed)
+                             else
+                               with_current t p (fun () ->
+                                   match r with Ok v -> continue k v | Error e -> discontinue k e)))
+                    end
+                  in
+                  let c = register resolve in
+                  if !settled then c () else cleanup := c)
+          | _ -> None);
+    }
+  in
+  ignore
+    (schedule t ~delay:0.0 (fun () ->
+         if p.state = Pending && not p.killed then begin
+           p.state <- Active;
+           with_current t p (fun () -> match_with f () handler)
+         end
+         else if p.state = Pending then begin
+           p.state <- Dead;
+           run_exit_hooks p
+         end));
+  p
+
+let kill t p =
+  match p.state with
+  | Dead -> ()
+  | Pending ->
+      if not p.killed then begin
+        p.killed <- true;
+        (* the start event will notice and run exit hooks *)
+        ignore
+          (schedule t ~delay:0.0 (fun () ->
+               if p.state = Pending then begin
+                 p.state <- Dead;
+                 run_exit_hooks p
+               end))
+      end
+  | Active ->
+      if not p.killed then begin
+        p.killed <- true;
+        match p.cancel_pending with
+        | Some thunk ->
+            p.cancel_pending <- None;
+            ignore (schedule t ~delay:0.0 thunk)
+        | None ->
+            (match t.current with
+            | Some q when q == p ->
+                (* self-kill while running: unwind immediately *)
+                raise Process_killed
+            | _ ->
+                (* a resume is already scheduled; it will observe [killed]
+                   and discontinue *)
+                ())
+      end
+
+(* {2 Blocking operations} *)
+
+let self () = perform Self
+let engine () = (perform Self).eng
+let suspend register = perform (Suspend register)
+let suspend_ register = suspend (fun resolve -> register resolve; fun () -> ())
+
+let sleep d =
+  let t = engine () in
+  suspend (fun resolve ->
+      let ev = schedule t ~delay:d (fun () -> resolve (Ok ())) in
+      fun () -> cancel t ev)
+
+let yield () = sleep 0.0

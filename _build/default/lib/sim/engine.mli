@@ -1,0 +1,114 @@
+(** Discrete-event simulation engine with cooperative processes.
+
+    The engine plays the role of the operating systems and wall clocks of the
+    testbeds SPLAY deploys on: it owns a virtual clock and an event queue,
+    and it hosts lightweight cooperative processes implemented with OCaml 5
+    effect handlers. Processes are the reproduction of SPLAY's Lua
+    coroutines: application code calls blocking-looking operations
+    ({!sleep}, {!suspend}, RPCs built on them) and the handler turns each
+    into an event-queue suspension, so protocol code reads like the
+    pseudo-code in the paper.
+
+    Determinism: given the same seed and the same program, a run is exactly
+    reproducible. Events scheduled for the same instant fire in scheduling
+    order (FIFO). *)
+
+type t
+(** An engine instance. Engines are independent; everything stateful
+    (clock, queue, processes, RNG) hangs off the instance. *)
+
+type event_id
+(** Handle for a scheduled event; allows cancellation. *)
+
+type proc
+(** Handle for a spawned process. *)
+
+exception Process_killed
+(** Raised inside a process when it is killed ({!kill}); unwinds its stack
+    so [Fun.protect] cleanups run. Application code should not catch it
+    without re-raising. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine, clock at 0.0. [seed] defaults to 42. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG. Components should {!Rng.split} it. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays are
+    clamped to 0. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> event_id
+(** Absolute-time variant; times in the past are clamped to [now]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event. Cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue, advancing the clock, until it is empty or the
+    clock would pass [until] (clock is then set to [until]). *)
+
+val step : t -> bool
+(** Execute the single next event. [false] if the queue was empty. *)
+
+val pending_events : t -> int
+(** Number of scheduled, uncancelled events (cheap upper bound used by
+    tests and by {!run}'s accounting). *)
+
+(** {1 Processes} *)
+
+val spawn : ?name:string -> t -> (unit -> unit) -> proc
+(** [spawn t f] creates a process executing [f ()] starting at the current
+    instant (as a scheduled event). Exceptions escaping [f] other than
+    {!Process_killed} are recorded (see {!crashed}) and terminate the
+    process. *)
+
+val kill : t -> proc -> unit
+(** Terminate a process: if it is currently suspended, its continuation is
+    discontinued with {!Process_killed} at the current instant; if it has
+    not started, it never starts. Idempotent. *)
+
+val alive : proc -> bool
+val proc_id : proc -> int
+val proc_name : proc -> string
+
+val on_exit : proc -> (unit -> unit) -> unit
+(** Register a callback run (in scheduler context) when the process
+    terminates for any reason. Runs immediately if already dead. *)
+
+val crashed : t -> (proc * exn) list
+(** Processes that terminated with an unexpected exception, most recent
+    first. Experiments assert this is empty. *)
+
+(** {1 Blocking operations — valid only inside a process} *)
+
+val sleep : float -> unit
+(** Suspend the calling process for the given virtual duration. *)
+
+val suspend : ((('a, exn) result -> unit) -> (unit -> unit)) -> 'a
+(** [suspend register] captures the calling process's continuation and calls
+    [register resolve]. The suspension finishes when [resolve] is called:
+    [Ok v] resumes with [v], [Error e] raises [e] in the process. [resolve]
+    is one-shot; later calls are ignored (so a reply racing a timeout is
+    safe). Resumption happens as a fresh event at the instant [resolve] is
+    called.
+
+    [register] returns a cleanup thunk, invoked exactly once when the
+    suspension settles (first resolve, or kill of the process); use it to
+    cancel backing timers so they do not keep the simulation alive. *)
+
+val suspend_ : ((('a, exn) result -> unit) -> unit) -> 'a
+(** {!suspend} with no cleanup. *)
+
+val self : unit -> proc
+(** The calling process. *)
+
+val engine : unit -> t
+(** The engine hosting the calling process. *)
+
+val yield : unit -> unit
+(** Let other events at the current instant run. *)

@@ -1,0 +1,22 @@
+(** Resizable binary min-heap, the event queue of the simulation engine. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (for inspection in tests). *)

@@ -1,0 +1,112 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int (seed lxor 0x1F2E3D4C)) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+let copy t = { state = t.state }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  (* Rejection-free modulo is fine for simulation purposes given 64 bits of
+     entropy against small ranges. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int n))
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 uniform mantissa bits. *)
+  let u = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float u /. 9007199254740992.0 *. x
+
+let unit_open t =
+  (* uniform in (0,1), avoiding 0 for log-based transforms *)
+  let u = float t 1.0 in
+  if u <= 0.0 then 1e-18 else u
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p = if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let exponential t ~mean = -.mean *. log (unit_open t)
+
+let normal t ~mu ~sigma =
+  let u1 = unit_open t and u2 = unit_open t in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let pareto t ~scale ~shape = scale /. (unit_open t ** (1.0 /. shape))
+
+let weibull t ~scale ~shape = scale *. ((-.log (unit_open t)) ** (1.0 /. shape))
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t k xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  if n <= k then xs
+  else begin
+    shuffle t a;
+    Array.to_list (Array.sub a 0 k)
+  end
+
+module Zipf = struct
+  type rng = t
+
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create";
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for r = 1 to n do
+      acc := !acc +. (1.0 /. (Float.of_int r ** s));
+      cdf.(r - 1) <- !acc
+    done;
+    let total = !acc in
+    for i = 0 to n - 1 do
+      cdf.(i) <- cdf.(i) /. total
+    done;
+    { cdf }
+
+  let draw z rng =
+    let u = float rng 1.0 in
+    (* binary search for first index with cdf >= u *)
+    let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if z.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo + 1
+end

@@ -1,0 +1,44 @@
+(** Time-binned sample series for "metric over time" figures.
+
+    Figures 10, 11 and 14 of the paper plot per-minute (or per-hour)
+    distributions of a metric as the experiment progresses; a [t] buckets
+    timestamped samples into fixed-width bins and exposes per-bin
+    statistics. *)
+
+type t
+
+val create : bin_width:float -> t
+(** Bins are [\[k*w, (k+1)*w)]. *)
+
+val add : t -> time:float -> float -> unit
+
+val bin_width : t -> float
+
+val bins : t -> (float * Dist.t) list
+(** Non-empty bins in increasing time order; the float is the bin's left
+    edge. *)
+
+val bin_at : t -> float -> Dist.t option
+(** The bin containing the given time, if any sample landed there. *)
+
+val percentile_series : t -> float -> (float * float) list
+(** [(bin start, percentile-p of bin)] for each non-empty bin. *)
+
+val mean_series : t -> (float * float) list
+
+val count_series : t -> (float * int) list
+
+val span : t -> (float * float) option
+(** Earliest and latest non-empty bin edges. *)
+
+(** Plain per-bin counters (e.g. join/leave counts per minute in the churn
+    figures). *)
+module Counter : sig
+  type t
+
+  val create : bin_width:float -> t
+  val incr : t -> time:float -> unit
+  val add : t -> time:float -> int -> unit
+  val get : t -> time:float -> int
+  val series : t -> (float * int) list
+end

@@ -1,0 +1,38 @@
+type t = {
+  mutable n : int;
+  mutable mean_ : float;
+  mutable m2 : float; (* sum of squared deviations *)
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () = { n = 0; mean_ = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean_ in
+  t.mean_ <- t.mean_ +. (delta /. Float.of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean_
+let variance t = if t.n < 2 then 0.0 else t.m2 /. Float.of_int t.n
+let stddev t = sqrt (variance t)
+
+let min_value t = if t.n = 0 then invalid_arg "Summary.min_value: empty" else t.lo
+let max_value t = if t.n = 0 then invalid_arg "Summary.max_value: empty" else t.hi
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean_ -. a.mean_ in
+    let mean_ = a.mean_ +. (delta *. Float.of_int b.n /. Float.of_int n) in
+    let m2 =
+      a.m2 +. b.m2 +. (delta *. delta *. Float.of_int a.n *. Float.of_int b.n /. Float.of_int n)
+    in
+    { n; mean_; m2; lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+  end

@@ -1,0 +1,27 @@
+(** Constant-memory online summary (Welford's algorithm).
+
+    For long-running experiments (the multi-hour web-cache run) where
+    keeping every sample in a {!Dist} would be wasteful and only moments
+    are needed. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Population variance; 0 with fewer than 2 samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+(** Raise [Invalid_argument] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two summaries as if their streams had been interleaved
+    (Chan's parallel variance formula). *)

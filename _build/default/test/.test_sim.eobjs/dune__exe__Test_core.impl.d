@@ -1,0 +1,1 @@
+test/test_core.ml: Addr Alcotest Controller Daemon Descriptor Engine Env Float Int List Platform Printf Splay Splay_apps Splay_baselines String Testbed

@@ -1,0 +1,1 @@
+test/test_ctl.ml: Addr Alcotest Codec Controller Daemon Descriptor Engine Env Fun Int List Log Net Printexc Printf Rpc Sandbox Splay_ctl Splay_net Splay_runtime Splay_sim String Testbed

@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Array Engine Float List Net Printf Rng Splay_net Splay_sim Testbed Topology

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Channel Engine Float Fun Heap Int Ivar List Printf QCheck QCheck_alcotest Rng Splay_sim

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Dist Float List Option QCheck QCheck_alcotest Report Series Splay_stats Summary

@@ -1,0 +1,207 @@
+(* Tests for the Splay facade (Platform) and the comparator baselines. *)
+
+open Splay
+module Apps = Splay_apps
+module Baselines = Splay_baselines
+
+let teardown p =
+  List.iter Daemon.shutdown (Platform.daemons p);
+  ignore
+    (Engine.schedule (Platform.engine p) ~delay:0.0 (fun () ->
+         Env.stop (Controller.env (Platform.controller p))))
+
+(* {2 Platform} *)
+
+let test_platform_specs () =
+  List.iter
+    (fun (spec, expected_hosts) ->
+      let p = Platform.create ~seed:1 spec in
+      (* testbed = requested hosts + the controller host *)
+      Alcotest.(check int) "testbed size" (expected_hosts + 1) (Testbed.size (Platform.testbed p));
+      Alcotest.(check int) "one daemon per host" expected_hosts
+        (List.length (Platform.daemons p)))
+    [
+      (Platform.Planetlab 12, 12);
+      (Platform.Modelnet { hosts = 15; bandwidth = None }, 15);
+      (Platform.Cluster 7, 7);
+      (Platform.Mixed { planetlab = 4; modelnet = 6 }, 10);
+    ]
+
+let test_platform_run_deploys () =
+  let p = Platform.create ~seed:2 (Platform.Cluster 5) in
+  let count = ref 0 in
+  Platform.run p (fun p ->
+      let dep =
+        Controller.deploy (Platform.controller p) ~name:"probe"
+          ~main:(fun _ -> incr count)
+          (Descriptor.make 10)
+      in
+      Env.sleep 5.0;
+      Alcotest.(check int) "instances ran" 10 !count;
+      Alcotest.(check int) "all live" 10 (Controller.live_count dep);
+      teardown p)
+
+let test_platform_run_propagates_crash () =
+  let p = Platform.create ~seed:3 (Platform.Cluster 2) in
+  match
+    Platform.run p (fun p ->
+        ignore
+          (Env.thread (Controller.env (Platform.controller p)) (fun () -> failwith "boom"));
+        Env.sleep 1.0;
+        teardown p)
+  with
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions the crash" true
+        (String.length msg > 0 && String.sub msg 0 7 = "process")
+  | () -> Alcotest.fail "crash not surfaced"
+
+let test_platform_determinism () =
+  let run () =
+    let p = Platform.create ~seed:99 (Platform.Planetlab 8) in
+    let out = ref 0.0 in
+    Platform.run p (fun p ->
+        let dep =
+          Controller.deploy (Platform.controller p) ~name:"noop"
+            ~main:(fun _ -> ())
+            (Descriptor.make 5)
+        in
+        out := Platform.now p;
+        Controller.undeploy dep;
+        teardown p);
+    !out
+  in
+  Alcotest.(check (float 1e-12)) "same seed, same timeline" (run ()) (run ())
+
+(* {2 Baselines} *)
+
+let test_freepastry_contention_model () =
+  let light = Baselines.Freepastry.daemon_config.Daemon.contention_extra 50 in
+  let heavy = Baselines.Freepastry.daemon_config.Daemon.contention_extra 180 in
+  Alcotest.(check (float 1e-9)) "no extra below the knee" 0.0 light;
+  Alcotest.(check bool) "superlinear past the knee" true (heavy > 10.0);
+  Alcotest.(check bool) "JVM-scale footprint" true
+    (Baselines.Freepastry.daemon_config.Daemon.base_footprint > 8 * 1024 * 1024);
+  Alcotest.(check bool) "per-hop overhead set" true
+    (Baselines.Freepastry.app_config.Apps.Pastry.per_hop_overhead > 0.0)
+
+let test_mit_chord_config () =
+  Alcotest.(check bool) "proximity fingers on" true
+    Baselines.Mit_chord.app_config.Apps.Chord_ft.proximity_fingers;
+  Alcotest.(check bool) "splay chord has them off" false
+    Apps.Chord_ft.default_config.Apps.Chord_ft.proximity_fingers
+
+let test_crcp_matches_trees_topology () =
+  (* the two implementations must build the same trees, or Fig. 13 would
+     compare different protocols *)
+  let p = Platform.create ~seed:4 (Platform.Cluster 8) in
+  Platform.run p (fun p ->
+      let ctl = Platform.controller p in
+      let splay_handles = ref [] and crcp_handles = ref [] in
+      let n = 14 in
+      ignore
+        (Controller.deploy ctl ~name:"trees"
+           ~main:
+             (Apps.Trees.app ~file_size:(256 * 1024)
+                ~register:(fun x -> splay_handles := x :: !splay_handles))
+           (Descriptor.make ~bootstrap:Descriptor.All n));
+      ignore
+        (Controller.deploy ctl ~name:"crcp"
+           ~main:
+             (Baselines.Crcp.app ~file_size:(256 * 1024)
+                ~register:(fun x -> crcp_handles := x :: !crcp_handles))
+           (Descriptor.make ~bootstrap:Descriptor.All n));
+      Env.sleep 60.0;
+      let sort_by_pos get_pos l = List.sort (fun a b -> Int.compare (get_pos a) (get_pos b)) l in
+      let s = sort_by_pos Apps.Trees.position !splay_handles in
+      let c = sort_by_pos Baselines.Crcp.position !crcp_handles in
+      List.iter2
+        (fun sh ch ->
+          for tree = 0 to 1 do
+            let ports l = List.sort Int.compare (List.map (fun a -> a.Addr.port) l) in
+            (* same fan-out structure: equal child counts per tree level *)
+            Alcotest.(check int)
+              (Printf.sprintf "same child count (pos %d tree %d)" (Apps.Trees.position sh) tree)
+              (List.length (ports (Apps.Trees.children sh ~tree)))
+              (List.length (ports (Baselines.Crcp.children ch ~tree)))
+          done)
+        s c;
+      (* both deliveries complete *)
+      List.iter
+        (fun x -> Alcotest.(check bool) "splay complete" true (Apps.Trees.completion_time x <> None))
+        s;
+      List.iter
+        (fun x -> Alcotest.(check bool) "crcp complete" true (Baselines.Crcp.completion_time x <> None))
+        c;
+      teardown p)
+
+let test_crcp_slower_on_thin_links () =
+  (* sequential acknowledged sends vs pipelined fire-and-forget: on slow
+     links CRCP must finish later (Fig. 13's shape) *)
+  let run_one which =
+    let p =
+      Platform.create ~seed:5
+        (Platform.Modelnet { hosts = 18; bandwidth = Some (2_000_000.0 /. 8.0) })
+    in
+    let finish = ref 0.0 in
+    Platform.run p (fun p ->
+        let ctl = Platform.controller p in
+        let file_size = 1024 * 1024 in
+        let done_splay = ref [] and done_crcp = ref [] in
+        (match which with
+        | `Splay ->
+            ignore
+              (Controller.deploy ctl ~name:"trees"
+                 ~main:(Apps.Trees.app ~file_size ~register:(fun x -> done_splay := x :: !done_splay))
+                 (Descriptor.make ~bootstrap:Descriptor.All 16))
+        | `Crcp ->
+            ignore
+              (Controller.deploy ctl ~name:"crcp"
+                 ~main:
+                   (Baselines.Crcp.app ~file_size ~register:(fun x -> done_crcp := x :: !done_crcp))
+                 (Descriptor.make ~bootstrap:Descriptor.All 16)));
+        let all_done () =
+          match which with
+          | `Splay ->
+              List.length !done_splay = 16
+              && List.for_all (fun x -> Apps.Trees.completion_time x <> None) !done_splay
+          | `Crcp ->
+              List.length !done_crcp = 16
+              && List.for_all (fun x -> Baselines.Crcp.completion_time x <> None) !done_crcp
+        in
+        let rec wait () =
+          Env.sleep 10.0;
+          if not (all_done ()) then wait ()
+        in
+        wait ();
+        let times =
+          match which with
+          | `Splay -> List.filter_map Apps.Trees.completion_time !done_splay
+          | `Crcp -> List.filter_map Baselines.Crcp.completion_time !done_crcp
+        in
+        finish := List.fold_left Float.max 0.0 times;
+        teardown p);
+    !finish
+  in
+  let splay_t = run_one `Splay and crcp_t = run_one `Crcp in
+  Alcotest.(check bool)
+    (Printf.sprintf "crcp finishes later (%.1f s vs %.1f s)" crcp_t splay_t)
+    true (crcp_t > splay_t)
+
+let () =
+  Alcotest.run "splay_core"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "specs" `Quick test_platform_specs;
+          Alcotest.test_case "run deploys" `Quick test_platform_run_deploys;
+          Alcotest.test_case "crash propagates" `Quick test_platform_run_propagates_crash;
+          Alcotest.test_case "determinism" `Quick test_platform_determinism;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "freepastry contention" `Quick test_freepastry_contention_model;
+          Alcotest.test_case "mit chord config" `Quick test_mit_chord_config;
+          Alcotest.test_case "crcp topology matches" `Quick test_crcp_matches_trees_topology;
+          Alcotest.test_case "crcp slower on thin links" `Quick test_crcp_slower_on_thin_links;
+        ] );
+    ]

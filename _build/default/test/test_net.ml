@@ -1,0 +1,245 @@
+(* Tests for the network substrate: transit-stub topology, testbed host
+   models, packet transport with bandwidth queues. *)
+
+open Splay_sim
+open Splay_net
+
+type Net.payload += Probe of int
+
+(* {2 Topology} *)
+
+let test_topology_shape () =
+  let rng = Rng.create 1 in
+  let topo = Topology.transit_stub rng in
+  Alcotest.(check int) "500 routers by default" 500 (Topology.router_count topo);
+  Alcotest.(check int) "490 stubs" 490 (Array.length (Topology.stub_routers topo))
+
+let test_topology_delays () =
+  let rng = Rng.create 2 in
+  let topo = Topology.transit_stub ~transits:4 ~stubs_per_transit:3 rng in
+  let stubs = Topology.stub_routers topo in
+  (* same stub: intra-stub delay *)
+  Alcotest.(check (float 1e-9)) "intra-stub" (Topology.intra_stub_delay topo)
+    (Topology.delay topo stubs.(0) stubs.(0));
+  (* sibling stubs under the same transit: 2 x stub-transit one-way = 30 ms *)
+  Alcotest.(check (float 1e-9)) "stub-stub same domain" 0.030
+    (Topology.delay topo stubs.(0) stubs.(1));
+  (* delays are symmetric and satisfy the triangle inequality on a sample *)
+  let d a b = Topology.delay topo a b in
+  Array.iter
+    (fun s1 ->
+      Array.iter
+        (fun s2 ->
+          Alcotest.(check (float 1e-9)) "symmetric" (d s1 s2) (d s2 s1);
+          Array.iter
+            (fun s3 ->
+              Alcotest.(check bool) "triangle" true (d s1 s3 <= d s1 s2 +. d s2 s3 +. 1e-9))
+            stubs)
+        stubs)
+    stubs
+
+let test_topology_long_paths_cost_more () =
+  let rng = Rng.create 3 in
+  let topo = Topology.transit_stub rng in
+  let stubs = Topology.stub_routers topo in
+  (* crossing transits costs at least stub-transit + transit-transit hops *)
+  let same = Topology.delay topo stubs.(0) stubs.(1) in
+  (* find a pair on different transits: delays differ from the local one *)
+  let far =
+    Array.fold_left
+      (fun acc s -> Float.max acc (Topology.delay topo stubs.(0) s))
+      0.0 stubs
+  in
+  Alcotest.(check bool) "remote stubs cost more than local" true (far > same)
+
+(* {2 Testbed} *)
+
+let test_testbed_kinds () =
+  let rng = Rng.create 4 in
+  let pl = Testbed.planetlab ~n:10 rng in
+  Alcotest.(check int) "pl size" 10 (Testbed.size pl);
+  let mn = Testbed.modelnet ~hosts:20 rng in
+  Alcotest.(check int) "mn size" 20 (Testbed.size mn);
+  let cl = Testbed.cluster rng in
+  Alcotest.(check int) "default cluster is the paper's 11 nodes" 11 (Testbed.size cl);
+  let mixed = Testbed.mixed ~planetlab:5 ~modelnet:5 rng in
+  Alcotest.(check int) "mixed size" 10 (Testbed.size mixed);
+  Alcotest.(check bool) "mixed kinds" true
+    ((Testbed.host mixed 0).Testbed.kind = Testbed.Planetlab
+    && (Testbed.host mixed 9).Testbed.kind = Testbed.Modelnet)
+
+let test_testbed_latency_ordering () =
+  let rng = Rng.create 5 in
+  let cl = Testbed.cluster rng in
+  let pl = Testbed.planetlab ~n:10 rng in
+  Alcotest.(check bool) "LAN is sub-millisecond" true (Testbed.base_delay cl 0 1 < 0.001);
+  Alcotest.(check bool) "WAN is milliseconds" true (Testbed.base_delay pl 0 1 > 0.002);
+  (* base delay is stable, the jittered delay varies around it *)
+  Alcotest.(check (float 1e-12)) "base stable" (Testbed.base_delay pl 0 1)
+    (Testbed.base_delay pl 0 1);
+  let jittered = List.init 20 (fun _ -> Testbed.delay pl 0 1) in
+  Alcotest.(check bool) "jitter varies" true
+    (List.exists (fun d -> not (Float.equal d (List.hd jittered))) jittered)
+
+let test_testbed_extra_host () =
+  let rng = Rng.create 6 in
+  let tb, ctl = Testbed.with_extra_host (Testbed.planetlab ~n:5 rng) in
+  Alcotest.(check int) "appended last" 5 ctl;
+  Alcotest.(check int) "size grew" 6 (Testbed.size tb);
+  Alcotest.(check bool) "controller host is LAN-class" true
+    ((Testbed.host tb ctl).Testbed.kind = Testbed.Cluster)
+
+let test_service_delay_positive () =
+  let rng = Rng.create 7 in
+  let pl = Testbed.planetlab ~n:5 rng in
+  for h = 0 to 4 do
+    for _ = 1 to 20 do
+      Alcotest.(check bool) "service delay >= 0" true (Testbed.service_delay pl h >= 0.0)
+    done
+  done
+
+(* {2 Net} *)
+
+let with_net ?(n = 4) kind f =
+  let eng = Engine.create ~seed:8 () in
+  let tb =
+    match kind with
+    | `Cluster -> Testbed.cluster ~n (Engine.rng eng)
+    | `Modelnet bw -> Testbed.modelnet ~hosts:n ~bandwidth:bw (Engine.rng eng)
+  in
+  let net = Net.create eng tb in
+  f eng net
+
+let test_net_delivery () =
+  with_net `Cluster (fun eng net ->
+      let got = ref [] in
+      Net.bind net (Addr.make 1 9) (fun ~src payload ->
+          match payload with
+          | Probe k -> got := (src.Addr.host, k, Engine.now eng) :: !got
+          | _ -> ());
+      Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 7);
+      Engine.run eng;
+      match !got with
+      | [ (0, 7, t) ] -> Alcotest.(check bool) "delivered after positive delay" true (t > 0.0)
+      | _ -> Alcotest.fail "expected exactly one delivery")
+
+let test_net_unbound_drops () =
+  with_net `Cluster (fun eng net ->
+      Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 1);
+      Engine.run eng;
+      Alcotest.(check int) "dropped" 1 (Net.messages_dropped net);
+      Alcotest.(check int) "sent counter" 1 (Net.messages_sent net))
+
+let test_net_down_host () =
+  with_net `Cluster (fun eng net ->
+      let got = ref 0 in
+      Net.bind net (Addr.make 1 9) (fun ~src:_ _ -> incr got);
+      Net.set_host_up net 1 false;
+      Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 1);
+      Engine.run eng;
+      Alcotest.(check int) "nothing delivered to a dead host" 0 !got;
+      Net.set_host_up net 1 true;
+      Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 2);
+      Engine.run eng;
+      Alcotest.(check int) "delivered after restart" 1 !got;
+      (* sender down: silently dropped too *)
+      Net.set_host_up net 0 false;
+      Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 3);
+      Engine.run eng;
+      Alcotest.(check int) "dead sender drops" 1 !got)
+
+let test_net_loss () =
+  with_net `Cluster (fun eng net ->
+      let got = ref 0 in
+      Net.bind net (Addr.make 1 9) (fun ~src:_ _ -> incr got);
+      Net.set_loss net 0.5;
+      for _ = 1 to 200 do
+        Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 0)
+      done;
+      Engine.run eng;
+      Alcotest.(check bool)
+        (Printf.sprintf "roughly half delivered (%d/200)" !got)
+        true
+        (!got > 60 && !got < 140);
+      (* per-message override beats the global setting *)
+      Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) ~loss:0.0 (Probe 1);
+      let before = !got in
+      Engine.run eng;
+      Alcotest.(check int) "loss:0 always delivers" (before + 1) !got)
+
+let test_net_bandwidth_serializes () =
+  (* two 1 MB messages on a 1 Mbps link: store-and-forward pays the
+     transmission twice (uplink then downlink), so the first arrives ~16 s
+     in; the second is serialized ~8 s behind it *)
+  let mbps = 1_000_000.0 /. 8.0 in
+  with_net (`Modelnet mbps) (fun eng net ->
+      let arrivals = ref [] in
+      Net.bind net (Addr.make 1 9) (fun ~src:_ _ -> arrivals := Engine.now eng :: !arrivals);
+      let size = 1_000_000 in
+      Net.send net ~size ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 1);
+      Net.send net ~size ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 2);
+      Engine.run eng;
+      match List.rev !arrivals with
+      | [ t1; t2 ] ->
+          Alcotest.(check bool) "first takes ~16s" true (t1 > 15.9 && t1 < 18.0);
+          Alcotest.(check bool) "second serialized behind it" true (t2 -. t1 > 7.0)
+      | _ -> Alcotest.fail "expected two arrivals")
+
+let test_net_partition () =
+  with_net ~n:4 `Cluster (fun eng net ->
+      let got = ref 0 in
+      Net.bind net (Addr.make 2 9) (fun ~src:_ _ -> incr got);
+      Net.set_partition net (fun h -> if h < 2 then 0 else 1);
+      Alcotest.(check bool) "cross blocked" true (Net.partitioned net 0 2);
+      Alcotest.(check bool) "same side open" false (Net.partitioned net 2 3);
+      Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 2 9) (Probe 1);
+      Net.send net ~src:(Addr.make 3 1) ~dst:(Addr.make 2 9) (Probe 2);
+      Engine.run eng;
+      Alcotest.(check int) "only the same-side message arrived" 1 !got;
+      Net.clear_partition net;
+      Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 2 9) (Probe 3);
+      Engine.run eng;
+      Alcotest.(check int) "healed" 2 !got)
+
+let test_net_bind_conflicts () =
+  with_net `Cluster (fun _ net ->
+      Net.bind net (Addr.make 0 5) (fun ~src:_ _ -> ());
+      Alcotest.check_raises "double bind" (Invalid_argument "Net.bind: 0:5 already bound")
+        (fun () -> Net.bind net (Addr.make 0 5) (fun ~src:_ _ -> ()));
+      Net.unbind net (Addr.make 0 5);
+      Net.bind net (Addr.make 0 5) (fun ~src:_ _ -> ());
+      Alcotest.(check bool) "rebound" true (Net.is_bound net (Addr.make 0 5)))
+
+let test_net_rtt_estimate () =
+  with_net `Cluster (fun _ net ->
+      Alcotest.(check bool) "rtt positive" true (Net.base_rtt net 0 1 > 0.0);
+      Alcotest.(check (float 1e-12)) "rtt symmetric" (Net.base_rtt net 0 1) (Net.base_rtt net 1 0))
+
+let () =
+  Alcotest.run "splay_net"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "shape" `Quick test_topology_shape;
+          Alcotest.test_case "delays" `Quick test_topology_delays;
+          Alcotest.test_case "long paths" `Quick test_topology_long_paths_cost_more;
+        ] );
+      ( "testbed",
+        [
+          Alcotest.test_case "kinds" `Quick test_testbed_kinds;
+          Alcotest.test_case "latency ordering" `Quick test_testbed_latency_ordering;
+          Alcotest.test_case "extra host" `Quick test_testbed_extra_host;
+          Alcotest.test_case "service delay" `Quick test_service_delay_positive;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery" `Quick test_net_delivery;
+          Alcotest.test_case "unbound drops" `Quick test_net_unbound_drops;
+          Alcotest.test_case "down host" `Quick test_net_down_host;
+          Alcotest.test_case "loss" `Quick test_net_loss;
+          Alcotest.test_case "bandwidth serializes" `Quick test_net_bandwidth_serializes;
+          Alcotest.test_case "partition" `Quick test_net_partition;
+          Alcotest.test_case "bind conflicts" `Quick test_net_bind_conflicts;
+          Alcotest.test_case "rtt estimate" `Quick test_net_rtt_estimate;
+        ] );
+    ]

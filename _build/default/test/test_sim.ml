@@ -1,0 +1,489 @@
+(* Tests for the simulation substrate: RNG, heap, engine, ivar, channel. *)
+
+open Splay_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* {2 Heap} *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  Alcotest.(check int) "size" 7 (Heap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  let out = List.filter_map (fun _ -> Heap.pop h) [ (); (); (); (); (); (); () ] in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] out;
+  Alcotest.(check (option int)) "empty pop" None (Heap.pop h)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Heap.push h 1;
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort Int.compare xs)
+
+(* {2 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  (* draws from the parent must not change the child's stream *)
+  let c' = Rng.copy c in
+  ignore (Rng.int a 100);
+  Alcotest.(check int) "split unaffected" (Rng.int c' 1000) (Rng.int c 1000)
+
+let test_rng_ranges () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 10);
+    let v = Rng.int_in r 5 9 in
+    Alcotest.(check bool) "int_in range" true (v >= 5 && v <= 9);
+    let f = Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 3 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:4.0
+  done;
+  let mean = !sum /. Float.of_int n in
+  Alcotest.(check bool) "mean close to 4" true (mean > 3.8 && mean < 4.2)
+
+let test_rng_chance () =
+  let r = Rng.create 3 in
+  Alcotest.(check bool) "p=0" false (Rng.chance r 0.0);
+  Alcotest.(check bool) "p=1" true (Rng.chance r 1.0);
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.chance r 0.3 then incr hits
+  done;
+  let ratio = Float.of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "p=0.3" true (ratio > 0.27 && ratio < 0.33)
+
+let test_rng_zipf () =
+  let r = Rng.create 5 in
+  let z = Rng.Zipf.create ~n:100 ~s:1.0 in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 10_000 do
+    let k = Rng.Zipf.draw z r in
+    Alcotest.(check bool) "rank in range" true (k >= 1 && k <= 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* rank 1 must dominate rank 50 under s=1 *)
+  Alcotest.(check bool) "skewed" true (counts.(1) > counts.(50) * 5)
+
+let test_rng_sample () =
+  let r = Rng.create 11 in
+  let xs = List.init 20 Fun.id in
+  let s = Rng.sample r 5 xs in
+  Alcotest.(check int) "size" 5 (List.length s);
+  Alcotest.(check int) "no dup" 5 (List.length (List.sort_uniq Int.compare s));
+  Alcotest.(check (list int)) "all when k>=n" xs (Rng.sample r 30 xs)
+
+let prop_pareto_support =
+  QCheck.Test.make ~name:"pareto >= scale" ~count:500 QCheck.(int_bound 10_000)
+    (fun seed ->
+      let r = Rng.create seed in
+      Rng.pareto r ~scale:2.0 ~shape:1.5 >= 2.0)
+
+(* {2 Engine basics} *)
+
+let test_engine_schedule_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_fifo_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel e id;
+  Engine.cancel e id;
+  Engine.run e;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check int) "no pending" 0 (Engine.pending_events e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> incr fired));
+  Engine.run ~until:2.0 e;
+  Alcotest.(check int) "only first" 1 !fired;
+  check_float "clock clamped" 2.0 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest" 2 !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         times := Engine.now e :: !times;
+         ignore (Engine.schedule e ~delay:2.0 (fun () -> times := Engine.now e :: !times))));
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "times" [ 1.0; 3.0 ] (List.rev !times)
+
+(* {2 Processes} *)
+
+let test_proc_sleep () =
+  let e = Engine.create () in
+  let t_end = ref 0.0 in
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.sleep 1.5;
+         Engine.sleep 2.5;
+         t_end := Engine.now e));
+  Engine.run e;
+  check_float "slept" 4.0 !t_end;
+  Alcotest.(check (list reject)) "no crash" [] (List.map snd (Engine.crashed e))
+
+let test_proc_concurrent () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let mk name d = ignore (Engine.spawn e (fun () -> Engine.sleep d; log := name :: !log)) in
+  mk "slow" 3.0;
+  mk "fast" 1.0;
+  mk "mid" 2.0;
+  Engine.run e;
+  Alcotest.(check (list string)) "interleaved" [ "fast"; "mid"; "slow" ] (List.rev !log)
+
+let test_proc_kill_while_sleeping () =
+  let e = Engine.create () in
+  let cleaned = ref false and finished = ref false in
+  let p =
+    Engine.spawn e (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () ->
+            Engine.sleep 10.0;
+            finished := true))
+  in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> Engine.kill e p));
+  Engine.run e;
+  Alcotest.(check bool) "cleanup ran" true !cleaned;
+  Alcotest.(check bool) "body did not finish" false !finished;
+  Alcotest.(check bool) "dead" false (Engine.alive p);
+  check_float "killed at 1s, not 10s" 1.0 (Engine.now e)
+
+let test_proc_kill_before_start () =
+  let e = Engine.create () in
+  let ran = ref false in
+  let exited = ref false in
+  let p = Engine.spawn e (fun () -> ran := true) in
+  Engine.on_exit p (fun () -> exited := true);
+  Engine.kill e p;
+  Engine.run e;
+  Alcotest.(check bool) "never ran" false !ran;
+  Alcotest.(check bool) "exit hook ran" true !exited
+
+let test_proc_self_kill () =
+  let e = Engine.create () in
+  let after = ref false in
+  ignore
+    (Engine.spawn e (fun () ->
+         let self = Engine.self () in
+         Engine.kill e self;
+         after := true));
+  Engine.run e;
+  Alcotest.(check bool) "nothing after self-kill" false !after;
+  Alcotest.(check int) "not a crash" 0 (List.length (Engine.crashed e))
+
+let test_proc_exit_hooks_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let p = Engine.spawn e (fun () -> Engine.sleep 1.0) in
+  Engine.on_exit p (fun () -> log := 1 :: !log);
+  Engine.on_exit p (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "registration order" [ 1; 2 ] (List.rev !log);
+  (* registering after death runs immediately *)
+  let now = ref false in
+  Engine.on_exit p (fun () -> now := true);
+  Alcotest.(check bool) "immediate" true !now
+
+let test_proc_crash_recorded () =
+  let e = Engine.create () in
+  ignore (Engine.spawn e (fun () -> failwith "boom"));
+  Engine.run e;
+  match Engine.crashed e with
+  | [ (_, Failure m) ] -> Alcotest.(check string) "msg" "boom" m
+  | _ -> Alcotest.fail "expected one crash"
+
+let test_suspend_resolve_once () =
+  let e = Engine.create () in
+  let resolver = ref None in
+  let got = ref [] in
+  ignore
+    (Engine.spawn e (fun () ->
+         let v = Engine.suspend_ (fun resolve -> resolver := Some resolve) in
+         got := v :: !got));
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         match !resolver with
+         | Some r ->
+             r (Ok 1);
+             r (Ok 2)
+         | None -> Alcotest.fail "no resolver"));
+  Engine.run e;
+  Alcotest.(check (list int)) "only first resolve" [ 1 ] !got
+
+let test_suspend_error () =
+  let e = Engine.create () in
+  let caught = ref false in
+  ignore
+    (Engine.spawn e (fun () ->
+         try ignore (Engine.suspend_ (fun resolve -> resolve (Error Not_found)))
+         with Not_found -> caught := true));
+  Engine.run e;
+  Alcotest.(check bool) "exn delivered" true !caught
+
+(* {2 Ivar} *)
+
+let test_ivar_basic () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  ignore (Engine.spawn e (fun () -> got := Ivar.read iv));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> Ivar.fill iv 42));
+  Engine.run e;
+  Alcotest.(check int) "read" 42 !got;
+  Alcotest.(check bool) "filled" true (Ivar.is_filled iv);
+  Alcotest.(check bool) "double fill refused" false (Ivar.try_fill iv 1)
+
+let test_ivar_read_after_fill () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  Ivar.fill iv 7;
+  let got = ref 0 in
+  ignore (Engine.spawn e (fun () -> got := Ivar.read iv));
+  Engine.run e;
+  Alcotest.(check int) "immediate" 7 !got
+
+let test_ivar_timeout () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref (Some 1) in
+  ignore (Engine.spawn e (fun () -> got := Ivar.read_timeout iv 1.0));
+  Engine.run e;
+  Alcotest.(check (option int)) "timed out" None !got;
+  check_float "timeout respected" 1.0 (Engine.now e)
+
+let test_ivar_timeout_beaten () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref None in
+  ignore (Engine.spawn e (fun () -> got := Ivar.read_timeout iv 5.0));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> Ivar.fill iv 9));
+  Engine.run e;
+  Alcotest.(check (option int)) "value wins" (Some 9) !got
+
+let test_ivar_multiple_readers () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let sum = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Engine.spawn e (fun () -> sum := !sum + Ivar.read iv))
+  done;
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> Ivar.fill iv 10));
+  Engine.run e;
+  Alcotest.(check int) "all woken" 30 !sum
+
+(* {2 Channel} *)
+
+let test_channel_fifo () =
+  let e = Engine.create () in
+  let c = Channel.create () in
+  let got = ref [] in
+  ignore
+    (Engine.spawn e (fun () ->
+         for _ = 1 to 3 do
+           got := Channel.recv c :: !got
+         done));
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         Channel.send c 1;
+         Channel.send c 2;
+         Channel.send c 3));
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_channel_buffered () =
+  let e = Engine.create () in
+  let c = Channel.create () in
+  Channel.send c 5;
+  Alcotest.(check int) "buffered" 1 (Channel.length c);
+  let got = ref 0 in
+  ignore (Engine.spawn e (fun () -> got := Channel.recv c));
+  Engine.run e;
+  Alcotest.(check int) "got" 5 !got;
+  Alcotest.(check int) "drained" 0 (Channel.length c)
+
+let test_channel_timeout_skips_dead_receiver () =
+  let e = Engine.create () in
+  let c = Channel.create () in
+  let first = ref (Some 99) and second = ref 0 in
+  ignore (Engine.spawn e (fun () -> first := Channel.recv_timeout c 1.0));
+  ignore (Engine.spawn e (fun () -> second := Channel.recv c));
+  (* send after the first receiver timed out: must reach the second *)
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> Channel.send c 7));
+  Engine.run e;
+  Alcotest.(check (option int)) "first timed out" None !first;
+  Alcotest.(check int) "second got it" 7 !second
+
+let test_channel_try_recv () =
+  let c : int Channel.t = Channel.create () in
+  Alcotest.(check (option int)) "empty" None (Channel.try_recv c);
+  Channel.send c 1;
+  Alcotest.(check (option int)) "some" (Some 1) (Channel.try_recv c)
+
+let test_channel_competing_receivers () =
+  let e = Engine.create () in
+  let c = Channel.create () in
+  let got = ref [] in
+  (* bind the blocking recv before reading [!got]: another process may have
+     appended while we were suspended (the shared-state pitfall of
+     cooperative threads that the paper discusses in Section 4) *)
+  for i = 1 to 2 do
+    ignore
+      (Engine.spawn e (fun () ->
+           let v = Channel.recv c in
+           got := (i, v) :: !got))
+  done;
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         Channel.send c "x";
+         Channel.send c "y"));
+  Engine.run e;
+  let sorted = List.sort compare !got in
+  Alcotest.(check (list (pair int string))) "each got one" [ (1, "x"); (2, "y") ] sorted
+
+(* Determinism of a whole run: same seed, same interleavings. *)
+let test_determinism () =
+  let run_once seed =
+    let e = Engine.create ~seed () in
+    let log = Buffer.create 64 in
+    let r = Engine.rng e in
+    for i = 1 to 5 do
+      ignore
+        (Engine.spawn e (fun () ->
+             Engine.sleep (Rng.float r 10.0);
+             Buffer.add_string log (Printf.sprintf "%d@%.6f;" i (Engine.now e))))
+    done;
+    Engine.run e;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical runs" (run_once 9) (run_once 9);
+  Alcotest.(check bool) "seed changes run" true (run_once 9 <> run_once 10)
+
+let prop_schedule_cancel_accounting =
+  QCheck.Test.make ~name:"fired events = scheduled - cancelled" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_range 0.0 100.0)) (int_bound 30))
+    (fun (delays, to_cancel) ->
+      let e = Engine.create () in
+      let fired = ref 0 in
+      let ids = List.map (fun d -> Engine.schedule e ~delay:d (fun () -> incr fired)) delays in
+      let cancelled =
+        List.filteri (fun i _ -> i < to_cancel) ids
+      in
+      List.iter (Engine.cancel e) cancelled;
+      (* double-cancel must not double-count *)
+      List.iter (Engine.cancel e) cancelled;
+      Engine.run e;
+      !fired = List.length delays - List.length cancelled && Engine.pending_events e = 0)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_heap_sorted; prop_pareto_support; prop_schedule_cancel_accounting ]
+
+let () =
+  Alcotest.run "splay_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "chance" `Quick test_rng_chance;
+          Alcotest.test_case "zipf" `Quick test_rng_zipf;
+          Alcotest.test_case "sample" `Quick test_rng_sample;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "schedule order" `Quick test_engine_schedule_order;
+          Alcotest.test_case "fifo same time" `Quick test_engine_fifo_same_time;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "sleep" `Quick test_proc_sleep;
+          Alcotest.test_case "concurrent" `Quick test_proc_concurrent;
+          Alcotest.test_case "kill while sleeping" `Quick test_proc_kill_while_sleeping;
+          Alcotest.test_case "kill before start" `Quick test_proc_kill_before_start;
+          Alcotest.test_case "self kill" `Quick test_proc_self_kill;
+          Alcotest.test_case "exit hooks order" `Quick test_proc_exit_hooks_order;
+          Alcotest.test_case "crash recorded" `Quick test_proc_crash_recorded;
+          Alcotest.test_case "resolve once" `Quick test_suspend_resolve_once;
+          Alcotest.test_case "suspend error" `Quick test_suspend_error;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "basic" `Quick test_ivar_basic;
+          Alcotest.test_case "read after fill" `Quick test_ivar_read_after_fill;
+          Alcotest.test_case "timeout" `Quick test_ivar_timeout;
+          Alcotest.test_case "timeout beaten" `Quick test_ivar_timeout_beaten;
+          Alcotest.test_case "multiple readers" `Quick test_ivar_multiple_readers;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "fifo" `Quick test_channel_fifo;
+          Alcotest.test_case "buffered" `Quick test_channel_buffered;
+          Alcotest.test_case "timeout skips dead receiver" `Quick test_channel_timeout_skips_dead_receiver;
+          Alcotest.test_case "try_recv" `Quick test_channel_try_recv;
+          Alcotest.test_case "competing receivers" `Quick test_channel_competing_receivers;
+        ] );
+      ("properties", qsuite);
+    ]
