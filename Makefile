@@ -1,0 +1,13 @@
+all:
+	dune build @all
+
+check:
+	dune build @all && dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+.PHONY: all check test bench

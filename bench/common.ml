@@ -14,6 +14,26 @@ let scale = ref Quick
 
 let pick ~quick ~full = match !scale with Quick -> quick | Full -> full
 
+(* Observability: --obs enables the layer and prints the metric summary
+   after each experiment; --obs-trace=FILE additionally dumps the JSONL
+   trace of the last experiment run. *)
+let obs_summary = ref false
+let obs_trace_path : string option ref = ref None
+
+let obs_begin () = if !obs_summary || !obs_trace_path <> None then Obs.enabled := true
+
+let obs_end () =
+  if !Obs.enabled then begin
+    (match !obs_trace_path with
+    | Some path ->
+        Obs.dump_jsonl ~path ();
+        Printf.printf "  obs: wrote JSONL trace to %s (%d spans)\n" path (Obs.span_count ())
+    | None -> ());
+    if !obs_summary then Obs.report ();
+    Obs.enabled := false;
+    Obs.reset ()
+  end
+
 (* Bring up a testbed + controller + daemons and run [main] to completion.
    The engine is drained up to [horizon] after main finishes its work. *)
 let with_platform ?(seed = 42) ?daemon_config ?(horizon = 100_000.0) spec main =
@@ -31,7 +51,7 @@ let with_platform ?(seed = 42) ?daemon_config ?(horizon = 100_000.0) spec main =
                (Engine.schedule (Platform.engine p) ~delay:0.0 (fun () ->
                     Env.stop (Controller.env (Platform.controller p)))))
            (fun () -> result := Some (main p))));
-  Engine.run ~until:horizon (Platform.engine p);
+  ignore (Engine.run ~until:horizon (Platform.engine p));
   (match Engine.crashed (Platform.engine p) with
   | [] -> ()
   | (proc, e) :: _ ->

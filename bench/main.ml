@@ -41,6 +41,14 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let listing = List.mem "--list" args in
+  Common.obs_summary := List.mem "--obs" args;
+  List.iter
+    (fun a ->
+      let prefix = "--obs-trace=" in
+      let np = String.length prefix in
+      if String.length a > np && String.sub a 0 np = prefix then
+        Common.obs_trace_path := Some (String.sub a np (String.length a - np)))
+    args;
   let selected =
     List.filter_map
       (fun a ->
@@ -72,7 +80,9 @@ let () =
     List.iter
       (fun (id, _, run) ->
         let t0 = Sys.time () in
+        Common.obs_begin ();
         run ();
+        Common.obs_end ();
         Printf.printf "  (%s took %.1f s of CPU)\n%!" id (Sys.time () -. t0))
       to_run
   end

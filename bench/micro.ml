@@ -51,7 +51,7 @@ let bench_simulated_rpc () =
       ignore
         (Env.thread client (fun () ->
              ignore (Rpc.call client server.Env.me "echo" [ Codec.Int 42 ])));
-      Engine.run eng)
+      ignore (Engine.run eng))
 
 let tests =
   Test.make_grouped ~name:"splay"

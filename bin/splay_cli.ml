@@ -35,7 +35,13 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace speedup seed descriptor_file =
+let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace speedup seed descriptor_file obs_trace =
+  (* Arm the observability layer before the platform exists so daemon
+     boot and deployment are part of the trace. *)
+  if obs_trace <> None then begin
+    Obs.reset ();
+    Obs.enabled := true
+  end;
   let spec =
     match testbed with
     | Tb_planetlab -> Platform.Planetlab hosts
@@ -152,7 +158,18 @@ let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace sp
       Controller.undeploy dep;
       List.iter Daemon.shutdown (Platform.daemons p);
       ignore
-        (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
+        (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))));
+  match obs_trace with
+  | Some path ->
+      Obs.enabled := false;
+      (try
+         Obs.dump_jsonl ~path ();
+         Printf.printf "observability: wrote JSONL trace to %s (%d spans)\n" path
+           (Obs.span_count ())
+       with Sys_error msg ->
+         Printf.eprintf "observability: cannot write trace: %s\n" msg;
+         exit 1)
+  | None -> ()
 
 let run_term =
   let app_arg =
@@ -182,9 +199,19 @@ let run_term =
       & info [ "descriptor" ]
           ~doc:"Job file with a BEGIN SPLAY RESOURCES RESERVATION header (overrides --nodes).")
   in
+  let obs_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ]
+          ~docv:"FILE"
+          ~doc:
+            "Enable the deterministic observability layer and write its JSONL trace (engine, \
+             RPC, network and controller spans plus metrics) to $(docv).")
+  in
   Term.(
     const run_cmd $ app_arg $ testbed $ hosts $ nodes $ duration $ lookups $ churn_script
-    $ churn_trace $ speedup $ seed $ descriptor)
+    $ churn_trace $ speedup $ seed $ descriptor $ obs_trace)
 
 let run_cmd_info = Cmd.info "run" ~doc:"Deploy an application on a simulated testbed and measure it."
 

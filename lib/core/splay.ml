@@ -25,6 +25,9 @@ module Heap = Splay_sim.Heap
 module Ivar = Splay_sim.Ivar
 module Channel = Splay_sim.Channel
 
+(* Observability: deterministic tracing + metrics across all layers *)
+module Obs = Splay_obs.Obs
+
 (* Statistics and reporting *)
 module Dist = Splay_stats.Dist
 module Summary = Splay_stats.Summary
@@ -109,7 +112,7 @@ module Platform = struct
       an experiment with a dying protocol is not a result. *)
   let run ?until t main =
     ignore (Env.thread (Controller.env t.controller) ~name:"experiment-main" (fun () -> main t));
-    Engine.run ?until t.engine;
+    ignore (Engine.run ?until t.engine);
     match Engine.crashed t.engine with
     | [] -> ()
     | (p, e) :: _ ->

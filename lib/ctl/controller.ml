@@ -5,6 +5,14 @@ module Env = Splay_runtime.Env
 module Rpc = Splay_runtime.Rpc
 module Codec = Splay_runtime.Codec
 module Log = Splay_runtime.Log
+module Obs = Splay_obs.Obs
+
+(* Observability sites for the REGISTER / LIST / START / FREE machinery. *)
+let c_heartbeats = Obs.counter "ctl.heartbeats"
+let c_registers = Obs.counter "ctl.registers_sent"
+let c_register_acks = Obs.counter "ctl.register_acks"
+let c_blacklist = Obs.counter "ctl.blacklist_pushes"
+let h_heartbeat_age = Obs.histogram "ctl.heartbeat_age"
 
 type drec = { dr_daemon : Daemon.t; mutable dr_last_seen : float }
 
@@ -56,7 +64,11 @@ let create ?(unseen_timeout = 3600.0) net ~host =
           | [ h ] -> (
               let h = Codec.to_int h in
               match List.find_opt (fun d -> Daemon.host d.dr_daemon = h) t.c_daemons with
-              | Some d -> d.dr_last_seen <- Engine.now (Net.engine net)
+              | Some d ->
+                  let now = Engine.now (Net.engine net) in
+                  Obs.incr c_heartbeats;
+                  if !Obs.enabled then Obs.observe h_heartbeat_age (now -. d.dr_last_seen);
+                  d.dr_last_seen <- now
               | None -> ())
           | _ -> failwith "heartbeat: bad arguments");
           Codec.Null );
@@ -112,17 +124,69 @@ let matches tb crit d =
   | On_testbed k -> h.Testbed.kind = k
   | Custom f -> f h
 
-let select t ?(criteria = []) n =
+let criterion_label = function
+  | Min_bandwidth _ -> "min_bandwidth"
+  | Near _ -> "near"
+  | On_testbed _ -> "on_testbed"
+  | Custom _ -> "custom"
+
+type selection_report = {
+  sel_alive : int;
+  sel_dead : int;
+  sel_matched : int;
+  sel_rejected : (string * int) list;
+}
+
+(* A daemon is charged to the *first* criterion that rejects it, in the
+   order the caller listed them — "12 hosts failed min_bandwidth" is the
+   diagnosis the deployer needs when a job comes up short. *)
+let select_report t ?(criteria = []) n =
   let tb = Net.testbed t.c_net in
+  let rejected = List.map (fun c -> (criterion_label c, ref 0)) criteria in
+  let dead = ref 0 in
+  let all = List.rev t.c_daemons in
   let pool =
-    List.filter (fun d -> List.for_all (fun c -> matches tb c d) criteria) (alive_daemons t)
+    List.filter_map
+      (fun dr ->
+        if not (daemon_alive t dr) then begin
+          incr dead;
+          None
+        end
+        else
+          let d = dr.dr_daemon in
+          let rec check crits counts =
+            match (crits, counts) with
+            | [], _ -> Some d
+            | c :: crits', (_, r) :: counts' ->
+                if matches tb c d then check crits' counts'
+                else begin
+                  incr r;
+                  None
+                end
+            | _ :: _, [] -> assert false
+          in
+          check criteria rejected)
+      all
   in
-  match pool with
-  | [] -> []
-  | _ ->
-      let arr = Array.of_list pool in
-      Rng.shuffle t.c_rng arr;
-      List.init n (fun i -> arr.(i mod Array.length arr))
+  let report =
+    {
+      sel_alive = List.length all - !dead;
+      sel_dead = !dead;
+      sel_matched = List.length pool;
+      sel_rejected = List.map (fun (l, r) -> (l, !r)) rejected;
+    }
+  in
+  let chosen =
+    match pool with
+    | [] -> []
+    | _ ->
+        let arr = Array.of_list pool in
+        Rng.shuffle t.c_rng arr;
+        List.init n (fun i -> arr.(i mod Array.length arr))
+  in
+  (chosen, report)
+
+let select t ?criteria n = fst (select_report t ?criteria n)
 
 (* {1 Probing} *)
 
@@ -178,6 +242,7 @@ let dispatch_interval = 0.002
 (* Register a batch of candidate slots in parallel; return the first [need]
    acknowledgements (in arrival order) and FREE the stragglers. *)
 let register_round t job ~timeout candidates ~need =
+  Obs.add c_registers (List.length candidates);
   let winners = ref [] and n_winners = ref 0 in
   let remaining = ref (List.length candidates) in
   let done_iv = Ivar.create () in
@@ -191,6 +256,7 @@ let register_round t job ~timeout candidates ~need =
              in
              (match res with
              | Ok port_v ->
+                 Obs.incr c_register_acks;
                  let a = Addr.make (Daemon.host d) (Codec.to_int port_v) in
                  if !n_winners < need then begin
                    winners := (d, a) :: !winners;
@@ -250,6 +316,13 @@ let parallel_all ?(paced = false) t thunks =
 let deploy t ?(superset = 1.25) ?(register_timeout = 10.0) ?(criteria = []) ~name ~main desc =
   let job = new_job t name main desc in
   let need = desc.Descriptor.nb_splayd in
+  let sp_deploy =
+    if !Obs.enabled then
+      Obs.span
+        ~attrs:[ ("job", string_of_int job.j_id); ("name", name); ("need", string_of_int need) ]
+        "ctl.deploy"
+    else Obs.null_span
+  in
   (* the initial superset, then up to two refill rounds for shortfalls *)
   let rec gather acc round =
     let missing = need - List.length acc in
@@ -257,8 +330,26 @@ let deploy t ?(superset = 1.25) ?(register_timeout = 10.0) ?(criteria = []) ~nam
     else begin
       let factor = if round = 1 then superset else superset +. 0.25 in
       let want = int_of_float (Float.ceil (Float.of_int missing *. factor)) in
-      let cands = select t ~criteria want in
+      let cands, sel = select_report t ~criteria want in
+      if List.length cands < want && !Obs.enabled then
+        Obs.event
+          ~attrs:
+            (( "round", string_of_int round )
+             :: ("want", string_of_int want)
+             :: ("matched", string_of_int sel.sel_matched)
+             :: ("dead", string_of_int sel.sel_dead)
+             :: List.map (fun (l, n) -> ("rejected_" ^ l, string_of_int n)) sel.sel_rejected)
+          "ctl.select_short";
+      let sp_round =
+        if !Obs.enabled then
+          Obs.span
+            ~attrs:[ ("round", string_of_int round); ("candidates", string_of_int (List.length cands)) ]
+            "ctl.register_round"
+        else Obs.null_span
+      in
       let won = register_round t job ~timeout:register_timeout cands ~need:missing in
+      if !Obs.enabled then
+        Obs.finish ~attrs:[ ("won", string_of_int (List.length won)) ] sp_round;
       gather (acc @ won) (round + 1)
     end
   in
@@ -272,6 +363,11 @@ let deploy t ?(superset = 1.25) ?(register_timeout = 10.0) ?(criteria = []) ~nam
       winners
   in
   job.j_next_position <- List.length members + 1;
+  let sp_start =
+    if !Obs.enabled then
+      Obs.span ~attrs:[ ("members", string_of_int (List.length members)) ] "ctl.start_phase"
+    else Obs.null_span
+  in
   parallel_all ~paced:true t
     (List.map
        (fun (d, a, position) ->
@@ -279,7 +375,10 @@ let deploy t ?(superset = 1.25) ?(register_timeout = 10.0) ?(criteria = []) ~nam
           let nodes = bootstrap_nodes t desc ~all_members:all_addrs ~for_position:position in
           ignore (start_member t job ~position ~nodes (d, a)))
        members);
+  Obs.finish sp_start;
   job.j_members <- List.rev members;
+  if !Obs.enabled then
+    Obs.finish ~attrs:[ ("members", string_of_int (List.length members)) ] sp_deploy;
   { dep_ctl = t; dep_job = job }
 
 let deployment_job dep = dep.dep_job
@@ -369,6 +468,8 @@ let log_lines dep = dep.dep_job.j_log_lines
 let log_bytes dep = dep.dep_job.j_log_bytes
 
 let push_blacklist t h =
+  Obs.incr c_blacklist;
+  if !Obs.enabled then Obs.event ~attrs:[ ("host", string_of_int h) ] "ctl.blacklist_push";
   parallel_all t
     (List.map
        (fun d ->

@@ -47,6 +47,25 @@ type criterion =
   | On_testbed of Testbed.kind
   | Custom of (Testbed.host -> bool)
 
+val criterion_label : criterion -> string
+(** Stable label used in {!selection_report} and in trace attributes. *)
+
+type selection_report = {
+  sel_alive : int;  (** alive daemons considered *)
+  sel_dead : int;  (** daemons skipped: host down or session stale *)
+  sel_matched : int;  (** daemons satisfying every criterion *)
+  sel_rejected : (string * int) list;
+      (** per-criterion rejection counts, in the caller's criteria order; a
+          daemon is charged to the first criterion that rejects it *)
+}
+(** Why a selection came up short — the paper's deployments silently get
+    fewer daemons than asked; this makes the failure diagnosable. *)
+
+val select_report : t -> ?criteria:criterion list -> int -> Daemon.t list * selection_report
+(** Like {!select}, also returning where the candidate pool was lost.
+    Consumes the same RNG stream as {!select}, so the chosen daemons are
+    identical for a given engine state. *)
+
 val select : t -> ?criteria:criterion list -> int -> Daemon.t list
 (** [select t n] returns up to [n] instance slots over the alive daemons
     matching all criteria — cycling over daemons when [n] exceeds the host

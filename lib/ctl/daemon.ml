@@ -4,6 +4,16 @@ module Log = Splay_runtime.Log
 module Env = Splay_runtime.Env
 module Rpc = Splay_runtime.Rpc
 module Codec = Splay_runtime.Codec
+module Obs = Splay_obs.Obs
+
+(* Per-command counters on the daemon side of the job state machine; the
+   REGISTER span captures the service pause that makes loaded hosts slow
+   to accept instances (the reason deployments over-provision). *)
+let c_register = Obs.counter "splayd.register"
+let c_list = Obs.counter "splayd.list"
+let c_start = Obs.counter "splayd.start"
+let c_stop = Obs.counter "splayd.stop"
+let c_free = Obs.counter "splayd.free"
 
 type config = {
   base_footprint : int;
@@ -125,10 +135,18 @@ let fresh_env t spec ~port =
 let handle_register t args =
   match args with
   | [ job_v ] ->
+      Obs.incr c_register;
+      let sp =
+        if !Obs.enabled then
+          Obs.span ~attrs:[ ("host", string_of_int t.d_host) ] "splayd.register"
+        else Obs.null_span
+      in
       service_pause t;
       let job = Codec.to_int job_v in
       (match t.lookup_job job with
-      | None -> failwith "unknown job"
+      | None ->
+          Obs.finish ~attrs:[ ("outcome", "unknown_job") ] sp;
+          failwith "unknown job"
       | Some spec ->
           let port = t.next_port in
           t.next_port <- t.next_port + 1;
@@ -138,10 +156,12 @@ let handle_register t args =
           in
           t.insts <- inst :: t.insts;
           refresh_host_model t;
+          if !Obs.enabled then Obs.finish ~attrs:[ ("port", string_of_int port) ] sp;
           Codec.Int port)
   | _ -> failwith "register: bad arguments"
 
 let handle_list t args =
+  Obs.incr c_list;
   match args with
   | [ port_v; position_v; nodes_v ] -> (
       let port = Codec.to_int port_v in
@@ -154,6 +174,7 @@ let handle_list t args =
   | _ -> failwith "list: bad arguments"
 
 let handle_start t args =
+  Obs.incr c_start;
   match args with
   | [ job_v; port_v ] -> (
       let job = Codec.to_int job_v and port = Codec.to_int port_v in
@@ -173,6 +194,7 @@ let handle_start t args =
    back to the "selected" state of the paper's state machine and can be
    STARTed again. *)
 let handle_stop t args =
+  Obs.incr c_stop;
   match args with
   | [ port_v ] -> (
       let port = Codec.to_int port_v in
@@ -192,6 +214,7 @@ let handle_stop t args =
   | _ -> failwith "stop: bad arguments"
 
 let handle_free t args =
+  Obs.incr c_free;
   match args with
   | [ port_v ] ->
       let port = Codec.to_int port_v in

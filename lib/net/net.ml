@@ -1,5 +1,14 @@
 module Engine = Splay_sim.Engine
 module Rng = Splay_sim.Rng
+module Obs = Splay_obs.Obs
+
+(* Observability sites; [net.link_wait] is the time a message spends
+   queued behind earlier transfers in the sender's uplink and the
+   receiver's downlink — the signal that a link is saturating. *)
+let c_msgs = Obs.counter "net.msgs_sent"
+let c_obs_bytes = Obs.counter "net.bytes_sent"
+let c_drops = Obs.counter "net.dropped"
+let h_link_wait = Obs.histogram "net.link_wait"
 
 type payload = ..
 
@@ -70,7 +79,12 @@ let base_rtt t a b = 2.0 *. Testbed.base_delay t.tb a b
 let send t ?(size = 256) ?loss ~src ~dst payload =
   t.n_sent <- t.n_sent + 1;
   t.n_bytes <- t.n_bytes + size;
-  let drop () = t.n_dropped <- t.n_dropped + 1 in
+  Obs.incr c_msgs;
+  Obs.add c_obs_bytes size;
+  let drop () =
+    t.n_dropped <- t.n_dropped + 1;
+    Obs.incr c_drops
+  in
   let hs = Testbed.host t.tb src.Addr.host in
   if (not hs.Testbed.up) || partitioned t src.Addr.host dst.Addr.host then drop ()
   else begin
@@ -90,6 +104,7 @@ let send t ?(size = 256) ?loss ~src ~dst payload =
       hd.Testbed.down_busy <- start_down +. tx_down;
       let processing = Testbed.proc_cost t.tb dst.Addr.host in
       let deliver_at = start_down +. tx_down +. processing in
+      if !Obs.enabled then Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
       ignore
         (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
              if not hd.Testbed.up then drop ()

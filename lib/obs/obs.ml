@@ -1,0 +1,273 @@
+module Report = Splay_stats.Report
+
+let enabled = ref false
+
+let clock = ref (fun () -> 0.0)
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* {1 Trace buffer}
+
+   Records are rendered to JSON eagerly and appended to one buffer: the
+   rendering cost is only paid when tracing is on, and the buffer contents
+   are the deterministic artifact (no hash-order, no wall clock). *)
+
+let buf = Buffer.create 4096
+let next_span = ref 1
+let spans_started = ref 0
+
+type span = int
+
+let null_span = 0
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_attrs b attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      add_json_string b k;
+      Buffer.add_char b ':';
+      add_json_string b v)
+    attrs
+
+(* All times are virtual seconds; fixed-point rendering keeps the trace
+   stable across printf implementations. *)
+let add_time b = Buffer.add_string b (Printf.sprintf "%.6f" (!clock ()))
+
+let span ?(attrs = []) name =
+  if not !enabled then null_span
+  else begin
+    let id = !next_span in
+    next_span := id + 1;
+    incr spans_started;
+    Buffer.add_string buf "{\"t\":";
+    add_time buf;
+    Buffer.add_string buf ",\"ev\":\"B\",\"id\":";
+    Buffer.add_string buf (string_of_int id);
+    Buffer.add_string buf ",\"name\":";
+    add_json_string buf name;
+    add_attrs buf attrs;
+    Buffer.add_string buf "}\n";
+    id
+  end
+
+let finish ?(attrs = []) s =
+  if s <> null_span && !enabled then begin
+    Buffer.add_string buf "{\"t\":";
+    add_time buf;
+    Buffer.add_string buf ",\"ev\":\"E\",\"id\":";
+    Buffer.add_string buf (string_of_int s);
+    add_attrs buf attrs;
+    Buffer.add_string buf "}\n"
+  end
+
+let event ?(attrs = []) name =
+  if !enabled then begin
+    Buffer.add_string buf "{\"t\":";
+    add_time buf;
+    Buffer.add_string buf ",\"ev\":\"P\",\"name\":";
+    add_json_string buf name;
+    add_attrs buf attrs;
+    Buffer.add_string buf "}\n"
+  end
+
+let with_span ?attrs name f =
+  if not !enabled then f ()
+  else begin
+    let s = span ?attrs name in
+    match f () with
+    | v ->
+        finish s;
+        v
+    | exception e ->
+        finish ~attrs:[ ("outcome", "exn") ] s;
+        raise e
+  end
+
+let span_count () = !spans_started
+
+(* {1 Metrics} *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float; mutable g_max : float }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr c = if !enabled then c.c_value <- c.c_value + 1
+let add c n = if !enabled then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0.0; g_max = neg_infinity } in
+      Hashtbl.replace gauges name g;
+      g
+
+let gauge_set g v =
+  if !enabled then begin
+    g.g_value <- v;
+    if v > g.g_max then g.g_max <- v
+  end
+
+let gauge_value g = g.g_value
+let gauge_max g = g.g_max
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h = { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity } in
+      Hashtbl.replace histograms name h;
+      h
+
+let observe h v =
+  if !enabled then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+let histogram_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. Float.of_int h.h_count
+
+let reset () =
+  Buffer.clear buf;
+  next_span := 1;
+  spans_started := 0;
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- 0.0;
+      g.g_max <- neg_infinity)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity)
+    histograms
+
+(* {1 Output} *)
+
+let trace_jsonl () = Buffer.contents buf
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let metrics_jsonl () =
+  let lines = ref [] in
+  Hashtbl.iter
+    (fun _ c ->
+      if c.c_value <> 0 then
+        lines :=
+          ( c.c_name,
+            Printf.sprintf "{\"metric\":%S,\"type\":\"counter\",\"value\":%d}" c.c_name c.c_value )
+          :: !lines)
+    counters;
+  Hashtbl.iter
+    (fun _ g ->
+      if g.g_max > neg_infinity then
+        lines :=
+          ( g.g_name,
+            Printf.sprintf "{\"metric\":%S,\"type\":\"gauge\",\"value\":%s,\"max\":%s}" g.g_name
+              (fmt_float g.g_value) (fmt_float g.g_max) )
+          :: !lines)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      if h.h_count <> 0 then
+        lines :=
+          ( h.h_name,
+            Printf.sprintf
+              "{\"metric\":%S,\"type\":\"hist\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
+              h.h_name h.h_count (fmt_float h.h_sum) (fmt_float h.h_min) (fmt_float h.h_max) )
+          :: !lines)
+    histograms;
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !lines in
+  String.concat "" (List.map (fun (_, l) -> l ^ "\n") sorted)
+
+let dump_jsonl ~path () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (trace_jsonl ());
+      output_string oc (metrics_jsonl ()))
+
+let report () =
+  Report.section "Observability summary (Splay_obs)";
+  let sorted_tbl tbl =
+    Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  in
+  let cs =
+    List.sort
+      (fun a b -> String.compare a.c_name b.c_name)
+      (List.filter (fun c -> c.c_value <> 0) (sorted_tbl counters))
+  in
+  if cs <> [] then
+    Report.table ~header:[ "counter"; "value" ]
+      (List.map (fun c -> [ c.c_name; string_of_int c.c_value ]) cs);
+  let gs =
+    List.sort
+      (fun a b -> String.compare a.g_name b.g_name)
+      (List.filter (fun g -> g.g_max > neg_infinity) (sorted_tbl gauges))
+  in
+  if gs <> [] then
+    Report.table ~header:[ "gauge"; "value"; "max" ]
+      (List.map (fun g -> [ g.g_name; fmt_float g.g_value; fmt_float g.g_max ]) gs);
+  let hs =
+    List.sort
+      (fun a b -> String.compare a.h_name b.h_name)
+      (List.filter (fun h -> h.h_count <> 0) (sorted_tbl histograms))
+  in
+  if hs <> [] then
+    Report.table
+      ~header:[ "histogram"; "count"; "mean"; "min"; "max" ]
+      (List.map
+         (fun h ->
+           [
+             h.h_name;
+             string_of_int h.h_count;
+             Report.float_cell ~decimals:6 (h.h_sum /. Float.of_int h.h_count);
+             Report.float_cell ~decimals:6 h.h_min;
+             Report.float_cell ~decimals:6 h.h_max;
+           ])
+         hs);
+  Report.kvf "trace spans" "%d" !spans_started

@@ -1,0 +1,118 @@
+(** Deterministic tracing and metrics for the whole stack.
+
+    The paper's evaluation is built from log collection and per-host
+    measurements; [Obs] is the reproduction's equivalent: one global
+    registry of hierarchical trace {e spans} and {e counters / gauges /
+    histograms}, shared by the engine, the RPC layer, the network model and
+    the controller. Every record is keyed on the engine's {e virtual}
+    clock, never the wall clock, so with a fixed seed the JSONL trace of a
+    run is bit-for-bit identical across executions and machines.
+
+    The API is zero-cost when disabled: every instrumentation site checks
+    the single {!enabled} flag once; with it off, no span is allocated and
+    no metric is touched (instrumented hot paths allocate nothing). Sites
+    that build attribute lists must guard themselves:
+
+    {[
+      if !Obs.enabled then
+        Obs.event ~attrs:[ ("host", string_of_int h) ] "ctl.blacklist_push"
+    ]}
+
+    Metric objects ({!counter}, {!gauge}, {!histogram}) are created once at
+    the instrumentation site (typically at module initialisation) and are
+    cheap mutable cells afterwards; creating the same name twice returns
+    the same cell. *)
+
+val enabled : bool ref
+(** Master switch, off by default. Check it once per site before building
+    attribute lists; the recording primitives also check it. *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the virtual-clock source. {!Splay_sim.Engine.create} calls
+    this, so the most recently created engine stamps the trace. *)
+
+val now : unit -> float
+(** Current virtual time as seen by the trace (0.0 before any engine
+    exists). *)
+
+val reset : unit -> unit
+(** Clear the trace buffer, zero every registered metric and restart span
+    numbering. Call between independent runs that must produce
+    independent traces. *)
+
+(** {1 Spans}
+
+    A span is a named interval of virtual time with string attributes.
+    Spans are identified by small integers; {!null_span} is the disabled
+    sentinel, so starting a span while disabled allocates nothing. *)
+
+type span = private int
+
+val null_span : span
+
+val span : ?attrs:(string * string) list -> string -> span
+(** Begin a span at the current virtual instant. Returns {!null_span}
+    (and records nothing) when disabled. *)
+
+val finish : ?attrs:(string * string) list -> span -> unit
+(** End a span; extra attributes (e.g. the outcome) are attached to the
+    end record. Finishing {!null_span} is a no-op. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] wraps [f ()] in a span, finishing it even on
+    exception (the end record then carries [("outcome", "exn")]). *)
+
+val event : ?attrs:(string * string) list -> string -> unit
+(** Record an instantaneous point event. *)
+
+val span_count : unit -> int
+(** Number of spans started since the last {!reset} (tests use this to
+    assert the disabled mode records nothing). *)
+
+(** {1 Metrics} *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create a monotonic integer counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : string -> gauge
+(** Find-or-create a last-value gauge; the high-water mark is kept too. *)
+
+val gauge_set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_max : gauge -> float
+
+type histogram
+
+val histogram : string -> histogram
+(** Find-or-create a histogram summarised as count / sum / min / max. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_mean : histogram -> float
+
+(** {1 Output} *)
+
+val trace_jsonl : unit -> string
+(** The trace so far, one JSON object per line, in record order:
+    [{"t":…,"ev":"B"|"E"|"P",…}] for span-begin, span-end and point
+    events. Deterministic under a fixed seed. *)
+
+val metrics_jsonl : unit -> string
+(** Every registered metric with a non-default value, one JSON object per
+    line, sorted by metric name (so output never depends on hash order). *)
+
+val dump_jsonl : path:string -> unit -> unit
+(** Write {!trace_jsonl} followed by {!metrics_jsonl} to [path]. *)
+
+val report : unit -> unit
+(** Render a summary of all touched metrics as {!Splay_stats.Report}
+    tables on stdout. *)

@@ -1,4 +1,5 @@
 module Engine = Splay_sim.Engine
+module Obs = Splay_obs.Obs
 
 type error = Timeout | Remote of string | Network of string
 
@@ -10,6 +11,22 @@ let error_to_string = function
 exception Rpc_error of error
 
 type handler = Codec.value list -> Codec.value
+
+type options = { timeout : float; retries : int }
+
+let default_options = { timeout = 120.0; retries = 0 }
+let ping_options = { timeout = 5.0; retries = 0 }
+
+(* Observability sites. One span per logical call (retries included) with
+   the outcome attached on finish; the serve side gets its own span so
+   handler service time is separable from network time. *)
+let c_calls = Obs.counter "rpc.calls"
+let c_timeouts = Obs.counter "rpc.timeouts"
+let c_retries = Obs.counter "rpc.retries"
+let c_served = Obs.counter "rpc.served"
+let h_latency = Obs.histogram "rpc.latency"
+let h_serve_time = Obs.histogram "rpc.serve_time"
+let h_bytes = Obs.histogram "rpc.request_bytes"
 
 type Net.payload +=
   | Request of { rid : int; proc : string; args : Codec.value list }
@@ -34,6 +51,12 @@ let dispatch env ~src payload =
   | Request { rid; proc; args } ->
       ignore
         (Env.thread env ~name:("rpc:" ^ proc) (fun () ->
+             let eng = Env.engine env in
+             let t0 = Engine.now eng in
+             let sp =
+               if !Obs.enabled then Obs.span ~attrs:[ ("proc", proc) ] "rpc.serve"
+               else Obs.null_span
+             in
              let result =
                match List.assoc_opt proc env.Env.rpc_handlers with
                | None -> Error (Printf.sprintf "unknown procedure %S" proc)
@@ -42,6 +65,14 @@ let dispatch env ~src payload =
                    | Engine.Process_killed as e -> raise e
                    | e -> Error (Printexc.to_string e))
              in
+             Obs.incr c_served;
+             if !Obs.enabled then begin
+               Obs.observe h_serve_time (Engine.now eng -. t0);
+               Obs.finish
+                 ~attrs:
+                   [ ("outcome", match result with Ok _ -> "ok" | Error _ -> "error") ]
+                 sp
+             end;
              send_reply env ~dst:src rid result))
   | Reply { rid; result } -> (
       match Hashtbl.find_opt env.Env.rpc_pending rid with
@@ -72,15 +103,16 @@ let decode_error m =
   | _ when m = "timeout" -> Timeout
   | _ -> Remote m
 
-let a_call env dst ?(timeout = 120.0) proc args =
-  ensure_bound env;
+(* One wire attempt: send the request, resolve on reply, timeout or local
+   send failure. *)
+let attempt env dst ~timeout ~size proc args =
   let rid = env.Env.rpc_next_rid in
   env.Env.rpc_next_rid <- rid + 1;
   let eng = Env.engine env in
   let outcome =
     Engine.suspend (fun resolve ->
         Hashtbl.replace env.Env.rpc_pending rid (fun r -> resolve (Ok r));
-        (try Sb_socket.send env ~dst ~size:(request_size proc args) (Request { rid; proc; args })
+        (try Sb_socket.send env ~dst ~size (Request { rid; proc; args })
          with Sb_socket.Network_error m ->
            (match Hashtbl.find_opt env.Env.rpc_pending rid with
            | Some r ->
@@ -101,12 +133,62 @@ let a_call env dst ?(timeout = 120.0) proc args =
   in
   match outcome with Ok v -> Ok v | Error m -> Error (decode_error m)
 
+let outcome_label = function
+  | Ok _ -> "ok"
+  | Error Timeout -> "timeout"
+  | Error (Remote _) -> "remote"
+  | Error (Network _) -> "network"
+
+let a_call_opt env dst ?(options = default_options) proc args =
+  ensure_bound env;
+  let size = request_size proc args in
+  let eng = Env.engine env in
+  let t0 = Engine.now eng in
+  let sp =
+    if !Obs.enabled then
+      Obs.span
+        ~attrs:
+          [ ("proc", proc); ("dst", Addr.to_string dst); ("bytes", string_of_int size) ]
+        "rpc.call"
+    else Obs.null_span
+  in
+  (* Retries cover the transient failures (Timeout, local Network refusal);
+     a Remote error is the handler's answer and is final. *)
+  let rec go n =
+    match attempt env dst ~timeout:options.timeout ~size proc args with
+    | Error (Timeout | Network _) when n < options.retries ->
+        Obs.incr c_retries;
+        go (n + 1)
+    | r -> r
+  in
+  let result = go 0 in
+  Obs.incr c_calls;
+  (match result with Error Timeout -> Obs.incr c_timeouts | _ -> ());
+  if !Obs.enabled then begin
+    Obs.observe h_latency (Engine.now eng -. t0);
+    Obs.observe h_bytes (Float.of_int size);
+    Obs.finish ~attrs:[ ("outcome", outcome_label result) ] sp
+  end;
+  result
+
+let call_opt env dst ?options proc args =
+  match a_call_opt env dst ?options proc args with
+  | Ok v -> v
+  | Error e -> raise (Rpc_error e)
+
+let ping_opt env ?(options = ping_options) dst =
+  match a_call_opt env dst ~options "__ping" [] with Ok _ -> true | Error _ -> false
+
+(* Backward-compatible wrappers over the consolidated [options] API. *)
+
+let a_call env dst ?(timeout = 120.0) proc args =
+  a_call_opt env dst ~options:{ default_options with timeout } proc args
+
 let call env dst ?timeout proc args =
   match a_call env dst ?timeout proc args with
   | Ok v -> v
   | Error e -> raise (Rpc_error e)
 
-let ping env ?(timeout = 5.0) dst =
-  match a_call env dst ~timeout "__ping" [] with Ok _ -> true | Error _ -> false
+let ping env ?(timeout = 5.0) dst = ping_opt env ~options:{ ping_options with timeout } dst
 
 let calls_issued env = env.Env.rpc_next_rid

@@ -19,6 +19,20 @@ exception Rpc_error of error
 
 type handler = Codec.value list -> Codec.value
 
+type options = {
+  timeout : float;  (** per-attempt reply deadline, virtual seconds *)
+  retries : int;  (** extra attempts after a Timeout or Network failure *)
+}
+(** Call policy, consolidated from the scattered [?timeout] arguments.
+    Retries re-send the request with a fresh id; a [Remote] error is the
+    handler's answer and is never retried. *)
+
+val default_options : options
+(** [{ timeout = 120.0; retries = 0 }] — the "standard 2 minutes" default. *)
+
+val ping_options : options
+(** [{ timeout = 5.0; retries = 0 }] — liveness-probe policy. *)
+
 val server : Env.t -> (string * handler) list -> unit
 (** Start the RPC server on the instance's endpoint ([rpc.server(n.port)]).
     Also enables this instance to issue calls (replies share the socket).
@@ -29,17 +43,31 @@ val client : Env.t -> unit
 
 val add_handler : Env.t -> string -> handler -> unit
 
+val a_call_opt :
+  Env.t -> Addr.t -> ?options:options -> string -> Codec.value list -> (Codec.value, error) result
+(** The primary entry point: call under an explicit {!options} policy
+    (default {!default_options}) and report failure as a value. When
+    tracing is enabled, each logical call records one [rpc.call] span
+    carrying the procedure, destination, payload bytes and outcome. *)
+
+val call_opt : Env.t -> Addr.t -> ?options:options -> string -> Codec.value list -> Codec.value
+(** Like {!a_call_opt} but raises {!Rpc_error} on failure. *)
+
+val ping_opt : Env.t -> ?options:options -> Addr.t -> bool
+(** Liveness probe under an explicit policy (default {!ping_options}). *)
+
 val a_call :
   Env.t -> Addr.t -> ?timeout:float -> string -> Codec.value list -> (Codec.value, error) result
-(** [rpc.a_call(node, proc, args, timeout)]: call and report failure as a
-    value. Default timeout 120 s — the "standard 2 minutes" the paper
-    mentions tuning down for PlanetLab. *)
+(** [rpc.a_call(node, proc, args, timeout)]: thin wrapper over
+    {!a_call_opt} with [{ default_options with timeout }]. Default timeout
+    120 s — the "standard 2 minutes" the paper mentions tuning down for
+    PlanetLab. *)
 
 val call : Env.t -> Addr.t -> ?timeout:float -> string -> Codec.value list -> Codec.value
 (** [rpc.call]: like {!a_call} but raises {!Rpc_error} on failure. *)
 
 val ping : Env.t -> ?timeout:float -> Addr.t -> bool
-(** Liveness probe (default timeout 5 s). *)
+(** Liveness probe (default timeout 5 s); wrapper over {!ping_opt}. *)
 
 val calls_issued : Env.t -> int
 (** Number of outgoing calls this instance has made (monitoring). *)

@@ -1,4 +1,9 @@
+module Obs = Splay_obs.Obs
+
 exception Network_error of string
+
+let c_opened = Obs.counter "sock.opened"
+let c_denied = Obs.counter "sock.send_denied"
 
 let udp env ~port handler =
   let addr = Addr.make env.Env.me.Addr.host port in
@@ -10,6 +15,7 @@ let udp env ~port handler =
      raise (Network_error m));
   Env.register_port env addr;
   Env.on_stop env (fun () -> Sandbox.socket_closed env.Env.sandbox);
+  Obs.incr c_opened;
   addr
 
 let close env addr =
@@ -17,10 +23,14 @@ let close env addr =
   Sandbox.socket_closed env.Env.sandbox
 
 let send env ~dst ?(size = 256) payload =
-  if Sandbox.blacklisted env.Env.sandbox dst.Addr.host then
-    raise (Network_error (Printf.sprintf "destination %s blacklisted" (Addr.to_string dst)));
+  if Sandbox.blacklisted env.Env.sandbox dst.Addr.host then begin
+    Obs.incr c_denied;
+    raise (Network_error (Printf.sprintf "destination %s blacklisted" (Addr.to_string dst)))
+  end;
   (try Sandbox.network_send env.Env.sandbox size
-   with Sandbox.Violation m -> raise (Network_error m));
+   with Sandbox.Violation m ->
+     Obs.incr c_denied;
+     raise (Network_error m));
   if env.Env.loss_rate > 0.0 then
     Net.send env.Env.net ~size ~loss:env.Env.loss_rate ~src:env.Env.me ~dst payload
   else Net.send env.Env.net ~size ~src:env.Env.me ~dst payload

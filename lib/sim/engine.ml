@@ -1,9 +1,19 @@
 open Effect
 open Effect.Deep
+module Obs = Splay_obs.Obs
 
 exception Process_killed
 
-type event = { at : float; seq : int; ev_id : int; fn : unit -> unit }
+(* Observability sites: registered once, cheap mutable cells afterwards.
+   Recording is gated on [Obs.enabled] so the hot path stays free. *)
+let c_events = Obs.counter "engine.events"
+let c_spawns = Obs.counter "engine.spawns"
+let c_kills = Obs.counter "engine.kills"
+let c_crashes = Obs.counter "engine.crashes"
+let h_event_wait = Obs.histogram "engine.event_wait"
+let g_queue_depth = Obs.gauge "engine.queue_depth"
+
+type event = { at : float; sched : float; seq : int; ev_id : int; fn : unit -> unit }
 
 type proc_state = Pending | Active | Dead
 
@@ -18,6 +28,8 @@ type t = {
   mutable current : proc option;
   mutable crashed_list : (proc * exn) list;
   mutable live_events : int;
+  mutable events_fired : int;
+  mutable max_queue_depth : int;
 }
 
 and proc = {
@@ -42,18 +54,26 @@ let cmp_event a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?(seed = 42) () =
-  {
-    now = 0.0;
-    queue = Heap.create ~cmp:cmp_event;
-    cancelled = Hashtbl.create 64;
-    next_event_id = 0;
-    next_seq = 0;
-    next_pid = 0;
-    root_rng = Rng.create seed;
-    current = None;
-    crashed_list = [];
-    live_events = 0;
-  }
+  let t =
+    {
+      now = 0.0;
+      queue = Heap.create ~cmp:cmp_event;
+      cancelled = Hashtbl.create 64;
+      next_event_id = 0;
+      next_seq = 0;
+      next_pid = 0;
+      root_rng = Rng.create seed;
+      current = None;
+      crashed_list = [];
+      live_events = 0;
+      events_fired = 0;
+      max_queue_depth = 0;
+    }
+  in
+  (* The trace is stamped with virtual time: the most recently created
+     engine owns the observability clock. *)
+  Obs.set_clock (fun () -> t.now);
+  t
 
 let now t = t.now
 let rng t = t.root_rng
@@ -64,8 +84,13 @@ let schedule_at t ~at fn =
   t.next_event_id <- id + 1;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.queue { at; seq; ev_id = id; fn };
+  Heap.push t.queue { at; sched = t.now; seq; ev_id = id; fn };
   t.live_events <- t.live_events + 1;
+  let depth = Heap.size t.queue in
+  if depth > t.max_queue_depth then begin
+    t.max_queue_depth <- depth;
+    if !Obs.enabled then Obs.gauge_set g_queue_depth (Float.of_int depth)
+  end;
   id
 
 let schedule t ~delay fn =
@@ -99,8 +124,18 @@ let step t =
   | Some ev ->
       t.now <- ev.at;
       t.live_events <- t.live_events - 1;
+      t.events_fired <- t.events_fired + 1;
+      if !Obs.enabled then begin
+        Obs.incr c_events;
+        Obs.observe h_event_wait (ev.at -. ev.sched)
+      end;
       ev.fn ();
       true
+
+type run_stats = { events_fired : int; final_clock : float; max_queue_depth : int }
+
+let stats (t : t) =
+  { events_fired = t.events_fired; final_clock = t.now; max_queue_depth = t.max_queue_depth }
 
 let run ?until t =
   let continue_run = ref true in
@@ -117,7 +152,8 @@ let run ?until t =
             continue_run := false
         | _ -> ignore (step t))
   done;
-  match until with Some limit when t.now < limit -> t.now <- limit | _ -> ()
+  (match until with Some limit when t.now < limit -> t.now <- limit | _ -> ());
+  stats t
 
 (* {2 Processes} *)
 
@@ -146,6 +182,9 @@ let spawn ?name t f =
   let p =
     { pid; pname; eng = t; state = Pending; killed = false; cancel_pending = None; exit_hooks = [] }
   in
+  Obs.incr c_spawns;
+  if !Obs.enabled then
+    Obs.event ~attrs:[ ("proc", pname); ("pid", string_of_int pid) ] "engine.spawn";
   let finish () =
     if p.state <> Dead then begin
       p.state <- Dead;
@@ -160,7 +199,13 @@ let spawn ?name t f =
         (fun e ->
           (match e with
           | Process_killed -> ()
-          | e -> t.crashed_list <- (p, e) :: t.crashed_list);
+          | e ->
+              t.crashed_list <- (p, e) :: t.crashed_list;
+              Obs.incr c_crashes;
+              if !Obs.enabled then
+                Obs.event
+                  ~attrs:[ ("proc", p.pname); ("exn", Printexc.to_string e) ]
+                  "engine.crash");
           finish ());
       effc =
         (fun (type b) (eff : b Effect.t) ->
@@ -215,12 +260,18 @@ let spawn ?name t f =
          end));
   p
 
+let note_kill p =
+  Obs.incr c_kills;
+  if !Obs.enabled then
+    Obs.event ~attrs:[ ("proc", p.pname); ("pid", string_of_int p.pid) ] "engine.kill"
+
 let kill t p =
   match p.state with
   | Dead -> ()
   | Pending ->
       if not p.killed then begin
         p.killed <- true;
+        note_kill p;
         (* the start event will notice and run exit hooks *)
         ignore
           (schedule t ~delay:0.0 (fun () ->
@@ -232,6 +283,7 @@ let kill t p =
   | Active ->
       if not p.killed then begin
         p.killed <- true;
+        note_kill p;
         match p.cancel_pending with
         | Some thunk ->
             p.cancel_pending <- None;

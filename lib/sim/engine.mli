@@ -48,9 +48,22 @@ val cancel : t -> event_id -> unit
 (** Cancel a pending event. Cancelling an already-fired or already-cancelled
     event is a no-op. *)
 
-val run : ?until:float -> t -> unit
+type run_stats = {
+  events_fired : int;  (** events executed over the engine's lifetime *)
+  final_clock : float;  (** virtual time when the run stopped *)
+  max_queue_depth : int;  (** high-water mark of the event queue *)
+}
+(** What a drive of the engine did — the raw material of every
+    "how long / how much" question an experiment asks. *)
+
+val run : ?until:float -> t -> run_stats
 (** Drain the event queue, advancing the clock, until it is empty or the
-    clock would pass [until] (clock is then set to [until]). *)
+    clock would pass [until] (clock is then set to [until]). Returns the
+    engine's cumulative {!run_stats}; callers that only drive the clock
+    can [ignore] it. *)
+
+val stats : t -> run_stats
+(** Current cumulative statistics without running anything. *)
 
 val step : t -> bool
 (** Execute the single next event. [false] if the queue was empty. *)

@@ -24,7 +24,7 @@ let with_platform ?(hosts = 10) ?(seed = 31) ?(until = 36000.0) f =
                 process would self-kill through the finally *)
              ignore (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
            (fun () -> f eng net ctl)));
-  Engine.run ~until eng;
+  ignore (Engine.run ~until eng);
   match Engine.crashed eng with
   | [] -> ()
   | (p, e) :: _ ->
@@ -335,7 +335,7 @@ let test_pastry_proximity_prefers_close_entries () =
                      (Apps.Pastry.table_entries p))
                  !nodes;
                avg := !total /. Float.of_int (max 1 !count))));
-    Engine.run ~until:36000.0 eng;
+    ignore (Engine.run ~until:36000.0 eng);
     !avg
   in
   let with_prox = run true and without = run false in
@@ -739,7 +739,7 @@ let test_vivaldi_predicts_rtts () =
              Alcotest.(check bool)
                (Printf.sprintf "median relative error %.0f%% below 40%%" (100.0 *. median))
                true (median < 0.40))));
-  Engine.run ~until:100_000.0 eng;
+  ignore (Engine.run ~until:100_000.0 eng);
   match Engine.crashed eng with
   | [] -> ()
   | (p, e) :: _ ->

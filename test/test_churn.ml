@@ -173,7 +173,7 @@ let with_platform ?(hosts = 10) f =
                 process would self-kill through the finally *)
              ignore (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
            (fun () -> f eng net ctl)));
-  Engine.run ~until:36000.0 eng;
+  ignore (Engine.run ~until:36000.0 eng);
   match Engine.crashed eng with
   | [] -> ()
   | (p, e) :: _ ->
@@ -375,7 +375,7 @@ let test_replayer_deterministic () =
                let _proc, stats = Replayer.run_script dep script in
                Env.sleep 200.0;
                out := (stats.Replayer.joins, stats.Replayer.leaves, Engine.now eng))));
-    Engine.run ~until:36000.0 eng;
+    ignore (Engine.run ~until:36000.0 eng);
     !out
   in
   let a = run 77 and b = run 77 in

@@ -76,7 +76,7 @@ let with_platform ?(hosts = 10) ?daemon_config f =
                 process would self-kill through the finally *)
              ignore (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
            (fun () -> f eng net ctl daemons)));
-  Engine.run ~until:36000.0 eng;
+  ignore (Engine.run ~until:36000.0 eng);
   match Engine.crashed eng with
   | [] -> ()
   | (p, e) :: _ ->
@@ -220,7 +220,7 @@ let test_sessions_mark_dead_daemons () =
          Env.sleep 400.0;
          Alcotest.(check int) "silent daemon dropped" 3
            (List.length (Controller.alive_daemons ctl))));
-  Engine.run ~until:1000.0 eng
+  ignore (Engine.run ~until:1000.0 eng)
 
 let test_deploy_survives_dead_candidates () =
   with_platform ~hosts:8 (fun _ net ctl daemons ->

@@ -118,7 +118,7 @@ let test_net_delivery () =
           | Probe k -> got := (src.Addr.host, k, Engine.now eng) :: !got
           | _ -> ());
       Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 7);
-      Engine.run eng;
+      ignore (Engine.run eng);
       match !got with
       | [ (0, 7, t) ] -> Alcotest.(check bool) "delivered after positive delay" true (t > 0.0)
       | _ -> Alcotest.fail "expected exactly one delivery")
@@ -126,7 +126,7 @@ let test_net_delivery () =
 let test_net_unbound_drops () =
   with_net `Cluster (fun eng net ->
       Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 1);
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "dropped" 1 (Net.messages_dropped net);
       Alcotest.(check int) "sent counter" 1 (Net.messages_sent net))
 
@@ -136,16 +136,16 @@ let test_net_down_host () =
       Net.bind net (Addr.make 1 9) (fun ~src:_ _ -> incr got);
       Net.set_host_up net 1 false;
       Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 1);
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "nothing delivered to a dead host" 0 !got;
       Net.set_host_up net 1 true;
       Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 2);
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "delivered after restart" 1 !got;
       (* sender down: silently dropped too *)
       Net.set_host_up net 0 false;
       Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 3);
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "dead sender drops" 1 !got)
 
 let test_net_loss () =
@@ -156,7 +156,7 @@ let test_net_loss () =
       for _ = 1 to 200 do
         Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 0)
       done;
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check bool)
         (Printf.sprintf "roughly half delivered (%d/200)" !got)
         true
@@ -164,7 +164,7 @@ let test_net_loss () =
       (* per-message override beats the global setting *)
       Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) ~loss:0.0 (Probe 1);
       let before = !got in
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "loss:0 always delivers" (before + 1) !got)
 
 let test_net_bandwidth_serializes () =
@@ -178,7 +178,7 @@ let test_net_bandwidth_serializes () =
       let size = 1_000_000 in
       Net.send net ~size ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 1);
       Net.send net ~size ~src:(Addr.make 0 1) ~dst:(Addr.make 1 9) (Probe 2);
-      Engine.run eng;
+      ignore (Engine.run eng);
       match List.rev !arrivals with
       | [ t1; t2 ] ->
           Alcotest.(check bool) "first takes ~16s" true (t1 > 15.9 && t1 < 18.0);
@@ -194,11 +194,11 @@ let test_net_partition () =
       Alcotest.(check bool) "same side open" false (Net.partitioned net 2 3);
       Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 2 9) (Probe 1);
       Net.send net ~src:(Addr.make 3 1) ~dst:(Addr.make 2 9) (Probe 2);
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "only the same-side message arrived" 1 !got;
       Net.clear_partition net;
       Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make 2 9) (Probe 3);
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "healed" 2 !got)
 
 let test_net_bind_conflicts () =

@@ -1,0 +1,258 @@
+(* Tests for the observability layer: deterministic traces under a fixed
+   seed, the zero-cost disabled mode, outcome-tagged RPC spans, the
+   Engine.run statistics record, Rpc.options retries, and the diagnosable
+   selection report. *)
+
+open Splay_sim
+open Splay_net
+open Splay_runtime
+open Splay_ctl
+module Apps = Splay_apps
+module Obs = Splay_obs.Obs
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Every test leaves the global switch off so the rest of the suite runs
+   uninstrumented. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) f
+
+(* {2 Fixture: a small Chord deployment through the controller} *)
+
+let chord_config =
+  { Apps.Chord.default_config with m = 16; stabilize_interval = 2.0; join_delay_per_position = 0.5 }
+
+let run_chord_deployment ~seed =
+  let eng = Engine.create ~seed () in
+  let tb0 = Testbed.cluster ~n:5 (Engine.rng eng) in
+  let tb, ctl_host = Testbed.with_extra_host tb0 in
+  let net = Net.create eng tb in
+  let ctl = Controller.create net ~host:ctl_host in
+  let daemons = Controller.boot_daemons ctl (List.init 5 Fun.id) in
+  ignore
+    (Env.thread (Controller.env ctl) (fun () ->
+         Fun.protect
+           ~finally:(fun () ->
+             List.iter Daemon.shutdown daemons;
+             ignore (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
+           (fun () ->
+             let dep =
+               Controller.deploy ctl ~name:"chord"
+                 ~main:(Apps.Chord.app ~config:chord_config ~register:(fun _ -> ()))
+                 (Descriptor.make ~bootstrap:(Descriptor.Head 1) 8)
+             in
+             Env.sleep 40.0;
+             Controller.undeploy dep)));
+  let stats = Engine.run ~until:10_000.0 eng in
+  (match Engine.crashed eng with
+  | [] -> ()
+  | (p, e) :: _ ->
+      Alcotest.failf "process %s crashed: %s" (Engine.proc_name p) (Printexc.to_string e));
+  stats
+
+(* {2 Determinism} *)
+
+let test_trace_deterministic () =
+  let capture () =
+    with_obs (fun () ->
+        ignore (run_chord_deployment ~seed:7);
+        (Obs.trace_jsonl (), Obs.metrics_jsonl ()))
+  in
+  let trace1, metrics1 = capture () in
+  let trace2, metrics2 = capture () in
+  Alcotest.(check bool) "trace non-empty" true (String.length trace1 > 0);
+  Alcotest.(check string) "same seed, identical JSONL trace" trace1 trace2;
+  Alcotest.(check string) "same seed, identical metrics" metrics1 metrics2;
+  (* the trace spans every layer *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "trace mentions %s" needle) true
+        (contains trace1 needle))
+    [
+      "\"name\":\"engine.spawn\"";
+      "\"name\":\"rpc.call\"";
+      "\"name\":\"rpc.serve\"";
+      "\"name\":\"ctl.deploy\"";
+      "\"name\":\"ctl.register_round\"";
+      "\"name\":\"splayd.register\"";
+    ];
+  Alcotest.(check bool) "metrics mention engine.events" true
+    (contains metrics1 "\"metric\":\"engine.events\"")
+
+(* {2 Disabled mode} *)
+
+let test_disabled_records_nothing () =
+  Obs.reset ();
+  Obs.enabled := false;
+  let c = Obs.counter "test.disabled_counter" in
+  let h = Obs.histogram "test.disabled_hist" in
+  let g = Obs.gauge "test.disabled_gauge" in
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    let s = Obs.span "x" in
+    Obs.finish s;
+    Obs.incr c;
+    Obs.observe h 1.0;
+    Obs.gauge_set g 2.0
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "no per-site allocation when disabled (%.0f words)" allocated)
+    true (allocated < 1_000.0);
+  Alcotest.(check int) "no spans started" 0 (Obs.span_count ());
+  Alcotest.(check int) "counter untouched" 0 (Obs.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.histogram_count h);
+  Alcotest.(check string) "trace empty" "" (Obs.trace_jsonl ());
+  Alcotest.(check string) "metrics empty" "" (Obs.metrics_jsonl ())
+
+(* {2 RPC spans and options} *)
+
+let two_host_rpc ~seed f =
+  let eng = Engine.create ~seed () in
+  let tb = Testbed.cluster ~n:2 (Engine.rng eng) in
+  let net = Net.create eng tb in
+  let server = Env.create net ~me:(Addr.make 0 2000) in
+  let client = Env.create net ~me:(Addr.make 1 2000) in
+  Rpc.server server [ ("echo", fun args -> Codec.List args) ];
+  f eng net server client;
+  ignore (Engine.run eng)
+
+let test_timeout_span () =
+  with_obs (fun () ->
+      let settled = ref false in
+      two_host_rpc ~seed:3 (fun _eng net server client ->
+          Net.set_host_up net 0 false;
+          ignore
+            (Env.thread client (fun () ->
+                 (match Rpc.a_call client server.Env.me ~timeout:2.0 "echo" [] with
+                 | Error Rpc.Timeout -> ()
+                 | _ -> Alcotest.fail "expected Timeout");
+                 settled := true)));
+      Alcotest.(check bool) "call settled" true !settled;
+      let trace = Obs.trace_jsonl () in
+      Alcotest.(check bool) "rpc.call span present" true (contains trace "\"name\":\"rpc.call\"");
+      Alcotest.(check bool) "span outcome is timeout" true
+        (contains trace "\"outcome\":\"timeout\"");
+      Alcotest.(check int) "timeout counter" 1
+        (Obs.counter_value (Obs.counter "rpc.timeouts")))
+
+let test_retries () =
+  with_obs (fun () ->
+      two_host_rpc ~seed:5 (fun eng net server client ->
+          Net.set_host_up net 0 false;
+          ignore
+            (Env.thread client (fun () ->
+                 let t0 = Engine.now eng in
+                 let r =
+                   Rpc.a_call_opt client server.Env.me
+                     ~options:{ Rpc.timeout = 1.0; retries = 2 }
+                     "echo" []
+                 in
+                 (match r with
+                 | Error Rpc.Timeout -> ()
+                 | _ -> Alcotest.fail "expected Timeout after retries");
+                 let elapsed = Engine.now eng -. t0 in
+                 Alcotest.(check bool)
+                   (Printf.sprintf "three attempts took %.1fs" elapsed)
+                   true
+                   (elapsed >= 3.0 && elapsed < 3.5))));
+      Alcotest.(check int) "two retries recorded" 2
+        (Obs.counter_value (Obs.counter "rpc.retries"));
+      Alcotest.(check int) "one logical call" 1 (Obs.counter_value (Obs.counter "rpc.calls")))
+
+let test_ok_span_outcome () =
+  with_obs (fun () ->
+      two_host_rpc ~seed:8 (fun _eng _net server client ->
+          ignore
+            (Env.thread client (fun () ->
+                 match Rpc.a_call client server.Env.me "echo" [ Codec.Int 42 ] with
+                 | Ok _ -> ()
+                 | Error e -> Alcotest.failf "echo failed: %s" (Rpc.error_to_string e))));
+      let trace = Obs.trace_jsonl () in
+      Alcotest.(check bool) "ok outcome recorded" true (contains trace "\"outcome\":\"ok\"");
+      Alcotest.(check bool) "serve span present" true (contains trace "\"name\":\"rpc.serve\"");
+      Alcotest.(check bool) "serve time observed" true
+        (Obs.histogram_count (Obs.histogram "rpc.serve_time") >= 1))
+
+(* {2 Engine.run statistics} *)
+
+let test_run_stats () =
+  let eng = Engine.create ~seed:1 () in
+  let fired = ref 0 in
+  for i = 1 to 5 do
+    ignore (Engine.schedule eng ~delay:(Float.of_int i) (fun () -> incr fired))
+  done;
+  let st = Engine.run eng in
+  Alcotest.(check int) "five events fired" 5 st.Engine.events_fired;
+  Alcotest.(check int) "callbacks ran" 5 !fired;
+  Alcotest.(check (float 1e-9)) "final clock at last event" 5.0 st.Engine.final_clock;
+  Alcotest.(check bool) "queue depth high-water" true (st.Engine.max_queue_depth >= 5);
+  let again = Engine.stats eng in
+  Alcotest.(check int) "stats are cumulative" 5 again.Engine.events_fired
+
+(* {2 Selection report} *)
+
+let with_ctl_platform f =
+  let eng = Engine.create ~seed:11 () in
+  let tb0 = Testbed.cluster ~n:6 (Engine.rng eng) in
+  let tb, ctl_host = Testbed.with_extra_host tb0 in
+  let net = Net.create eng tb in
+  let ctl = Controller.create net ~host:ctl_host in
+  let daemons = Controller.boot_daemons ctl (List.init 6 Fun.id) in
+  ignore
+    (Env.thread (Controller.env ctl) (fun () ->
+         Fun.protect
+           ~finally:(fun () ->
+             List.iter Daemon.shutdown daemons;
+             ignore (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
+           (fun () -> f ctl)));
+  ignore (Engine.run ~until:1000.0 eng);
+  match Engine.crashed eng with
+  | [] -> ()
+  | (p, e) :: _ ->
+      Alcotest.failf "process %s crashed: %s" (Engine.proc_name p) (Printexc.to_string e)
+
+let test_select_report () =
+  with_ctl_platform (fun ctl ->
+      (* no criteria: everything alive matches *)
+      let chosen, rep = Controller.select_report ctl 4 in
+      Alcotest.(check int) "four chosen" 4 (List.length chosen);
+      Alcotest.(check int) "all alive" 6 rep.Controller.sel_alive;
+      Alcotest.(check int) "all matched" 6 rep.Controller.sel_matched;
+      Alcotest.(check int) "none dead" 0 rep.Controller.sel_dead;
+      (* an unsatisfiable criterion: the report says which one rejected *)
+      let chosen, rep =
+        Controller.select_report ctl ~criteria:[ Controller.Min_bandwidth infinity ] 4
+      in
+      Alcotest.(check int) "nothing selectable" 0 (List.length chosen);
+      Alcotest.(check int) "nothing matched" 0 rep.Controller.sel_matched;
+      (match rep.Controller.sel_rejected with
+      | [ ("min_bandwidth", n) ] -> Alcotest.(check int) "all charged to min_bandwidth" 6 n
+      | other ->
+          Alcotest.failf "unexpected rejection report (%d entries)" (List.length other));
+      (* plain select agrees with the report variant *)
+      Alcotest.(check int) "select returns none" 0
+        (List.length (Controller.select ctl ~criteria:[ Controller.Min_bandwidth infinity ] 4)))
+
+let () =
+  Alcotest.run "splay_obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "deterministic trace" `Quick test_trace_deterministic;
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "timeout span" `Quick test_timeout_span;
+          Alcotest.test_case "retries" `Quick test_retries;
+          Alcotest.test_case "ok outcome" `Quick test_ok_span_outcome;
+        ] );
+      ("engine", [ Alcotest.test_case "run stats" `Quick test_run_stats ]);
+      ("controller", [ Alcotest.test_case "selection report" `Quick test_select_report ]);
+    ]

@@ -21,7 +21,7 @@ let with_platform ?(hosts = 10) ?(seed = 51) f =
              List.iter Daemon.shutdown daemons;
              ignore (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
            (fun () -> f eng net ctl)));
-  Engine.run ~until:50_000.0 eng;
+  ignore (Engine.run ~until:50_000.0 eng);
   match Engine.crashed eng with
   | [] -> ()
   | (p, e) :: _ ->
@@ -101,7 +101,7 @@ let test_callee_crashes_mid_call () =
          result := Some (Rpc.a_call client server.Env.me ~timeout:10.0 "slow" [])));
   (* kill the server while the handler sleeps *)
   ignore (Engine.schedule eng ~delay:1.0 (fun () -> Env.stop server));
-  Engine.run eng;
+  ignore (Engine.run eng);
   (match !result with
   | Some (Error Rpc.Timeout) -> ()
   | Some _ -> Alcotest.fail "expected timeout after callee death"
@@ -130,7 +130,7 @@ let test_caller_killed_mid_call () =
          ignore (Rpc.call client server.Env.me "slow" []);
          after_call := true));
   ignore (Engine.schedule eng ~delay:1.0 (fun () -> Env.stop client));
-  Engine.run eng;
+  ignore (Engine.run eng);
   Alcotest.(check bool) "caller never resumed" false !after_call;
   Alcotest.(check int) "server completed the work anyway" 1 !served;
   Alcotest.(check (list reject)) "no crashes" [] (List.map snd (Engine.crashed eng))

@@ -316,7 +316,7 @@ let test_lock_mutual_exclusion () =
                    in_section := false;
                    incr runs)))
       done;
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "no overlap" 0 !violations;
       Alcotest.(check int) "all ran" 5 !runs;
       Alcotest.(check bool) "released" false (Locks.is_locked l))
@@ -334,7 +334,7 @@ let test_lock_fifo () =
                Locks.unlock l))
       done;
       ignore (Engine.schedule eng ~delay:1.0 (fun () -> Locks.unlock l));
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !order))
 
 let test_lock_released_on_kill () =
@@ -344,7 +344,7 @@ let test_lock_released_on_kill () =
         Engine.spawn eng (fun () -> Locks.with_lock l (fun () -> Engine.sleep 100.0))
       in
       ignore (Engine.schedule eng ~delay:1.0 (fun () -> Engine.kill eng p));
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check bool) "released by unwinding" false (Locks.is_locked l))
 
 let test_try_lock () =
@@ -368,7 +368,7 @@ let test_env_stop_kills_everything () =
              done));
       ignore (Env.periodic env 1.0 (fun () -> incr alive_work));
       ignore (Engine.schedule eng ~delay:5.5 (fun () -> Env.stop env));
-      Engine.run ~until:100.0 eng;
+      ignore (Engine.run ~until:100.0 eng);
       Alcotest.(check bool) "stopped" true (Env.is_stopped env);
       (* 5 ticks from each of the two processes *)
       Alcotest.(check int) "work stopped at kill time" 10 !alive_work)
@@ -391,7 +391,7 @@ let test_env_self_stop () =
              Env.sleep 1.0;
              Env.stop env;
              after := true));
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check bool) "self-stop unwinds" false !after;
       Alcotest.(check bool) "stopped" true (Env.is_stopped env))
 
@@ -410,7 +410,7 @@ let test_rpc_basic_call () =
       ignore
         (Env.thread client_env (fun () ->
              got := Codec.to_int (Rpc.call client_env server_env.Env.me "add" [ Codec.Int 19; Codec.Int 23 ])));
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check int) "rpc result" 42 !got)
 
 let test_rpc_latency_realistic () =
@@ -424,7 +424,7 @@ let test_rpc_latency_realistic () =
              let t0 = Engine.now eng in
              ignore (Rpc.call client_env server_env.Env.me "noop" []);
              elapsed := Engine.now eng -. t0));
-      Engine.run eng;
+      ignore (Engine.run eng);
       (* cluster RTT ~0.1ms plus processing: strictly positive, under 10ms *)
       Alcotest.(check bool) "took network time" true (!elapsed > 0.0 && !elapsed < 0.01))
 
@@ -438,7 +438,7 @@ let test_rpc_timeout_on_dead_host () =
       ignore
         (Env.thread client_env (fun () ->
              result := Rpc.a_call client_env server_env.Env.me ~timeout:2.0 "noop" []));
-      Engine.run eng;
+      ignore (Engine.run eng);
       (match !result with
       | Error Rpc.Timeout -> ()
       | _ -> Alcotest.fail "expected timeout");
@@ -453,7 +453,7 @@ let test_rpc_remote_error () =
       ignore
         (Env.thread client_env (fun () ->
              result := Rpc.a_call client_env server_env.Env.me "boom" []));
-      Engine.run eng;
+      ignore (Engine.run eng);
       match !result with
       | Error (Rpc.Remote msg) ->
           Alcotest.(check bool) "message mentions cause" true (string_contains msg "kaboom")
@@ -468,7 +468,7 @@ let test_rpc_unknown_proc () =
       ignore
         (Env.thread client_env (fun () ->
              result := Rpc.a_call client_env server_env.Env.me "nope" []));
-      Engine.run eng;
+      ignore (Engine.run eng);
       match !result with
       | Error (Rpc.Remote _) -> ()
       | _ -> Alcotest.fail "expected unknown-procedure error")
@@ -484,7 +484,7 @@ let test_rpc_ping () =
              up := Rpc.ping client_env server_env.Env.me;
              Net.set_host_up net 0 false;
              down := Rpc.ping client_env ~timeout:1.0 server_env.Env.me));
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check bool) "alive host pings" true !up;
       Alcotest.(check bool) "dead host does not" false !down)
 
@@ -503,7 +503,7 @@ let test_rpc_blocking_handler () =
       let got = ref "" in
       ignore
         (Env.thread a (fun () -> got := Codec.to_string (Rpc.call a b.Env.me "via" [])));
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check string) "chained" "b+from-c" !got)
 
 let test_rpc_blacklist () =
@@ -516,7 +516,7 @@ let test_rpc_blacklist () =
       ignore
         (Env.thread client_env (fun () ->
              result := Rpc.a_call client_env server_env.Env.me "x" []));
-      Engine.run eng;
+      ignore (Engine.run eng);
       match !result with
       | Error (Rpc.Network _) -> ()
       | _ -> Alcotest.fail "expected local network refusal")
@@ -539,7 +539,7 @@ let test_rpc_concurrent_calls () =
                let v = Rpc.call client_env server_env.Env.me "slowid" [ Codec.Int i ] in
                results := Codec.to_int v :: !results))
       done;
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check (list int)) "all replies matched to callers" [ 1; 2; 3; 4 ]
         (List.sort Int.compare !results);
       (* handlers ran concurrently: total time ~1s, not 4s *)
@@ -555,7 +555,7 @@ let test_message_loss_forces_timeout () =
       ignore
         (Env.thread client_env (fun () ->
              result := Rpc.a_call client_env server_env.Env.me ~timeout:1.0 "noop" []));
-      Engine.run eng;
+      ignore (Engine.run eng);
       match !result with
       | Error Rpc.Timeout -> ()
       | _ -> Alcotest.fail "expected timeout under full loss")
@@ -590,7 +590,7 @@ let test_log_forward_sink () =
       eng
   in
   ignore (Engine.schedule eng ~delay:5.0 (fun () -> Log.info log "hello"));
-  Engine.run eng;
+  ignore (Engine.run eng);
   match !collected with
   | [ (t, Log.Info, msg) ] ->
       Alcotest.(check (float 1e-9)) "stamped with virtual time" 5.0 t;
@@ -609,7 +609,7 @@ let test_events_aliases () =
         (Engine.spawn eng (fun () ->
              Events.sleep 7.0;
              Env.stop env));
-      Engine.run eng;
+      ignore (Engine.run eng);
       Alcotest.(check bool) "thread ran" true !ran;
       Alcotest.(check int) "three periods in 7s" 3 !ticks)
 
@@ -660,7 +660,7 @@ let test_stream_echo () =
              let second = Sb_stream.recv conn in
              got := [ first; second ];
              Sb_stream.close conn));
-      Engine.run ~until:300.0 eng;
+      ignore (Engine.run ~until:300.0 eng);
       Alcotest.(check (list string)) "echoed in order" [ "echo:one"; "echo:two" ] !got)
 
 let test_stream_ordering_under_jitter () =
@@ -689,7 +689,7 @@ let test_stream_ordering_under_jitter () =
          done;
          Engine.sleep 30.0;
          Sb_stream.close conn));
-  Engine.run ~until:300.0 eng;
+  ignore (Engine.run ~until:300.0 eng);
   Alcotest.(check (list string)) "all 50 in order"
     (List.init 50 (fun i -> string_of_int (i + 1)))
     (List.rev !received)
@@ -703,7 +703,7 @@ let test_stream_connect_refused () =
              match Sb_stream.connect client_env ~timeout:3.0 (Addr.make 0 4000) with
              | _ -> outcome := "connected"
              | exception Sb_stream.Stream_error _ -> outcome := "refused"));
-      Engine.run ~until:60.0 eng;
+      ignore (Engine.run ~until:60.0 eng);
       (* nothing listens on host 0 at all: the SYN lands on an unbound port
          and the handshake times out *)
       Alcotest.(check string) "refused or timed out" "refused" !outcome)
@@ -726,7 +726,7 @@ let test_stream_close_semantics () =
              (match Sb_stream.send conn "late" with
              | () -> Alcotest.fail "send on closed connection succeeded"
              | exception Sb_stream.Stream_error _ -> ())));
-      Engine.run ~until:120.0 eng;
+      ignore (Engine.run ~until:120.0 eng);
       Alcotest.(check bool) "server saw the FIN" true !server_saw_eof)
 
 let test_stream_counts_sockets () =
@@ -746,7 +746,7 @@ let test_stream_counts_sockets () =
                | _ -> incr opened
                | exception Sb_stream.Stream_error _ -> incr refused
              done));
-      Engine.run ~until:120.0 eng;
+      ignore (Engine.run ~until:120.0 eng);
       Alcotest.(check int) "cap respected" 2 !opened;
       Alcotest.(check int) "rest refused" 2 !refused)
 
@@ -798,7 +798,7 @@ let test_stream_framing_with_codec () =
                (String.sub frames (2 * third) (String.length frames - (2 * third)));
              Engine.sleep 5.0;
              Sb_stream.close conn));
-      Engine.run ~until:120.0 eng;
+      ignore (Engine.run ~until:120.0 eng);
       Alcotest.(check int) "three values decoded" 3 (List.length !decoded);
       match List.rev !decoded with
       | [ Codec.Int 1; Codec.String "hello"; Codec.List [ Codec.Bool true ] ] -> ()

@@ -114,7 +114,7 @@ let test_engine_schedule_order () =
   ignore (Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log));
   ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log));
   ignore (Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
   check_float "clock at last event" 3.0 (Engine.now e)
 
@@ -124,7 +124,7 @@ let test_engine_fifo_same_time () =
   for i = 1 to 5 do
     ignore (Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
   done;
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
 
 let test_engine_cancel () =
@@ -133,7 +133,7 @@ let test_engine_cancel () =
   let id = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
   Engine.cancel e id;
   Engine.cancel e id;
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check bool) "not fired" false !fired;
   Alcotest.(check int) "no pending" 0 (Engine.pending_events e)
 
@@ -142,10 +142,10 @@ let test_engine_run_until () =
   let fired = ref 0 in
   ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
   ignore (Engine.schedule e ~delay:5.0 (fun () -> incr fired));
-  Engine.run ~until:2.0 e;
+  ignore (Engine.run ~until:2.0 e);
   Alcotest.(check int) "only first" 1 !fired;
   check_float "clock clamped" 2.0 (Engine.now e);
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check int) "rest" 2 !fired
 
 let test_engine_nested_schedule () =
@@ -155,7 +155,7 @@ let test_engine_nested_schedule () =
     (Engine.schedule e ~delay:1.0 (fun () ->
          times := Engine.now e :: !times;
          ignore (Engine.schedule e ~delay:2.0 (fun () -> times := Engine.now e :: !times))));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (list (float 1e-9))) "times" [ 1.0; 3.0 ] (List.rev !times)
 
 (* {2 Processes} *)
@@ -168,7 +168,7 @@ let test_proc_sleep () =
          Engine.sleep 1.5;
          Engine.sleep 2.5;
          t_end := Engine.now e));
-  Engine.run e;
+  ignore (Engine.run e);
   check_float "slept" 4.0 !t_end;
   Alcotest.(check (list reject)) "no crash" [] (List.map snd (Engine.crashed e))
 
@@ -179,7 +179,7 @@ let test_proc_concurrent () =
   mk "slow" 3.0;
   mk "fast" 1.0;
   mk "mid" 2.0;
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (list string)) "interleaved" [ "fast"; "mid"; "slow" ] (List.rev !log)
 
 let test_proc_kill_while_sleeping () =
@@ -194,7 +194,7 @@ let test_proc_kill_while_sleeping () =
             finished := true))
   in
   ignore (Engine.schedule e ~delay:1.0 (fun () -> Engine.kill e p));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check bool) "cleanup ran" true !cleaned;
   Alcotest.(check bool) "body did not finish" false !finished;
   Alcotest.(check bool) "dead" false (Engine.alive p);
@@ -207,7 +207,7 @@ let test_proc_kill_before_start () =
   let p = Engine.spawn e (fun () -> ran := true) in
   Engine.on_exit p (fun () -> exited := true);
   Engine.kill e p;
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check bool) "never ran" false !ran;
   Alcotest.(check bool) "exit hook ran" true !exited
 
@@ -219,7 +219,7 @@ let test_proc_self_kill () =
          let self = Engine.self () in
          Engine.kill e self;
          after := true));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check bool) "nothing after self-kill" false !after;
   Alcotest.(check int) "not a crash" 0 (List.length (Engine.crashed e))
 
@@ -229,7 +229,7 @@ let test_proc_exit_hooks_order () =
   let p = Engine.spawn e (fun () -> Engine.sleep 1.0) in
   Engine.on_exit p (fun () -> log := 1 :: !log);
   Engine.on_exit p (fun () -> log := 2 :: !log);
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (list int)) "registration order" [ 1; 2 ] (List.rev !log);
   (* registering after death runs immediately *)
   let now = ref false in
@@ -239,7 +239,7 @@ let test_proc_exit_hooks_order () =
 let test_proc_crash_recorded () =
   let e = Engine.create () in
   ignore (Engine.spawn e (fun () -> failwith "boom"));
-  Engine.run e;
+  ignore (Engine.run e);
   match Engine.crashed e with
   | [ (_, Failure m) ] -> Alcotest.(check string) "msg" "boom" m
   | _ -> Alcotest.fail "expected one crash"
@@ -259,7 +259,7 @@ let test_suspend_resolve_once () =
              r (Ok 1);
              r (Ok 2)
          | None -> Alcotest.fail "no resolver"));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (list int)) "only first resolve" [ 1 ] !got
 
 let test_suspend_error () =
@@ -269,7 +269,7 @@ let test_suspend_error () =
     (Engine.spawn e (fun () ->
          try ignore (Engine.suspend_ (fun resolve -> resolve (Error Not_found)))
          with Not_found -> caught := true));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check bool) "exn delivered" true !caught
 
 (* {2 Ivar} *)
@@ -280,7 +280,7 @@ let test_ivar_basic () =
   let got = ref 0 in
   ignore (Engine.spawn e (fun () -> got := Ivar.read iv));
   ignore (Engine.schedule e ~delay:2.0 (fun () -> Ivar.fill iv 42));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check int) "read" 42 !got;
   Alcotest.(check bool) "filled" true (Ivar.is_filled iv);
   Alcotest.(check bool) "double fill refused" false (Ivar.try_fill iv 1)
@@ -291,7 +291,7 @@ let test_ivar_read_after_fill () =
   Ivar.fill iv 7;
   let got = ref 0 in
   ignore (Engine.spawn e (fun () -> got := Ivar.read iv));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check int) "immediate" 7 !got
 
 let test_ivar_timeout () =
@@ -299,7 +299,7 @@ let test_ivar_timeout () =
   let iv = Ivar.create () in
   let got = ref (Some 1) in
   ignore (Engine.spawn e (fun () -> got := Ivar.read_timeout iv 1.0));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (option int)) "timed out" None !got;
   check_float "timeout respected" 1.0 (Engine.now e)
 
@@ -309,7 +309,7 @@ let test_ivar_timeout_beaten () =
   let got = ref None in
   ignore (Engine.spawn e (fun () -> got := Ivar.read_timeout iv 5.0));
   ignore (Engine.schedule e ~delay:1.0 (fun () -> Ivar.fill iv 9));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (option int)) "value wins" (Some 9) !got
 
 let test_ivar_multiple_readers () =
@@ -320,7 +320,7 @@ let test_ivar_multiple_readers () =
     ignore (Engine.spawn e (fun () -> sum := !sum + Ivar.read iv))
   done;
   ignore (Engine.schedule e ~delay:1.0 (fun () -> Ivar.fill iv 10));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check int) "all woken" 30 !sum
 
 (* {2 Channel} *)
@@ -339,7 +339,7 @@ let test_channel_fifo () =
          Channel.send c 1;
          Channel.send c 2;
          Channel.send c 3));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
 
 let test_channel_buffered () =
@@ -349,7 +349,7 @@ let test_channel_buffered () =
   Alcotest.(check int) "buffered" 1 (Channel.length c);
   let got = ref 0 in
   ignore (Engine.spawn e (fun () -> got := Channel.recv c));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check int) "got" 5 !got;
   Alcotest.(check int) "drained" 0 (Channel.length c)
 
@@ -361,7 +361,7 @@ let test_channel_timeout_skips_dead_receiver () =
   ignore (Engine.spawn e (fun () -> second := Channel.recv c));
   (* send after the first receiver timed out: must reach the second *)
   ignore (Engine.schedule e ~delay:2.0 (fun () -> Channel.send c 7));
-  Engine.run e;
+  ignore (Engine.run e);
   Alcotest.(check (option int)) "first timed out" None !first;
   Alcotest.(check int) "second got it" 7 !second
 
@@ -388,7 +388,7 @@ let test_channel_competing_receivers () =
     (Engine.schedule e ~delay:1.0 (fun () ->
          Channel.send c "x";
          Channel.send c "y"));
-  Engine.run e;
+  ignore (Engine.run e);
   let sorted = List.sort compare !got in
   Alcotest.(check (list (pair int string))) "each got one" [ (1, "x"); (2, "y") ] sorted
 
@@ -404,7 +404,7 @@ let test_determinism () =
              Engine.sleep (Rng.float r 10.0);
              Buffer.add_string log (Printf.sprintf "%d@%.6f;" i (Engine.now e))))
     done;
-    Engine.run e;
+    ignore (Engine.run e);
     Buffer.contents log
   in
   Alcotest.(check string) "identical runs" (run_once 9) (run_once 9);
@@ -423,7 +423,7 @@ let prop_schedule_cancel_accounting =
       List.iter (Engine.cancel e) cancelled;
       (* double-cancel must not double-count *)
       List.iter (Engine.cancel e) cancelled;
-      Engine.run e;
+      ignore (Engine.run e);
       !fired = List.length delays - List.length cancelled && Engine.pending_events e = 0)
 
 let qsuite =
