@@ -2,7 +2,7 @@ all:
 	dune build @all
 
 check:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) trace-demo
 
 test:
 	dune runtest
@@ -10,4 +10,14 @@ test:
 bench:
 	dune exec bench/main.exe
 
-.PHONY: all check test bench
+# End-to-end tracing demo: run a traced Chord deployment, then verify the
+# analyzer extracts a non-empty RPC critical path from the dump.
+trace-demo:
+	dune exec bin/splay_cli.exe -- run --app chord --testbed cluster \
+	  --hosts 4 --nodes 8 --duration 60 --lookups 25 \
+	  --trace /tmp/splay-trace-demo.jsonl > /dev/null
+	dune exec bin/splay_cli.exe -- trace /tmp/splay-trace-demo.jsonl --critical-path \
+	  | tee /dev/stderr | grep -q "rpc\."
+	@echo "trace-demo: OK (critical path extracted)"
+
+.PHONY: all check test bench trace-demo

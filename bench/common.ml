@@ -14,25 +14,10 @@ let scale = ref Quick
 
 let pick ~quick ~full = match !scale with Quick -> quick | Full -> full
 
-(* Observability: --obs enables the layer and prints the metric summary
-   after each experiment; --obs-trace=FILE additionally dumps the JSONL
-   trace of the last experiment run. *)
-let obs_summary = ref false
-let obs_trace_path : string option ref = ref None
-
-let obs_begin () = if !obs_summary || !obs_trace_path <> None then Obs.enabled := true
-
-let obs_end () =
-  if !Obs.enabled then begin
-    (match !obs_trace_path with
-    | Some path ->
-        Obs.dump_jsonl ~path ();
-        Printf.printf "  obs: wrote JSONL trace to %s (%d spans)\n" path (Obs.span_count ())
-    | None -> ());
-    if !obs_summary then Obs.report ();
-    Obs.enabled := false;
-    Obs.reset ()
-  end
+(* Observability: --obs / --obs-trace=FILE / --critical-path, parsed and
+   acted on by the shared Obs_flags helper (same flags as splay_cli). *)
+let obs_begin () = Obs_flags.arm ()
+let obs_end () = ignore (Obs_flags.finish () : bool)
 
 (* Bring up a testbed + controller + daemons and run [main] to completion.
    The engine is drained up to [horizon] after main finishes its work. *)

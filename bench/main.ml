@@ -41,14 +41,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let listing = List.mem "--list" args in
-  Common.obs_summary := List.mem "--obs" args;
-  List.iter
-    (fun a ->
-      let prefix = "--obs-trace=" in
-      let np = String.length prefix in
-      if String.length a > np && String.sub a 0 np = prefix then
-        Common.obs_trace_path := Some (String.sub a np (String.length a - np)))
-    args;
+  List.iter (fun a -> ignore (Splay.Obs_flags.parse_arg a : bool)) args;
   let selected =
     List.filter_map
       (fun a ->

@@ -7,7 +7,8 @@
      splay profile churn.txt
      splay trace gen --concurrent 200 --duration 3000 -o overnet.trace
      splay trace info overnet.trace
-     splay trace speedup 5 overnet.trace -o fast.trace *)
+     splay trace speedup 5 overnet.trace -o fast.trace
+     splay run --app chord --trace run.jsonl && splay trace run.jsonl --critical-path *)
 
 open Cmdliner
 open Splay
@@ -38,10 +39,8 @@ let read_file path =
 let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace speedup seed descriptor_file obs_trace =
   (* Arm the observability layer before the platform exists so daemon
      boot and deployment are part of the trace. *)
-  if obs_trace <> None then begin
-    Obs.reset ();
-    Obs.enabled := true
-  end;
+  Obs_flags.trace_path := obs_trace;
+  Obs_flags.arm ();
   let spec =
     match testbed with
     | Tb_planetlab -> Platform.Planetlab hosts
@@ -159,17 +158,7 @@ let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace sp
       List.iter Daemon.shutdown (Platform.daemons p);
       ignore
         (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))));
-  match obs_trace with
-  | Some path ->
-      Obs.enabled := false;
-      (try
-         Obs.dump_jsonl ~path ();
-         Printf.printf "observability: wrote JSONL trace to %s (%d spans)\n" path
-           (Obs.span_count ())
-       with Sys_error msg ->
-         Printf.eprintf "observability: cannot write trace: %s\n" msg;
-         exit 1)
-  | None -> ()
+  if not (Obs_flags.finish ()) then exit 1
 
 let run_term =
   let app_arg =
@@ -268,6 +257,27 @@ let trace_amplify factor path seed out =
   let rng = Rng.create seed in
   write_out out (Trace.to_string (Transform.renumber (Transform.amplify rng factor t)) ^ "\n")
 
+(* Offline analysis of an Obs JSONL dump (produced by `splay run --trace`
+   or the bench harness's --obs-trace=FILE). *)
+let trace_analyze critical root_name = function
+  | None ->
+      Printf.eprintf "splay trace: missing TRACE.jsonl argument (or subcommand; see --help)\n";
+      exit 2
+  | Some path ->
+      let t = Trace_analysis.load_file path in
+      let root =
+        match root_name with
+        | None -> None
+        | Some nm -> (
+            match Trace_analysis.slowest_root ~name:nm t with
+            | Some _ as r -> r
+            | None ->
+                Printf.eprintf "splay trace: no span named %S in %s\n" nm path;
+                exit 1)
+      in
+      if critical then Trace_analysis.print_critical_path ?root t
+      else Trace_analysis.print_summary t
+
 let out_arg = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
 
 let trace_cmds =
@@ -301,13 +311,58 @@ let trace_cmds =
         $ Arg.(value & opt int 42 & info [ "seed" ])
         $ out_arg)
   in
-  Cmd.group (Cmd.info "trace" ~doc:"Generate and transform availability traces.")
-    [ gen; info_c; speedup; amplify ]
+  (* `splay trace FILE` analyzes an observability JSONL dump (the
+     `run --trace FILE` output); the argv shim in [main] routes a FILE
+     first argument here so the subcommand name can stay implicit. *)
+  let analyze_term =
+    let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl") in
+    let critical =
+      Arg.(
+        value & flag
+        & info [ "critical-path" ]
+            ~doc:"Print the per-hop latency breakdown along the critical path instead of the summary tables.")
+    in
+    let root =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "root" ] ~docv:"NAME"
+            ~doc:"Anchor the critical path at the slowest span named $(docv) (default: the slowest rpc.call root).")
+    in
+    Term.(const trace_analyze $ critical $ root $ file)
+  in
+  let analyze =
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:"Analyze an observability JSONL trace (summary tables, critical path).")
+      analyze_term
+  in
+  Cmd.group ~default:analyze_term
+    (Cmd.info "trace"
+       ~doc:
+         "Analyze an observability JSONL trace (causal DAG, critical path), or generate and \
+          transform availability traces.")
+    [ analyze; gen; info_c; speedup; amplify ]
+
+let trace_subcommands = [ "analyze"; "gen"; "info"; "speedup"; "amplify" ]
 
 let () =
+  (* cmdliner command groups reject positionals in subcommand position, so
+     `splay trace run.jsonl` needs the implicit `analyze` spliced in. *)
+  let argv =
+    let a = Sys.argv in
+    if
+      Array.length a >= 3
+      && a.(1) = "trace"
+      && (not (List.mem a.(2) trace_subcommands))
+      && String.length a.(2) > 0
+      && a.(2).[0] <> '-'
+    then Array.concat [ [| a.(0); a.(1); "analyze" |]; Array.sub a 2 (Array.length a - 2) ]
+    else a
+  in
   let root =
     Cmd.group
       (Cmd.info "splay" ~version:"1.0" ~doc:"SPLAY for OCaml — deploy and evaluate distributed systems.")
       [ Cmd.v run_cmd_info run_term; Cmd.v profile_cmd_info profile_term; trace_cmds ]
   in
-  exit (Cmd.eval root)
+  exit (Cmd.eval ~argv root)

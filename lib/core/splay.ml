@@ -27,6 +27,8 @@ module Channel = Splay_sim.Channel
 
 (* Observability: deterministic tracing + metrics across all layers *)
 module Obs = Splay_obs.Obs
+module Trace_analysis = Splay_obs.Trace_analysis
+module Obs_flags = Splay_obs.Obs_flags
 
 (* Statistics and reporting *)
 module Dist = Splay_stats.Dist

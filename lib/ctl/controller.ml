@@ -16,6 +16,13 @@ let h_heartbeat_age = Obs.histogram "ctl.heartbeat_age"
 
 type drec = { dr_daemon : Daemon.t; mutable dr_last_seen : float }
 
+type log_record = {
+  lr_time : float;
+  lr_node : string;
+  lr_level : Log.level;
+  lr_msg : string;
+}
+
 type job = {
   j_id : int;
   j_desc : Descriptor.t;
@@ -23,6 +30,9 @@ type job = {
   mutable j_next_position : int;
   mutable j_log_lines : int;
   mutable j_log_bytes : int;
+  j_log : log_record Queue.t; (* arrival order = deterministic delivery order *)
+  j_log_cap : int;
+  mutable j_log_dropped : int;
 }
 
 type t = {
@@ -203,7 +213,7 @@ let probe t ?(payload = 20 * 1024) d =
 
 let job_id j = j.j_id
 
-let new_job t name main desc =
+let new_job t ~log_cap ~log_level name main desc =
   let id = t.c_next_job in
   t.c_next_job <- id + 1;
   let job =
@@ -214,13 +224,24 @@ let new_job t name main desc =
       j_next_position = 1;
       j_log_lines = 0;
       j_log_bytes = 0;
+      j_log = Queue.create ();
+      j_log_cap = log_cap;
+      j_log_dropped = 0;
     }
   in
+  (* Per-job collector: every instance of the job forwards its records
+     here. Bounded — the paper's log service caps per-job storage; beyond
+     the cap we keep counting (lines/bytes) but drop the text. *)
   let sink =
     Log.Forward
-      (fun ~time:_ ~level:_ msg ->
+      (fun ~time ~level ~node msg ->
         job.j_log_lines <- job.j_log_lines + 1;
-        job.j_log_bytes <- job.j_log_bytes + String.length msg)
+        job.j_log_bytes <- job.j_log_bytes + String.length msg;
+        if Queue.length job.j_log < job.j_log_cap then
+          Queue.add
+            { lr_time = time; lr_node = node; lr_level = level; lr_msg = msg }
+            job.j_log
+        else job.j_log_dropped <- job.j_log_dropped + 1)
   in
   Hashtbl.replace t.c_jobs id job;
   Hashtbl.replace t.c_specs id
@@ -229,6 +250,7 @@ let new_job t name main desc =
       js_main = main;
       js_limits = desc.Descriptor.limits;
       js_log_sink = sink;
+      js_log_level = log_level;
       js_loss = desc.Descriptor.loss;
     };
   job
@@ -313,8 +335,9 @@ let parallel_all ?(paced = false) t thunks =
     thunks;
   if thunks <> [] then Ivar.read done_iv
 
-let deploy t ?(superset = 1.25) ?(register_timeout = 10.0) ?(criteria = []) ~name ~main desc =
-  let job = new_job t name main desc in
+let deploy t ?(superset = 1.25) ?(register_timeout = 10.0) ?(criteria = [])
+    ?(log_cap = 100_000) ?(log_level = Log.Info) ~name ~main desc =
+  let job = new_job t ~log_cap ~log_level name main desc in
   let need = desc.Descriptor.nb_splayd in
   let sp_deploy =
     if !Obs.enabled then
@@ -466,6 +489,29 @@ let undeploy dep =
 
 let log_lines dep = dep.dep_job.j_log_lines
 let log_bytes dep = dep.dep_job.j_log_bytes
+let job_log dep = List.of_seq (Queue.to_seq dep.dep_job.j_log)
+let job_log_dropped dep = dep.dep_job.j_log_dropped
+
+(* L records share the trace's JSONL framing so one file (or a cat of the
+   two) replays the run: sort by "t" and logs interleave with spans. *)
+let logs_jsonl dep =
+  let buf = Buffer.create 4096 in
+  Queue.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"t":%.6f,"ev":"L","node":%s,"level":"%s","msg":%s}|} r.lr_time
+           (Obs.json_string r.lr_node)
+           (Log.level_to_string r.lr_level)
+           (Obs.json_string r.lr_msg));
+      Buffer.add_char buf '\n')
+    dep.dep_job.j_log;
+  Buffer.contents buf
+
+let dump_logs dep ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (logs_jsonl dep))
 
 let push_blacklist t h =
   Obs.incr c_blacklist;

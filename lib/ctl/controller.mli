@@ -89,6 +89,8 @@ val deploy :
   ?superset:float ->
   ?register_timeout:float ->
   ?criteria:criterion list ->
+  ?log_cap:int ->
+  ?log_level:Log.level ->
   name:string ->
   main:(Env.t -> unit) ->
   Descriptor.t ->
@@ -97,7 +99,13 @@ val deploy :
     the requested size) candidate slots, REGISTER them all, keep the first
     [nb_splayd] to acknowledge, FREE the rest, push LIST (positions and
     bootstrap nodes per the descriptor) and START. Blocking; returns once
-    every kept instance has started. *)
+    every kept instance has started.
+
+    [log_level] (default [Info]) is the per-node severity threshold pushed
+    to every instance of the job; records below it are filtered at the
+    node. [log_cap] (default 100_000) bounds the records the controller
+    retains for the job — beyond it, {!log_lines}/{!log_bytes} keep
+    counting but the text is dropped (see {!job_log_dropped}). *)
 
 val deployment_job : deployment -> job
 val deployment_ctl : deployment -> t
@@ -137,6 +145,33 @@ val undeploy : deployment -> unit
 val log_lines : deployment -> int
 val log_bytes : deployment -> int
 (** Volume received by this job's log collector. *)
+
+(** {1 Log collection}
+
+    Every instance of a job forwards its enabled log records to the
+    controller, which aggregates them per job on the virtual clock. *)
+
+type log_record = {
+  lr_time : float;  (** virtual time at the emitting node *)
+  lr_node : string;  (** emitting instance (its address string) *)
+  lr_level : Log.level;
+  lr_msg : string;
+}
+
+val job_log : deployment -> log_record list
+(** Collected records in arrival order (deterministic: delivery order on
+    the virtual clock). *)
+
+val job_log_dropped : deployment -> int
+(** Records lost to the per-job cap ([log_cap] at {!deploy}). *)
+
+val logs_jsonl : deployment -> string
+(** The collected records as JSONL
+    [{"t":…,"ev":"L","node":…,"level":…,"msg":…}] lines — same framing as
+    {!Splay_obs.Obs.trace_jsonl}, so the two files interleave by ["t"]. *)
+
+val dump_logs : deployment -> path:string -> unit
+(** Write {!logs_jsonl} to [path]. *)
 
 (** {1 Blacklist} *)
 

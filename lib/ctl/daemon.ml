@@ -39,6 +39,7 @@ type job_spec = {
   js_main : Env.t -> unit;
   js_limits : Sandbox.limits;
   js_log_sink : Log.sink;
+  js_log_level : Log.level;
   js_loss : float;
 }
 
@@ -129,6 +130,9 @@ let fresh_env t spec ~port =
   Sandbox.blacklist env.Env.sandbox t.controller.Addr.host;
   List.iter (Sandbox.blacklist env.Env.sandbox) t.banned;
   Log.set_sink env.Env.log spec.js_log_sink;
+  (* the job's log threshold filters at the emitting node, before any
+     forwarding cost is paid — the paper's log.set_level at init *)
+  Log.set_level env.Env.log spec.js_log_level;
   env.Env.loss_rate <- spec.js_loss;
   env
 

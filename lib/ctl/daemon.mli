@@ -35,6 +35,9 @@ type job_spec = {
   js_main : Env.t -> unit;
   js_limits : Splay_runtime.Sandbox.limits; (** controller restrictions *)
   js_log_sink : Splay_runtime.Log.sink;
+  js_log_level : Splay_runtime.Log.level;
+      (** per-node severity threshold, applied at instance creation —
+          records below it are dropped at the node, never forwarded *)
   js_loss : float; (** outgoing packet loss imposed on the instance *)
 }
 

@@ -105,8 +105,14 @@ let send t ?(size = 256) ?loss ~src ~dst payload =
       let processing = Testbed.proc_cost t.tb dst.Addr.host in
       let deliver_at = start_down +. tx_down +. processing in
       if !Obs.enabled then Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
+      (* The sender's trace context travels with the message (the
+         wire-level counterpart of the RPC envelope's ctx field): delivery
+         runs under it, so receiver-side spans join the sender's causal
+         trace for any payload, not just RPC. *)
+      let mctx = Obs.current () in
       ignore
         (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
+             Obs.set_current mctx;
              if not hd.Testbed.up then drop ()
              else
                match AddrTbl.find_opt t.handlers dst with

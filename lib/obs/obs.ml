@@ -14,11 +14,36 @@ let now () = !clock ()
 
 let buf = Buffer.create 4096
 let next_span = ref 1
+let next_trace = ref 1
 let spans_started = ref 0
 
-type span = int
+(* {1 Trace context}
 
-let null_span = 0
+   The ambient (trace, span) position in the causal DAG. [cur] holds an
+   immutable record so capturing it (the engine does, at every schedule and
+   suspension) is a pointer read — nothing is allocated on the disabled
+   path. *)
+
+type ctx = { tid : int; sid : int }
+
+let null_ctx = { tid = 0; sid = 0 }
+let cur = ref null_ctx
+let current () = !cur
+let set_current c = cur := c
+
+let with_ctx c f =
+  let saved = !cur in
+  cur := c;
+  Fun.protect ~finally:(fun () -> cur := saved) f
+
+(* A span remembers its own context (for envelopes) and the context that
+   was current when it started (restored on finish, so a finished span
+   stops labelling subsequent work — even when start and finish happen in
+   different engine events, as with RPC call spans). *)
+type span = { sp_ctx : ctx; sp_prev : ctx }
+
+let null_span = { sp_ctx = null_ctx; sp_prev = null_ctx }
+let span_ctx s = s.sp_ctx
 
 let add_json_string b s =
   Buffer.add_char b '"';
@@ -47,38 +72,58 @@ let add_attrs b attrs =
    stable across printf implementations. *)
 let add_time b = Buffer.add_string b (Printf.sprintf "%.6f" (!clock ()))
 
-let span ?(attrs = []) name =
+let span ?(attrs = []) ?parent name =
   if not !enabled then null_span
   else begin
-    let id = !next_span in
-    next_span := id + 1;
+    let parent = match parent with Some c -> c | None -> !cur in
+    let tid =
+      if parent.tid <> 0 then parent.tid
+      else begin
+        let id = !next_trace in
+        next_trace := id + 1;
+        id
+      end
+    in
+    let sid = !next_span in
+    next_span := sid + 1;
     incr spans_started;
     Buffer.add_string buf "{\"t\":";
     add_time buf;
-    Buffer.add_string buf ",\"ev\":\"B\",\"id\":";
-    Buffer.add_string buf (string_of_int id);
+    Buffer.add_string buf ",\"ev\":\"B\",\"sid\":";
+    Buffer.add_string buf (string_of_int sid);
+    Buffer.add_string buf ",\"tid\":";
+    Buffer.add_string buf (string_of_int tid);
+    Buffer.add_string buf ",\"pid\":";
+    Buffer.add_string buf (string_of_int parent.sid);
     Buffer.add_string buf ",\"name\":";
     add_json_string buf name;
     add_attrs buf attrs;
     Buffer.add_string buf "}\n";
-    id
+    let sp = { sp_ctx = { tid; sid }; sp_prev = !cur } in
+    cur := sp.sp_ctx;
+    sp
   end
 
 let finish ?(attrs = []) s =
-  if s <> null_span && !enabled then begin
+  if s.sp_ctx.sid <> 0 && !enabled then begin
     Buffer.add_string buf "{\"t\":";
     add_time buf;
-    Buffer.add_string buf ",\"ev\":\"E\",\"id\":";
-    Buffer.add_string buf (string_of_int s);
+    Buffer.add_string buf ",\"ev\":\"E\",\"sid\":";
+    Buffer.add_string buf (string_of_int s.sp_ctx.sid);
     add_attrs buf attrs;
-    Buffer.add_string buf "}\n"
+    Buffer.add_string buf "}\n";
+    cur := s.sp_prev
   end
 
 let event ?(attrs = []) name =
   if !enabled then begin
     Buffer.add_string buf "{\"t\":";
     add_time buf;
-    Buffer.add_string buf ",\"ev\":\"P\",\"name\":";
+    Buffer.add_string buf ",\"ev\":\"P\",\"tid\":";
+    Buffer.add_string buf (string_of_int !cur.tid);
+    Buffer.add_string buf ",\"pid\":";
+    Buffer.add_string buf (string_of_int !cur.sid);
+    Buffer.add_string buf ",\"name\":";
     add_json_string buf name;
     add_attrs buf attrs;
     Buffer.add_string buf "}\n"
@@ -168,6 +213,8 @@ let histogram_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. Float.of_int h.
 let reset () =
   Buffer.clear buf;
   next_span := 1;
+  next_trace := 1;
+  cur := null_ctx;
   spans_started := 0;
   Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
   Hashtbl.iter
@@ -186,6 +233,11 @@ let reset () =
 (* {1 Output} *)
 
 let trace_jsonl () = Buffer.contents buf
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  add_json_string b s;
+  Buffer.contents b
 
 let fmt_float v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v

@@ -36,34 +36,71 @@ val now : unit -> float
     exists). *)
 
 val reset : unit -> unit
-(** Clear the trace buffer, zero every registered metric and restart span
-    numbering. Call between independent runs that must produce
-    independent traces. *)
+(** Clear the trace buffer, zero every registered metric, restart span and
+    trace numbering and clear the current context. Call between
+    independent runs that must produce independent traces. *)
+
+(** {1 Trace context}
+
+    Causality across tasks and nodes. A context names a position in the
+    causal DAG: the trace ([tid]) a computation belongs to and the span
+    ([sid]) it is currently inside. The engine captures the current
+    context at every [schedule]/[spawn]/[suspend] and restores it when the
+    event fires or the process resumes, so context follows the flow of
+    control; the RPC layer additionally carries it inside the request
+    envelope, so a handler's spans are children of the caller's span
+    {e across nodes}. Under a fixed seed, context assignment is part of
+    the byte-identical trace. *)
+
+type ctx = { tid : int; sid : int }
+(** [tid = 0] means "no trace": a span started there opens a fresh trace. *)
+
+val null_ctx : ctx
+
+val current : unit -> ctx
+(** The ambient context ({!null_ctx} when none). Allocation-free. *)
+
+val set_current : ctx -> unit
+(** Install a context (schedulers and transports use this to propagate;
+    instrumentation sites normally just start spans). *)
+
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+(** Run a thunk under a context, restoring the previous one after. *)
 
 (** {1 Spans}
 
-    A span is a named interval of virtual time with string attributes.
-    Spans are identified by small integers; {!null_span} is the disabled
-    sentinel, so starting a span while disabled allocates nothing. *)
+    A span is a named interval of virtual time with string attributes and
+    a position in the causal DAG; {!null_span} is the disabled sentinel,
+    so starting a span while disabled allocates nothing. *)
 
-type span = private int
+type span
 
 val null_span : span
 
-val span : ?attrs:(string * string) list -> string -> span
-(** Begin a span at the current virtual instant. Returns {!null_span}
-    (and records nothing) when disabled. *)
+val span_ctx : span -> ctx
+(** The context naming this span — what travels in message envelopes so
+    remote work becomes its child ({!null_ctx} for {!null_span}). *)
+
+val span : ?attrs:(string * string) list -> ?parent:ctx -> string -> span
+(** Begin a span at the current virtual instant, as a child of [parent]
+    (default: the current context; a fresh root/trace if there is none).
+    The new span becomes the current context until {!finish}. Returns
+    {!null_span} (and records nothing) when disabled. *)
 
 val finish : ?attrs:(string * string) list -> span -> unit
 (** End a span; extra attributes (e.g. the outcome) are attached to the
-    end record. Finishing {!null_span} is a no-op. *)
+    end record. The current context reverts to what it was when the span
+    was started, so siblings started afterwards do not nest under it.
+    Finishing {!null_span} is a no-op. *)
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] wraps [f ()] in a span, finishing it even on
     exception (the end record then carries [("outcome", "exn")]). *)
 
 val event : ?attrs:(string * string) list -> string -> unit
-(** Record an instantaneous point event. *)
+(** Record an instantaneous point event, attributed to the current
+    context. Attribute keys must not collide with the record's own fields
+    ([t]/[ev]/[sid]/[tid]/[pid]/[name]). *)
 
 val span_count : unit -> int
 (** Number of spans started since the last {!reset} (tests use this to
@@ -102,9 +139,14 @@ val histogram_mean : histogram -> float
 (** {1 Output} *)
 
 val trace_jsonl : unit -> string
-(** The trace so far, one JSON object per line, in record order:
-    [{"t":…,"ev":"B"|"E"|"P",…}] for span-begin, span-end and point
-    events. Deterministic under a fixed seed. *)
+(** The trace so far, one JSON object per line, in record order.
+    Span-begin records are
+    [{"t":…,"ev":"B","sid":…,"tid":…,"pid":…,"name":…,…attrs}] where
+    [sid] is the span id, [tid] its trace and [pid] the parent span
+    ([0] for a root); span-end records are [{"t":…,"ev":"E","sid":…,…}]
+    and point events [{"t":…,"ev":"P","tid":…,"pid":…,"name":…,…}].
+    Deterministic under a fixed seed; {!Trace_analysis} consumes this
+    format. *)
 
 val metrics_jsonl : unit -> string
 (** Every registered metric with a non-default value, one JSON object per
@@ -116,3 +158,8 @@ val dump_jsonl : path:string -> unit -> unit
 val report : unit -> unit
 (** Render a summary of all touched metrics as {!Splay_stats.Report}
     tables on stdout. *)
+
+val json_string : string -> string
+(** Quote and escape a string exactly as the trace emitter does — for
+    sibling emitters (the controller's log dump) that must stay
+    parseable by the same toolkit. *)

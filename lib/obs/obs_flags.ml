@@ -1,0 +1,57 @@
+let summary = ref false
+let trace_path : string option ref = ref None
+let critical_path = ref false
+
+let with_prefix prefix a =
+  let np = String.length prefix in
+  if String.length a > np && String.sub a 0 np = prefix then
+    Some (String.sub a np (String.length a - np))
+  else None
+
+let parse_arg a =
+  if a = "--obs" then begin
+    summary := true;
+    true
+  end
+  else if a = "--critical-path" then begin
+    critical_path := true;
+    true
+  end
+  else
+    match with_prefix "--obs-trace=" a with
+    | Some path ->
+        trace_path := Some path;
+        true
+    | None -> false
+
+let active () = !summary || !trace_path <> None
+
+let arm () =
+  if active () then begin
+    Obs.reset ();
+    Obs.enabled := true
+  end
+
+let finish () =
+  if not !Obs.enabled then true
+  else begin
+    let ok =
+      match !trace_path with
+      | None -> true
+      | Some path -> (
+          match Obs.dump_jsonl ~path () with
+          | () ->
+              Printf.printf "  obs: wrote JSONL trace to %s (%d spans)\n" path
+                (Obs.span_count ());
+              if !critical_path then
+                Trace_analysis.print_critical_path (Trace_analysis.load (Obs.trace_jsonl ()));
+              true
+          | exception Sys_error e ->
+              Printf.eprintf "  obs: trace dump failed: %s\n" e;
+              false)
+    in
+    if !summary then Obs.report ();
+    Obs.enabled := false;
+    Obs.reset ();
+    ok
+  end

@@ -1,0 +1,32 @@
+(** Shared command-line plumbing for the observability layer.
+
+    The bench harness and [splay_cli] accept the same three flags; this
+    module owns their parsing and the arm/dump lifecycle so the two front
+    ends cannot drift:
+
+    - [--obs] — enable the layer, print the metric summary at the end;
+    - [--obs-trace=FILE] — enable the layer, dump the JSONL trace to FILE;
+    - [--critical-path] — after dumping, print the critical-path latency
+      breakdown of the slowest RPC in the trace (implies nothing by
+      itself: it only takes effect alongside [--obs-trace=FILE]). *)
+
+val summary : bool ref
+val trace_path : string option ref
+val critical_path : bool ref
+
+val parse_arg : string -> bool
+(** [parse_arg a] consumes [a] if it is one of the flags above (setting the
+    corresponding ref) and returns whether it did. *)
+
+val active : unit -> bool
+(** Any flag that requires the layer on. *)
+
+val arm : unit -> unit
+(** If {!active}, reset the collector and enable it. Call before the
+    workload. *)
+
+val finish : unit -> bool
+(** Dump / summarize / analyze per the flags, then disable and reset the
+    layer. Returns [false] if the trace dump failed (error already printed
+    on stderr); callers decide the exit code. No-op ([true]) when the layer
+    was never armed. *)

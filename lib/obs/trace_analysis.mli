@@ -1,0 +1,81 @@
+(** Offline analysis of {!Obs} JSONL traces.
+
+    Loads a trace dump (the [B]/[E]/[P] records of {!Obs.trace_jsonl},
+    possibly interleaved with [L] log records and metric lines, which are
+    counted and skipped respectively), reconstructs the causal span DAG
+    from the [sid]/[pid] links, and computes the queries a deployer asks of
+    a distributed run: where did the time go ({!critical_path}), per-hop
+    latency ({!print_critical_path}), and per-name / per-RPC summaries
+    ({!print_summary}).
+
+    The loader is deliberately tolerant: unknown record kinds and metric
+    lines are skipped, an [E] without a matching [B] is ignored, and spans
+    never closed (crashed nodes) are clamped to the last timestamp seen. *)
+
+type span = {
+  sid : int;
+  tid : int;  (** trace (causal tree) the span belongs to *)
+  pid : int;  (** parent [sid]; 0 for roots *)
+  name : string;
+  start : float;
+  mutable stop : float;
+  mutable closed : bool;  (** false if no [E] record was found *)
+  mutable attrs : (string * string) list;
+      (** begin-record attributes, then finish-record attributes *)
+  mutable children : span list;  (** in begin order *)
+}
+
+type pevent = {
+  ev_time : float;
+  ev_tid : int;
+  ev_pid : int;  (** enclosing span's [sid]; 0 if none *)
+  ev_name : string;
+  ev_attrs : (string * string) list;
+}
+
+type t = {
+  spans : span list;  (** in begin order *)
+  events : pevent list;  (** in emission order *)
+  by_sid : (int, span) Hashtbl.t;
+  roots : span list;  (** [pid = 0], or parent absent from the dump *)
+  logs : int;  (** [ev:"L"] records seen (collected node logs) *)
+}
+
+val load : string -> t
+(** Parse a JSONL trace from a string, one record per line. *)
+
+val load_file : string -> t
+(** {!load} on a file's contents. Raises [Sys_error] as [open_in] does. *)
+
+val duration : span -> float
+
+val attr : span -> string -> string option
+(** First binding of an attribute key (begin attrs shadow finish attrs). *)
+
+val node_of : span -> string
+(** Best-effort placement of a span: its ["node"] attribute, else ["src"],
+    else ["dst"], else ["-"]. *)
+
+val critical_path : span -> span list
+(** The chain from [root] downwards obtained by always descending into the
+    child that {e finishes} last — the path that determined the root's end
+    time. Ties go to the later sibling (begin order). Head is the root. *)
+
+val self_times : span list -> (span * float) list
+(** For a {!critical_path}, each hop paired with its self time: its
+    duration minus the next hop's (the last hop keeps its full duration).
+    This is the per-hop latency breakdown — where on the path the time was
+    actually spent. *)
+
+val slowest_root : ?name:string -> t -> span option
+(** The longest-duration root span; with [name], the longest root (or
+    non-root) span so named. Without [name], roots named ["rpc.call"] are
+    preferred over infrastructure roots when any exist. *)
+
+val print_summary : t -> unit
+(** Per-name span table (count / total / mean / max duration), per-RPC
+    table (calls grouped by ["proc"], with outcome counts), trace totals. *)
+
+val print_critical_path : ?root:span -> t -> unit
+(** Per-hop latency breakdown along the {!critical_path} from [root]
+    (default {!slowest_root}): name, node, start, duration, self time. *)

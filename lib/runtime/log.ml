@@ -8,10 +8,17 @@ let level_to_string = function
   | Warn -> "warn"
   | Error -> "error"
 
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
 type sink =
   | Discard
   | Memory of int
-  | Forward of (time:float -> level:level -> string -> unit)
+  | Forward of (time:float -> level:level -> node:string -> string -> unit)
 
 type t = {
   name : string;
@@ -38,10 +45,13 @@ let emit t l msg =
     | Memory cap ->
         Queue.add (now, l, msg) t.entries;
         if Queue.length t.entries > cap then ignore (Queue.take t.entries)
-    | Forward f -> f ~time:now ~level:l (Printf.sprintf "[%s] %s" t.name msg)
+    | Forward f -> f ~time:now ~level:l ~node:t.name msg
   end
 
-let log t l fmt = Printf.ksprintf (emit t l) fmt
+(* Check the threshold before interpreting the format: a disabled-level
+   call skips the formatting work entirely (ifprintf consumes the
+   arguments without rendering anything). *)
+let log t l fmt = if enabled t l then Printf.ksprintf (emit t l) fmt else Printf.ifprintf () fmt
 let debug t fmt = log t Debug fmt
 let info t fmt = log t Info fmt
 let warn t fmt = log t Warn fmt

@@ -28,8 +28,12 @@ let h_latency = Obs.histogram "rpc.latency"
 let h_serve_time = Obs.histogram "rpc.serve_time"
 let h_bytes = Obs.histogram "rpc.request_bytes"
 
+(* The request envelope carries the caller's trace context ([Obs.null_ctx]
+   when tracing is off): the serve span on the callee is created as its
+   child, which is what stitches one logical request into a single causal
+   trace across nodes. *)
 type Net.payload +=
-  | Request of { rid : int; proc : string; args : Codec.value list }
+  | Request of { rid : int; proc : string; args : Codec.value list; ctx : Obs.ctx }
   | Reply of { rid : int; result : (Codec.value, string) result }
 
 let request_size proc args =
@@ -48,13 +52,16 @@ let send_reply env ~dst rid result =
 
 let dispatch env ~src payload =
   match payload with
-  | Request { rid; proc; args } ->
+  | Request { rid; proc; args; ctx } ->
       ignore
         (Env.thread env ~name:("rpc:" ^ proc) (fun () ->
              let eng = Env.engine env in
              let t0 = Engine.now eng in
              let sp =
-               if !Obs.enabled then Obs.span ~attrs:[ ("proc", proc) ] "rpc.serve"
+               if !Obs.enabled then
+                 Obs.span ~parent:ctx
+                   ~attrs:[ ("proc", proc); ("node", Addr.to_string env.Env.me) ]
+                   "rpc.serve"
                else Obs.null_span
              in
              let result =
@@ -112,7 +119,7 @@ let attempt env dst ~timeout ~size proc args =
   let outcome =
     Engine.suspend (fun resolve ->
         Hashtbl.replace env.Env.rpc_pending rid (fun r -> resolve (Ok r));
-        (try Sb_socket.send env ~dst ~size (Request { rid; proc; args })
+        (try Sb_socket.send env ~dst ~size (Request { rid; proc; args; ctx = Obs.current () })
          with Sb_socket.Network_error m ->
            (match Hashtbl.find_opt env.Env.rpc_pending rid with
            | Some r ->
@@ -148,26 +155,43 @@ let a_call_opt env dst ?(options = default_options) proc args =
     if !Obs.enabled then
       Obs.span
         ~attrs:
-          [ ("proc", proc); ("dst", Addr.to_string dst); ("bytes", string_of_int size) ]
+          [
+            ("proc", proc);
+            ("src", Addr.to_string env.Env.me);
+            ("dst", Addr.to_string dst);
+            ("bytes", string_of_int size);
+          ]
         "rpc.call"
     else Obs.null_span
   in
   (* Retries cover the transient failures (Timeout, local Network refusal);
-     a Remote error is the handler's answer and is final. *)
+     a Remote error is the handler's answer and is final. The first attempt
+     runs directly under the call span; each retry gets its own child span
+     numbered with the attempt, so the serve spans it causes are
+     distinguishable from the original attempt's. *)
   let rec go n =
-    match attempt env dst ~timeout:options.timeout ~size proc args with
+    let sp_retry =
+      if n > 0 && !Obs.enabled then
+        Obs.span ~attrs:[ ("attempt", string_of_int n) ] "rpc.retry"
+      else Obs.null_span
+    in
+    let r = attempt env dst ~timeout:options.timeout ~size proc args in
+    if !Obs.enabled then Obs.finish ~attrs:[ ("outcome", outcome_label r) ] sp_retry;
+    match r with
     | Error (Timeout | Network _) when n < options.retries ->
         Obs.incr c_retries;
         go (n + 1)
-    | r -> r
+    | r -> (r, n + 1)
   in
-  let result = go 0 in
+  let result, attempts = go 0 in
   Obs.incr c_calls;
   (match result with Error Timeout -> Obs.incr c_timeouts | _ -> ());
   if !Obs.enabled then begin
     Obs.observe h_latency (Engine.now eng -. t0);
     Obs.observe h_bytes (Float.of_int size);
-    Obs.finish ~attrs:[ ("outcome", outcome_label result) ] sp
+    Obs.finish
+      ~attrs:[ ("outcome", outcome_label result); ("attempts", string_of_int attempts) ]
+      sp
   end;
   result
 

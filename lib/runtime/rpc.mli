@@ -48,7 +48,12 @@ val a_call_opt :
 (** The primary entry point: call under an explicit {!options} policy
     (default {!default_options}) and report failure as a value. When
     tracing is enabled, each logical call records one [rpc.call] span
-    carrying the procedure, destination, payload bytes and outcome. *)
+    carrying the procedure, source, destination, payload bytes, outcome
+    and total attempt count; each retry additionally records a child
+    [rpc.retry] span tagged with its attempt number. The caller's trace
+    context travels in the request envelope, so the callee's [rpc.serve]
+    span — and everything the handler does, including nested calls — is a
+    child of this call's span across nodes. *)
 
 val call_opt : Env.t -> Addr.t -> ?options:options -> string -> Codec.value list -> Codec.value
 (** Like {!a_call_opt} but raises {!Rpc_error} on failure. *)

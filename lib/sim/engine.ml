@@ -13,7 +13,19 @@ let c_crashes = Obs.counter "engine.crashes"
 let h_event_wait = Obs.histogram "engine.event_wait"
 let g_queue_depth = Obs.gauge "engine.queue_depth"
 
-type event = { at : float; sched : float; seq : int; ev_id : int; fn : unit -> unit }
+(* [ctx] is the scheduler's trace context captured when the event was
+   scheduled and restored when it fires — causality follows control flow
+   through timers, spawns and suspensions without any help from call
+   sites. When tracing is off it is always [Obs.null_ctx] (a shared
+   immutable record: capturing it allocates nothing). *)
+type event = {
+  at : float;
+  sched : float;
+  seq : int;
+  ev_id : int;
+  ctx : Obs.ctx;
+  fn : unit -> unit;
+}
 
 type proc_state = Pending | Active | Dead
 
@@ -84,7 +96,7 @@ let schedule_at t ~at fn =
   t.next_event_id <- id + 1;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.queue { at; sched = t.now; seq; ev_id = id; fn };
+  Heap.push t.queue { at; sched = t.now; seq; ev_id = id; ctx = Obs.current (); fn };
   t.live_events <- t.live_events + 1;
   let depth = Heap.size t.queue in
   if depth > t.max_queue_depth then begin
@@ -129,6 +141,7 @@ let step t =
         Obs.incr c_events;
         Obs.observe h_event_wait (ev.at -. ev.sched)
       end;
+      Obs.set_current ev.ctx;
       ev.fn ();
       true
 
@@ -184,7 +197,8 @@ let spawn ?name t f =
   in
   Obs.incr c_spawns;
   if !Obs.enabled then
-    Obs.event ~attrs:[ ("proc", pname); ("pid", string_of_int pid) ] "engine.spawn";
+    (* attr key is proc_id, not pid: pid is the record's parent-span field *)
+    Obs.event ~attrs:[ ("proc", pname); ("proc_id", string_of_int pid) ] "engine.spawn";
   let finish () =
     if p.state <> Dead then begin
       p.state <- Dead;
@@ -214,6 +228,11 @@ let spawn ?name t f =
           | Suspend register ->
               Some
                 (fun (k : (b, unit) continuation) ->
+                  (* A process keeps its own trace context across a
+                     suspension: the resume event would otherwise inherit
+                     the resolver's context (e.g. a reply delivery),
+                     misattributing everything the process does next. *)
+                  let susp_ctx = Obs.current () in
                   let settled = ref false in
                   let cleanup = ref (fun () -> ()) in
                   let settle () =
@@ -228,7 +247,9 @@ let spawn ?name t f =
                       (fun () ->
                         if not !settled then begin
                           settle ();
-                          with_current t p (fun () -> discontinue k Process_killed)
+                          with_current t p (fun () ->
+                              Obs.set_current susp_ctx;
+                              discontinue k Process_killed)
                         end);
                   let resolve r =
                     if not !settled then begin
@@ -237,9 +258,12 @@ let spawn ?name t f =
                         (schedule t ~delay:0.0 (fun () ->
                              if p.state = Dead then ()
                              else if p.killed then
-                               with_current t p (fun () -> discontinue k Process_killed)
+                               with_current t p (fun () ->
+                                   Obs.set_current susp_ctx;
+                                   discontinue k Process_killed)
                              else
                                with_current t p (fun () ->
+                                   Obs.set_current susp_ctx;
                                    match r with Ok v -> continue k v | Error e -> discontinue k e)))
                     end
                   in
@@ -263,7 +287,7 @@ let spawn ?name t f =
 let note_kill p =
   Obs.incr c_kills;
   if !Obs.enabled then
-    Obs.event ~attrs:[ ("proc", p.pname); ("pid", string_of_int p.pid) ] "engine.kill"
+    Obs.event ~attrs:[ ("proc", p.pname); ("proc_id", string_of_int p.pid) ] "engine.kill"
 
 let kill t p =
   match p.state with

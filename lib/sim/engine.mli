@@ -11,7 +11,13 @@
 
     Determinism: given the same seed and the same program, a run is exactly
     reproducible. Events scheduled for the same instant fire in scheduling
-    order (FIFO). *)
+    order (FIFO).
+
+    Trace-context propagation: the engine captures {!Splay_obs.Obs.current}
+    at every {!schedule}/{!spawn} and restores it when the event fires, and
+    a suspended process resumes under the context it suspended with — so
+    causal trace lineage follows control flow with no help from call sites
+    (and costs nothing when tracing is disabled). *)
 
 type t
 (** An engine instance. Engines are independent; everything stateful

@@ -9,6 +9,7 @@ open Splay_runtime
 open Splay_ctl
 module Apps = Splay_apps
 module Obs = Splay_obs.Obs
+module Ta = Splay_obs.Trace_analysis
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
@@ -82,7 +83,90 @@ let test_trace_deterministic () =
       "\"name\":\"splayd.register\"";
     ];
   Alcotest.(check bool) "metrics mention engine.events" true
-    (contains metrics1 "\"metric\":\"engine.events\"")
+    (contains metrics1 "\"metric\":\"engine.events\"");
+  (* causal linkage survives the controller deployment: every handler span
+     has a cross-node parent (the caller's envelope context) *)
+  let parsed = Ta.load trace1 in
+  let serves = List.filter (fun sp -> sp.Ta.name = "rpc.serve") parsed.Ta.spans in
+  Alcotest.(check bool) "deployment produced serve spans" true (serves <> []);
+  List.iter
+    (fun sp ->
+      if sp.Ta.pid = 0 then
+        Alcotest.failf "rpc.serve sid %d has no parent (pid 0)" sp.Ta.sid)
+    serves
+
+(* {2 Cross-node causality} *)
+
+(* A 3-hop forwarding chain A -> B -> C -> D: each serve span must be a
+   child of the caller's span on the previous node, and the whole chain
+   must share one trace rooted at A's rpc.call. *)
+let test_cross_node_linkage () =
+  with_obs (fun () ->
+      let eng = Engine.create ~seed:13 () in
+      let tb = Testbed.cluster ~n:4 (Engine.rng eng) in
+      let net = Net.create eng tb in
+      let a = Env.create net ~me:(Addr.make 0 2000) in
+      let b = Env.create net ~me:(Addr.make 1 2000) in
+      let c = Env.create net ~me:(Addr.make 2 2000) in
+      let d = Env.create net ~me:(Addr.make 3 2000) in
+      let forward env next =
+        Rpc.server env
+          [
+            ( "hop",
+              fun args ->
+                match next with
+                | None -> Codec.Int 0
+                | Some dst -> (
+                    match Rpc.a_call env dst "hop" args with
+                    | Ok v -> v
+                    | Error e -> Alcotest.failf "forward failed: %s" (Rpc.error_to_string e)) );
+          ]
+      in
+      forward b (Some c.Env.me);
+      forward c (Some d.Env.me);
+      forward d None;
+      let ok = ref false in
+      ignore
+        (Env.thread a (fun () ->
+             match Rpc.a_call a b.Env.me "hop" [] with
+             | Ok _ -> ok := true
+             | Error e -> Alcotest.failf "chain failed: %s" (Rpc.error_to_string e)));
+      ignore (Engine.run eng);
+      Alcotest.(check bool) "chain completed" true !ok;
+      let t = Ta.load (Obs.trace_jsonl ()) in
+      let serves = List.filter (fun sp -> sp.Ta.name = "rpc.serve") t.Ta.spans in
+      Alcotest.(check int) "one serve span per hop" 3 (List.length serves);
+      List.iter
+        (fun sp ->
+          Alcotest.(check bool)
+            (Printf.sprintf "serve sid %d has a cross-node parent" sp.Ta.sid)
+            true (sp.Ta.pid <> 0))
+        serves;
+      (match serves with
+      | first :: rest ->
+          List.iter
+            (fun sp -> Alcotest.(check int) "hops share one causal trace" first.Ta.tid sp.Ta.tid)
+            rest
+      | [] -> ());
+      let rec root_of sp =
+        match Hashtbl.find_opt t.Ta.by_sid sp.Ta.pid with
+        | Some parent -> root_of parent
+        | None -> sp
+      in
+      List.iter
+        (fun sp ->
+          let r = root_of sp in
+          Alcotest.(check string) "ancestry reaches the client's call" "rpc.call" r.Ta.name;
+          Alcotest.(check int) "that call is a root" 0 r.Ta.pid)
+        serves;
+      (* the causal chain is the critical path of the client's call *)
+      match Ta.slowest_root t with
+      | None -> Alcotest.fail "no root span"
+      | Some root ->
+          let path = List.map (fun sp -> sp.Ta.name) (Ta.critical_path root) in
+          Alcotest.(check (list string)) "alternating call/serve chain"
+            [ "rpc.call"; "rpc.serve"; "rpc.call"; "rpc.serve"; "rpc.call"; "rpc.serve" ]
+            path)
 
 (* {2 Disabled mode} *)
 
@@ -217,6 +301,53 @@ let with_ctl_platform f =
   | (p, e) :: _ ->
       Alcotest.failf "process %s crashed: %s" (Engine.proc_name p) (Printexc.to_string e)
 
+(* {2 Controller log collection} *)
+
+let test_log_collection () =
+  let records = ref None and records_quiet = ref None in
+  with_ctl_platform (fun ctl ->
+      let main env =
+        Log.info env.Env.log "up at position %d" env.Env.position;
+        Log.debug env.Env.log "below the default threshold"
+      in
+      let dep =
+        Controller.deploy ctl ~name:"logger" ~main
+          (Descriptor.make ~bootstrap:(Descriptor.Head 1) 4)
+      in
+      Env.sleep 5.0;
+      records :=
+        Some (Controller.job_log dep, Controller.logs_jsonl dep, Controller.job_log_dropped dep);
+      (* a second job deployed at Warn collects nothing: Info records are
+         filtered at the emitting node, not at the collector *)
+      let dep2 =
+        Controller.deploy ctl ~name:"quiet" ~log_level:Log.Warn ~main
+          (Descriptor.make ~bootstrap:(Descriptor.Head 1) 4)
+      in
+      Env.sleep 5.0;
+      records_quiet := Some (Controller.job_log dep2);
+      Controller.undeploy dep;
+      Controller.undeploy dep2);
+  (match !records with
+  | None -> Alcotest.fail "deployment did not run"
+  | Some (recs, jsonl, dropped) ->
+      Alcotest.(check int) "one Info record per instance" 4 (List.length recs);
+      Alcotest.(check int) "nothing dropped" 0 dropped;
+      let nodes = List.sort_uniq compare (List.map (fun r -> r.Controller.lr_node) recs) in
+      Alcotest.(check int) "records tagged with distinct nodes" 4 (List.length nodes);
+      List.iter
+        (fun r ->
+          (match r.Controller.lr_level with
+          | Log.Info -> ()
+          | l -> Alcotest.failf "unexpected level %s" (Log.level_to_string l));
+          Alcotest.(check bool) "formatted message" true
+            (contains r.Controller.lr_msg "up at position"))
+        recs;
+      Alcotest.(check bool) "jsonl carries L records" true (contains jsonl "\"ev\":\"L\"");
+      Alcotest.(check bool) "jsonl carries the level" true (contains jsonl "\"level\":\"info\""));
+  (match !records_quiet with
+  | None -> Alcotest.fail "second deployment did not run"
+  | Some recs -> Alcotest.(check int) "Warn threshold filters at the node" 0 (List.length recs))
+
 let test_select_report () =
   with_ctl_platform (fun ctl ->
       (* no criteria: everything alive matches *)
@@ -245,6 +376,7 @@ let () =
       ( "obs",
         [
           Alcotest.test_case "deterministic trace" `Quick test_trace_deterministic;
+          Alcotest.test_case "cross-node linkage" `Quick test_cross_node_linkage;
           Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
         ] );
       ( "rpc",
@@ -254,5 +386,9 @@ let () =
           Alcotest.test_case "ok outcome" `Quick test_ok_span_outcome;
         ] );
       ("engine", [ Alcotest.test_case "run stats" `Quick test_run_stats ]);
-      ("controller", [ Alcotest.test_case "selection report" `Quick test_select_report ]);
+      ( "controller",
+        [
+          Alcotest.test_case "selection report" `Quick test_select_report;
+          Alcotest.test_case "log collection" `Quick test_log_collection;
+        ] );
     ]

@@ -586,15 +586,18 @@ let test_log_forward_sink () =
   let collected = ref [] in
   let log =
     Log.create ~name:"node-7"
-      ~sink:(Log.Forward (fun ~time ~level msg -> collected := (time, level, msg) :: !collected))
+      ~sink:
+        (Log.Forward
+           (fun ~time ~level ~node msg -> collected := (time, level, node, msg) :: !collected))
       eng
   in
   ignore (Engine.schedule eng ~delay:5.0 (fun () -> Log.info log "hello"));
   ignore (Engine.run eng);
   match !collected with
-  | [ (t, Log.Info, msg) ] ->
+  | [ (t, Log.Info, node, msg) ] ->
       Alcotest.(check (float 1e-9)) "stamped with virtual time" 5.0 t;
-      Alcotest.(check bool) "tagged with the instance name" true (string_contains msg "node-7")
+      Alcotest.(check string) "tagged with the instance name" "node-7" node;
+      Alcotest.(check string) "raw message, no prefix" "hello" msg
   | _ -> Alcotest.fail "expected one forwarded entry"
 
 (* {2 Events (paper-named aliases)} *)
