@@ -2,13 +2,20 @@ all:
 	dune build @all
 
 check:
-	dune build @all && dune runtest && $(MAKE) trace-demo
+	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke
 
 test:
 	dune runtest
 
 bench:
 	dune exec bench/main.exe
+
+# Quick benchmark smoke test: one parallelized figure plus the framework
+# microbenchmarks (which also refresh BENCH_engine.json), fanned out over
+# two domains to exercise the Pool/Obs multicore path end to end.
+bench-smoke:
+	dune exec bench/main.exe -- fig7a micro --jobs 2
+	@echo "bench-smoke: OK"
 
 # End-to-end tracing demo: run a traced Chord deployment, then verify the
 # analyzer extracts a non-empty RPC critical path from the dump.
@@ -20,4 +27,4 @@ trace-demo:
 	  | tee /dev/stderr | grep -q "rpc\."
 	@echo "trace-demo: OK (critical path extracted)"
 
-.PHONY: all check test bench trace-demo
+.PHONY: all check test bench bench-smoke trace-demo

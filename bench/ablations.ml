@@ -109,7 +109,11 @@ let leafset () =
         done;
         100.0 *. Float.of_int !fails /. Float.of_int total)
   in
-  let ft = run_ft () and base = run_base () in
+  let ft, base =
+    match Common.par_map (fun f -> f ()) [ run_ft; run_base ] with
+    | [ ft; base ] -> (ft, base)
+    | _ -> assert false
+  in
   Report.table
     ~header:[ "variant"; "failed lookups (%) after 25% of nodes crash" ]
     [
@@ -137,7 +141,11 @@ let proximity () =
         in
         Dist.percentile delays 50.0)
   in
-  let with_prox = run true and without = run false in
+  let with_prox, without =
+    match Common.par_map run [ true; false ] with
+    | [ w; wo ] -> (w, wo)
+    | _ -> assert false
+  in
   Report.table
     ~header:[ "routing tables"; "median lookup delay (ms)" ]
     [
@@ -164,8 +172,11 @@ let stagger () =
         let ring = Apps.Chord.ring_of !nodes in
         (List.length ring, List.length !nodes))
   in
-  let staggered_ring, total1 = run 1.0 in
-  let massive_ring, total2 = run 0.0 in
+  let (staggered_ring, total1), (massive_ring, total2) =
+    match Common.par_map run [ 1.0; 0.0 ] with
+    | [ s; m ] -> (s, m)
+    | _ -> assert false
+  in
   Report.table
     ~header:[ "join strategy"; "nodes on the main ring"; "nodes deployed" ]
     [
@@ -218,8 +229,11 @@ let vivaldi () =
             (t, snapshot ()))
           [ 30; 120; 300; 600 ])
   in
-  let d3 = run 3 in
-  let d2 = run 2 in
+  let d3, d2 =
+    match Common.par_map run [ 3; 2 ] with
+    | [ d3; d2 ] -> (d3, d2)
+    | _ -> assert false
+  in
   Report.table
     ~header:[ "probe time (s)"; "median rel. error, 3-d (%)"; "2-d (%)" ]
     (List.map2

@@ -14,6 +14,13 @@ let scale = ref Quick
 
 let pick ~quick ~full = match !scale with Quick -> quick | Full -> full
 
+(* Trial fan-out width (--jobs N). Independent trials of an experiment run
+   on this many domains via Splay_sim.Pool; per-trial outputs are merged
+   in trial-index order, so figure output is byte-identical for any value. *)
+let jobs = ref 1
+
+let par_map f xs = Pool.map ~jobs:!jobs f xs
+
 (* Observability: --obs / --obs-trace=FILE / --critical-path, parsed and
    acted on by the shared Obs_flags helper (same flags as splay_cli). *)
 let obs_begin () = Obs_flags.arm ()

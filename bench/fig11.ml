@@ -109,7 +109,7 @@ let run () =
           (Trace.population_series shown ~bin:60.0)
           (Trace.events_per_bin shown ~bin:60.0)));
   let speedups = Common.pick ~quick:[ 2.0; 10.0 ] ~full:[ 2.0; 5.0; 10.0 ] in
-  let results = List.map (fun s -> (s, run_speedup ~speedup:s ~base_trace)) speedups in
+  let results = Common.par_map (fun s -> (s, run_speedup ~speedup:s ~base_trace)) speedups in
   List.iter (fun (s, r) -> print_one ~speedup:s r) results;
   let rates = List.map (fun (s, r) -> (s, overall_failure_rate r)) results in
   List.iter (fun (s, r) -> Report.kvf (Printf.sprintf "overall failure rate x%g" s) "%.1f%%" (100.0 *. r)) rates;

@@ -37,26 +37,49 @@ let list_experiments () =
   print_endline "available experiments:";
   List.iter (fun (id, descr, _) -> Printf.printf "  %-8s %s\n" id descr) experiments
 
+let jobs_of_string ctx s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | _ ->
+      Printf.eprintf "%s expects a positive integer, got %S\n" ctx s;
+      exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let listing = List.mem "--list" args in
+  (* --jobs N / --jobs=N: trial fan-out width for the experiments *)
+  let rec scan_jobs = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+        Common.jobs := jobs_of_string "--jobs" n;
+        scan_jobs rest
+    | a :: rest ->
+        let pfx = "--jobs=" in
+        if String.length a > String.length pfx && String.sub a 0 (String.length pfx) = pfx then
+          Common.jobs :=
+            jobs_of_string "--jobs" (String.sub a (String.length pfx) (String.length a - String.length pfx));
+        scan_jobs rest
+  in
+  scan_jobs args;
   List.iter (fun a -> ignore (Splay.Obs_flags.parse_arg a : bool)) args;
   let selected =
-    List.filter_map
-      (fun a ->
-        if String.length a >= 2 && String.sub a 0 2 = "--" then None
-        else
-          match List.assoc_opt a aliases with
-          | Some target -> Some target
-          | None -> Some a)
-      args
+    let rec keep = function
+      | [] -> []
+      | "--jobs" :: _ :: rest -> keep rest
+      | a :: rest ->
+          if String.length a >= 2 && String.sub a 0 2 = "--" then keep rest
+          else
+            (match List.assoc_opt a aliases with Some target -> target | None -> a) :: keep rest
+    in
+    keep args
   in
   if listing then list_experiments ()
   else begin
     Common.scale := (if full then Common.Full else Common.Quick);
-    Printf.printf "SPLAY reproduction benchmark harness (%s scale)\n"
-      (if full then "full/paper" else "quick");
+    Printf.printf "SPLAY reproduction benchmark harness (%s scale%s)\n"
+      (if full then "full/paper" else "quick")
+      (if !Common.jobs > 1 then Printf.sprintf ", %d jobs" !Common.jobs else "");
     let to_run =
       match selected with
       | [] -> experiments

@@ -1,20 +1,41 @@
 (* Bechamel microbenchmarks for the hot paths of the framework itself: the
    event queue, the PRNG, SHA-1, the codec, ring arithmetic, and one full
    simulated RPC. These are wall-clock costs of the *simulator*, reported
-   in nanoseconds per operation. *)
+   in nanoseconds per operation.
+
+   A second section runs whole-workload throughput loops over the engine
+   (schedule/cancel churn, schedule/pop chains, spawn/suspend) and records
+   them to BENCH_engine.json so later changes can be compared against a
+   machine-readable baseline. *)
 
 open Bechamel
 open Toolkit
 open Splay
 
-let bench_heap () =
-  let h = Heap.create ~cmp:Int.compare in
+let bench_eheap () =
+  let h = Eheap.create () in
   for i = 0 to 63 do
-    Heap.push h i
+    Eheap.push h ~at:(Float.of_int (i * 7 mod 64)) ~seq:i i
   done;
   Staged.stage (fun () ->
-      Heap.push h 17;
-      ignore (Heap.pop h))
+      Eheap.push h ~at:17.0 ~seq:1_000_000 17;
+      ignore (Eheap.pop h))
+
+let bench_engine_schedule_cancel () =
+  let e = Engine.create () in
+  Staged.stage (fun () ->
+      let id = Engine.schedule e ~delay:1000.0 (fun () -> ()) in
+      Engine.cancel e id)
+
+let bench_engine_schedule_pop () =
+  let e = Engine.create () in
+  (* standing population so pops exercise a realistically deep heap *)
+  for j = 0 to 999 do
+    ignore (Engine.schedule e ~delay:(1.0e12 +. Float.of_int j) (fun () -> ()))
+  done;
+  Staged.stage (fun () ->
+      ignore (Engine.schedule e ~delay:0.0 (fun () -> ()));
+      ignore (Engine.step e))
 
 let bench_rng () =
   let r = Rng.create 1 in
@@ -56,13 +77,85 @@ let bench_simulated_rpc () =
 let tests =
   Test.make_grouped ~name:"splay"
     [
-      Test.make ~name:"heap push+pop (64 entries)" (bench_heap ());
+      Test.make ~name:"event heap push+pop (64 entries)" (bench_eheap ());
+      Test.make ~name:"engine schedule+cancel" (bench_engine_schedule_cancel ());
+      Test.make ~name:"engine schedule+pop (1k standing)" (bench_engine_schedule_pop ());
       Test.make ~name:"rng exponential draw" (bench_rng ());
       Test.make ~name:"sha1 (1 KiB)" (bench_sha1 ());
       Test.make ~name:"codec encode+decode (rpc reply)" (bench_codec ());
       Test.make ~name:"ring between" (bench_between ());
       Test.make ~name:"simulated rpc (end to end)" (bench_simulated_rpc ());
     ]
+
+(* --- whole-workload engine throughput, recorded to BENCH_engine.json --- *)
+
+(* RPC-timeout-like churn: schedule a far-future timeout, then cancel it.
+   This is the workload the flag-based cancel + lazy compaction targets;
+   the pre-PR tombstone table held every cancelled event in the heap. *)
+let sched_cancel n () =
+  let e = Engine.create () in
+  for i = 1 to n do
+    let id = Engine.schedule e ~delay:(1000.0 +. Float.of_int (i land 1023)) (fun () -> ()) in
+    Engine.cancel e id
+  done;
+  ignore (Engine.run e);
+  2 * n
+
+(* A chain of events each scheduling the next, over a standing population
+   of 1000 pending events: the figure experiments' steady state. *)
+let sched_pop n () =
+  let e = Engine.create () in
+  let live = ref 0 in
+  let rec kick i =
+    if i < n then
+      ignore
+        (Engine.schedule e ~delay:(Float.of_int (i land 63)) (fun () ->
+             incr live;
+             kick (i + 1)))
+  in
+  kick 0;
+  for j = 0 to 999 do
+    ignore (Engine.schedule e ~delay:(Float.of_int (100 + j)) (fun () -> ()))
+  done;
+  ignore (Engine.run e);
+  n
+
+(* Process churn: spawn cooperative processes that each suspend/resume a
+   few times, measuring the effect-handler and context-restore path. *)
+let spawn_suspend n () =
+  let e = Engine.create () in
+  for i = 1 to n do
+    ignore
+      (Engine.spawn e (fun () ->
+           for _ = 1 to 8 do
+             Engine.sleep (Float.of_int (i land 7))
+           done))
+  done;
+  ignore (Engine.run e);
+  n * 9
+
+let time_workload (name, f) =
+  let t0 = Unix.gettimeofday () in
+  let ops = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let rate = Float.of_int ops /. dt in
+  Printf.printf "  %-24s %12.0f ops/s  (%d ops in %.3f s)\n%!" name rate ops dt;
+  (name, ops, dt, rate)
+
+let json_escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let write_bench_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"splay-bench-engine/1\",\n  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, ops, dt, rate) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ops\": %d, \"seconds\": %.6f, \"ops_per_sec\": %.0f}%s\n"
+        (json_escape name) ops dt rate
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path
 
 let run () =
   Report.section "Microbenchmarks — framework hot paths (Bechamel)";
@@ -89,4 +182,17 @@ let run () =
       results []
     |> List.sort compare
   in
-  Report.table ~header:[ "benchmark"; "ns/op"; "r²" ] rows
+  Report.table ~header:[ "benchmark"; "ns/op"; "r²" ] rows;
+  Report.section "Engine throughput workloads";
+  let churn = Common.pick ~quick:500_000 ~full:2_000_000 in
+  let chain = Common.pick ~quick:200_000 ~full:1_000_000 in
+  let procs = Common.pick ~quick:20_000 ~full:100_000 in
+  let recorded =
+    List.map time_workload
+      [
+        ("schedule_cancel_churn", sched_cancel churn);
+        ("schedule_pop_chain", sched_pop chain);
+        ("spawn_suspend", spawn_suspend procs);
+      ]
+  in
+  write_bench_json "BENCH_engine.json" recorded

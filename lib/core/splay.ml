@@ -21,9 +21,10 @@
 (* Simulation substrate *)
 module Engine = Splay_sim.Engine
 module Rng = Splay_sim.Rng
-module Heap = Splay_sim.Heap
+module Eheap = Splay_sim.Eheap
 module Ivar = Splay_sim.Ivar
 module Channel = Splay_sim.Channel
+module Pool = Splay_sim.Pool
 
 (* Observability: deterministic tracing + metrics across all layers *)
 module Obs = Splay_obs.Obs

@@ -1,46 +1,89 @@
 type router = int
 
+(* Stub routers are leaves by construction: every path between two
+   distinct routers decomposes as  stub --(uplink)--> transit ~~> transit
+   --(uplink)--> stub , so all-pairs delays reduce to a transit×transit
+   distance matrix (tiny: 10×10 for the paper's 500-router graph) plus
+   the two uplink weights. [delay] is then O(1) arithmetic with no
+   Dijkstra re-runs and no per-query cache lookups — it sits on the
+   packet-delivery hot path of every ModelNet experiment. *)
 type t = {
   n : int;
-  adj : (router * float) list array; (* one-way link delays, seconds *)
+  transits : int;
   stubs : router array;
   intra_stub : float;
-  dijkstra_cache : (router, float array) Hashtbl.t;
+  uplink : int array; (* router -> its transit (transits map to themselves) *)
+  upweight : float array; (* router -> uplink edge weight (0 for transits) *)
+  tt_dist : float array array; (* transit×transit shortest-path matrix *)
 }
 
-let add_edge adj a b d =
-  adj.(a) <- (b, d) :: adj.(a);
-  adj.(b) <- (a, d) :: adj.(b)
+(* Dijkstra over the transit subgraph, on the specialized event heap:
+   keys are (distance, router), so ties break deterministically on the
+   lower router id and the comparisons are unboxed. *)
+let dijkstra ~n adj src =
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  let heap = Splay_sim.Eheap.create () in
+  Splay_sim.Eheap.push heap ~at:0.0 ~seq:src src;
+  let rec loop () =
+    match Splay_sim.Eheap.pop heap with
+    | None -> ()
+    | Some u ->
+        (* stale entries (u was already settled with a smaller distance)
+           just re-relax against the settled value: no-ops, no re-push *)
+        let du = dist.(u) in
+        List.iter
+          (fun (v, w) ->
+            let nd = du +. w in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              Splay_sim.Eheap.push heap ~at:nd ~seq:v v
+            end)
+          adj.(u);
+        loop ()
+  in
+  loop ();
+  dist
 
 let transit_stub ?(transits = 10) ?(stubs_per_transit = 49) ?(transit_transit_rtt = 0.100)
     ?(stub_transit_rtt = 0.030) ?(intra_stub_rtt = 0.010) rng =
   if transits < 1 || stubs_per_transit < 1 then invalid_arg "Topology.transit_stub";
   let n = transits * (1 + stubs_per_transit) in
-  let adj = Array.make n [] in
   (* transit routers are 0..transits-1, connected in a ring plus a few
      random chords for path diversity *)
+  let tadj = Array.make transits [] in
+  let add_edge a b d =
+    tadj.(a) <- (b, d) :: tadj.(a);
+    tadj.(b) <- (a, d) :: tadj.(b)
+  in
   let tt = transit_transit_rtt /. 2.0 in
   for i = 0 to transits - 1 do
-    add_edge adj i ((i + 1) mod transits) tt
+    add_edge i ((i + 1) mod transits) tt
   done;
   if transits > 3 then
     for _ = 1 to transits / 2 do
       let a = Splay_sim.Rng.int rng transits and b = Splay_sim.Rng.int rng transits in
-      if a <> b && not (List.mem_assoc b adj.(a)) then add_edge adj a b tt
+      if a <> b && not (List.mem_assoc b tadj.(a)) then add_edge a b tt
     done;
   (* stub routers hang off their transit *)
   let st = stub_transit_rtt /. 2.0 in
+  let uplink = Array.init n Fun.id in
+  let upweight = Array.make n 0.0 in
   let stubs = Array.make (transits * stubs_per_transit) 0 in
   let idx = ref 0 in
   for tr = 0 to transits - 1 do
     for s = 0 to stubs_per_transit - 1 do
       let r = transits + (tr * stubs_per_transit) + s in
-      add_edge adj tr r st;
+      uplink.(r) <- tr;
+      upweight.(r) <- st;
       stubs.(!idx) <- r;
       incr idx
     done
   done;
-  { n; adj; stubs; intra_stub = intra_stub_rtt /. 2.0; dijkstra_cache = Hashtbl.create 64 }
+  (* precompute the transit×transit matrix once; each row is one Dijkstra
+     over the [transits]-node subgraph *)
+  let tt_dist = Array.init transits (fun src -> dijkstra ~n:transits tadj src) in
+  { n; transits; stubs; intra_stub = intra_stub_rtt /. 2.0; uplink; upweight; tt_dist }
 
 let router_count t = t.n
 
@@ -48,41 +91,8 @@ let stub_routers t = Array.copy t.stubs
 
 let random_stub t rng = t.stubs.(Splay_sim.Rng.int rng (Array.length t.stubs))
 
-let dijkstra t src =
-  let dist = Array.make t.n infinity in
-  dist.(src) <- 0.0;
-  let heap = Splay_sim.Heap.create ~cmp:(fun (a, _) (b, _) -> Float.compare a b) in
-  Splay_sim.Heap.push heap (0.0, src);
-  let rec loop () =
-    match Splay_sim.Heap.pop heap with
-    | None -> ()
-    | Some (d, u) ->
-        if d <= dist.(u) then
-          List.iter
-            (fun (v, w) ->
-              let nd = d +. w in
-              if nd < dist.(v) then begin
-                dist.(v) <- nd;
-                Splay_sim.Heap.push heap (nd, v)
-              end)
-            t.adj.(u);
-        loop ()
-  in
-  loop ();
-  dist
-
 let delay t a b =
   if a = b then t.intra_stub
-  else begin
-    let row =
-      match Hashtbl.find_opt t.dijkstra_cache a with
-      | Some row -> row
-      | None ->
-          let row = dijkstra t a in
-          Hashtbl.replace t.dijkstra_cache a row;
-          row
-    in
-    row.(b)
-  end
+  else t.upweight.(a) +. t.tt_dist.(t.uplink.(a)).(t.uplink.(b)) +. t.upweight.(b)
 
 let intra_stub_delay t = t.intra_stub

@@ -31,9 +31,10 @@ val stub_routers : t -> router array
 val random_stub : t -> Splay_sim.Rng.t -> router
 
 val delay : t -> router -> router -> float
-(** One-way latency in seconds along the shortest path (Dijkstra, cached
-    per source). Within the same stub router, the intra-stub delay
-    applies. *)
+(** One-way latency in seconds along the shortest path. Stub routers are
+    leaves, so delays reduce to the two uplink weights plus a precomputed
+    transit-to-transit distance matrix — O(1) per query, no Dijkstra
+    re-runs. Within the same stub router, the intra-stub delay applies. *)
 
 val intra_stub_delay : t -> float
 (** One-way delay between two hosts attached to the same stub router. *)

@@ -1,40 +1,125 @@
 module Report = Splay_stats.Report
 
+(* The master switch stays a plain process-global flag: it is only ever
+   toggled by a front end (Obs_flags) outside parallel sections, and
+   worker domains are spawned after it is set, so every domain observes a
+   stable value. Everything that *mutates* during a run — clock, trace
+   buffer, span/trace counters, current context, metric cells — lives in
+   domain-local storage so independent trials on different domains never
+   share a mutable word. *)
 let enabled = ref false
-
-let clock = ref (fun () -> 0.0)
-let set_clock f = clock := f
-let now () = !clock ()
-
-(* {1 Trace buffer}
-
-   Records are rendered to JSON eagerly and appended to one buffer: the
-   rendering cost is only paid when tracing is on, and the buffer contents
-   are the deterministic artifact (no hash-order, no wall clock). *)
-
-let buf = Buffer.create 4096
-let next_span = ref 1
-let next_trace = ref 1
-let spans_started = ref 0
 
 (* {1 Trace context}
 
    The ambient (trace, span) position in the causal DAG. [cur] holds an
    immutable record so capturing it (the engine does, at every schedule and
-   suspension) is a pointer read — nothing is allocated on the disabled
-   path. *)
+   suspension) is a load — nothing is allocated on the disabled path. *)
 
 type ctx = { tid : int; sid : int }
 
 let null_ctx = { tid = 0; sid = 0 }
-let cur = ref null_ctx
-let current () = !cur
-let set_current c = cur := c
+
+(* {1 Metric handles}
+
+   A handle is an immutable name + slot index, created once at an
+   instrumentation site (typically module initialisation on the main
+   domain, but registration is mutex-guarded so a worker-domain first use
+   is safe too). The mutable cell behind a handle is per-domain, found by
+   indexing the domain state's cell array with the handle's id. *)
+
+type kind = Counter | Gauge | Hist
+
+type handle = { h_id : int; h_kind : kind; h_metric : string }
+type counter = handle
+type gauge = handle
+type histogram = handle
+
+let reg_mu = Mutex.create ()
+let reg_by_name : (string, handle) Hashtbl.t = Hashtbl.create 64
+let reg_all : handle array ref = ref [||]
+
+let register kind name =
+  let key = (match kind with Counter -> "c:" | Gauge -> "g:" | Hist -> "h:") ^ name in
+  Mutex.protect reg_mu (fun () ->
+      match Hashtbl.find_opt reg_by_name key with
+      | Some h -> h
+      | None ->
+          let h = { h_id = Array.length !reg_all; h_kind = kind; h_metric = name } in
+          Hashtbl.replace reg_by_name key h;
+          reg_all := Array.append !reg_all [| h |];
+          h)
+
+let registered () = Mutex.protect reg_mu (fun () -> !reg_all)
+
+type cell = {
+  mutable cl_n : int; (* counter value / histogram count *)
+  mutable cl_sum : float;
+  mutable cl_min : float;
+  mutable cl_max : float; (* histogram max / gauge high-water *)
+  mutable cl_last : float; (* gauge last value *)
+}
+
+let fresh_cell () =
+  { cl_n = 0; cl_sum = 0.0; cl_min = infinity; cl_max = neg_infinity; cl_last = 0.0 }
+
+let blank_cell c =
+  c.cl_n <- 0;
+  c.cl_sum <- 0.0;
+  c.cl_min <- infinity;
+  c.cl_max <- neg_infinity;
+  c.cl_last <- 0.0
+
+(* {1 Domain-local state}
+
+   One record per domain holding everything a recording site touches.
+   Trials running on different domains each get their own; the pool
+   captures a trial's state and merges it back in trial order
+   ({!capture} / {!absorb}), keeping output independent of how trials
+   were spread over domains. *)
+
+type state = {
+  mutable clock : unit -> float;
+  buf : Buffer.t;
+  mutable next_span : int;
+  mutable next_trace : int;
+  mutable spans_started : int;
+  mutable cur : ctx;
+  mutable cells : cell array;
+}
+
+let new_state () =
+  {
+    clock = (fun () -> 0.0);
+    buf = Buffer.create 4096;
+    next_span = 1;
+    next_trace = 1;
+    spans_started = 0;
+    cur = null_ctx;
+    cells = [||];
+  }
+
+let dls : state Domain.DLS.key = Domain.DLS.new_key new_state
+let st () = Domain.DLS.get dls
+
+let cell_of s (h : handle) =
+  (if h.h_id >= Array.length s.cells then
+     let have = Array.length s.cells in
+     let total = max (Array.length (registered ())) (h.h_id + 1) in
+     s.cells <-
+       Array.init total (fun i -> if i < have then s.cells.(i) else fresh_cell ()));
+  s.cells.(h.h_id)
+
+let set_clock f = (st ()).clock <- f
+let now () = (st ()).clock ()
+
+let current () = (st ()).cur
+let set_current c = (st ()).cur <- c
 
 let with_ctx c f =
-  let saved = !cur in
-  cur := c;
-  Fun.protect ~finally:(fun () -> cur := saved) f
+  let s = st () in
+  let saved = s.cur in
+  s.cur <- c;
+  Fun.protect ~finally:(fun () -> s.cur <- saved) f
 
 (* A span remembers its own context (for envelopes) and the context that
    was current when it started (restored on finish, so a finished span
@@ -70,25 +155,27 @@ let add_attrs b attrs =
 
 (* All times are virtual seconds; fixed-point rendering keeps the trace
    stable across printf implementations. *)
-let add_time b = Buffer.add_string b (Printf.sprintf "%.6f" (!clock ()))
+let add_time s b = Buffer.add_string b (Printf.sprintf "%.6f" (s.clock ()))
 
 let span ?(attrs = []) ?parent name =
   if not !enabled then null_span
   else begin
-    let parent = match parent with Some c -> c | None -> !cur in
+    let s = st () in
+    let parent = match parent with Some c -> c | None -> s.cur in
     let tid =
       if parent.tid <> 0 then parent.tid
       else begin
-        let id = !next_trace in
-        next_trace := id + 1;
+        let id = s.next_trace in
+        s.next_trace <- id + 1;
         id
       end
     in
-    let sid = !next_span in
-    next_span := sid + 1;
-    incr spans_started;
+    let sid = s.next_span in
+    s.next_span <- sid + 1;
+    s.spans_started <- s.spans_started + 1;
+    let buf = s.buf in
     Buffer.add_string buf "{\"t\":";
-    add_time buf;
+    add_time s buf;
     Buffer.add_string buf ",\"ev\":\"B\",\"sid\":";
     Buffer.add_string buf (string_of_int sid);
     Buffer.add_string buf ",\"tid\":";
@@ -99,30 +186,34 @@ let span ?(attrs = []) ?parent name =
     add_json_string buf name;
     add_attrs buf attrs;
     Buffer.add_string buf "}\n";
-    let sp = { sp_ctx = { tid; sid }; sp_prev = !cur } in
-    cur := sp.sp_ctx;
+    let sp = { sp_ctx = { tid; sid }; sp_prev = s.cur } in
+    s.cur <- sp.sp_ctx;
     sp
   end
 
-let finish ?(attrs = []) s =
-  if s.sp_ctx.sid <> 0 && !enabled then begin
+let finish ?(attrs = []) sp =
+  if sp.sp_ctx.sid <> 0 && !enabled then begin
+    let s = st () in
+    let buf = s.buf in
     Buffer.add_string buf "{\"t\":";
-    add_time buf;
+    add_time s buf;
     Buffer.add_string buf ",\"ev\":\"E\",\"sid\":";
-    Buffer.add_string buf (string_of_int s.sp_ctx.sid);
+    Buffer.add_string buf (string_of_int sp.sp_ctx.sid);
     add_attrs buf attrs;
     Buffer.add_string buf "}\n";
-    cur := s.sp_prev
+    s.cur <- sp.sp_prev
   end
 
 let event ?(attrs = []) name =
   if !enabled then begin
+    let s = st () in
+    let buf = s.buf in
     Buffer.add_string buf "{\"t\":";
-    add_time buf;
+    add_time s buf;
     Buffer.add_string buf ",\"ev\":\"P\",\"tid\":";
-    Buffer.add_string buf (string_of_int !cur.tid);
+    Buffer.add_string buf (string_of_int s.cur.tid);
     Buffer.add_string buf ",\"pid\":";
-    Buffer.add_string buf (string_of_int !cur.sid);
+    Buffer.add_string buf (string_of_int s.cur.sid);
     Buffer.add_string buf ",\"name\":";
     add_json_string buf name;
     add_attrs buf attrs;
@@ -142,97 +233,127 @@ let with_span ?attrs name f =
         raise e
   end
 
-let span_count () = !spans_started
+let span_count () = (st ()).spans_started
 
 (* {1 Metrics} *)
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float; mutable g_max : float }
+let counter name = register Counter name
+let gauge name = register Gauge name
+let histogram name = register Hist name
 
-type histogram = {
-  h_name : string;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-}
+let incr c =
+  if !enabled then begin
+    let cl = cell_of (st ()) c in
+    cl.cl_n <- cl.cl_n + 1
+  end
 
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+let add c n =
+  if !enabled then begin
+    let cl = cell_of (st ()) c in
+    cl.cl_n <- cl.cl_n + n
+  end
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace counters name c;
-      c
-
-let incr c = if !enabled then c.c_value <- c.c_value + 1
-let add c n = if !enabled then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
-
-let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g_value = 0.0; g_max = neg_infinity } in
-      Hashtbl.replace gauges name g;
-      g
+let counter_value c = (cell_of (st ()) c).cl_n
 
 let gauge_set g v =
   if !enabled then begin
-    g.g_value <- v;
-    if v > g.g_max then g.g_max <- v
+    let cl = cell_of (st ()) g in
+    cl.cl_last <- v;
+    if v > cl.cl_max then cl.cl_max <- v
   end
 
-let gauge_value g = g.g_value
-let gauge_max g = g.g_max
-
-let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h = { h_name = name; h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity } in
-      Hashtbl.replace histograms name h;
-      h
+let gauge_value g = (cell_of (st ()) g).cl_last
+let gauge_max g = (cell_of (st ()) g).cl_max
 
 let observe h v =
   if !enabled then begin
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
+    let cl = cell_of (st ()) h in
+    cl.cl_n <- cl.cl_n + 1;
+    cl.cl_sum <- cl.cl_sum +. v;
+    if v < cl.cl_min then cl.cl_min <- v;
+    if v > cl.cl_max then cl.cl_max <- v
   end
 
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
-let histogram_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. Float.of_int h.h_count
+let histogram_count h = (cell_of (st ()) h).cl_n
+let histogram_sum h = (cell_of (st ()) h).cl_sum
+
+let histogram_mean h =
+  let cl = cell_of (st ()) h in
+  if cl.cl_n = 0 then 0.0 else cl.cl_sum /. Float.of_int cl.cl_n
 
 let reset () =
-  Buffer.clear buf;
-  next_span := 1;
-  next_trace := 1;
-  cur := null_ctx;
-  spans_started := 0;
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter
-    (fun _ g ->
-      g.g_value <- 0.0;
-      g.g_max <- neg_infinity)
-    gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0.0;
-      h.h_min <- infinity;
-      h.h_max <- neg_infinity)
-    histograms
+  let s = st () in
+  Buffer.clear s.buf;
+  s.next_span <- 1;
+  s.next_trace <- 1;
+  s.cur <- null_ctx;
+  s.spans_started <- 0;
+  Array.iter blank_cell s.cells
+
+(* {1 Capture / absorb}
+
+   The trial pool brackets each trial with [capture]: the domain gets a
+   fresh state (with span/trace ids starting at [ids_base], so trials
+   never collide), the trial runs, and what it recorded comes back as an
+   inert snapshot. The pool then [absorb]s the snapshots in trial-index
+   order on the main domain — the merged trace and metrics are therefore
+   a pure function of the trial list, independent of how many domains ran
+   it or how they interleaved. *)
+
+type snapshot = {
+  snap_trace : string;
+  snap_spans : int;
+  snap_cells : (handle * cell) list;
+}
+
+let empty_snapshot = { snap_trace = ""; snap_spans = 0; snap_cells = [] }
+
+let capture ?(ids_base = 0) f =
+  if not !enabled then (f (), empty_snapshot)
+  else begin
+    let saved = st () in
+    let fresh = new_state () in
+    fresh.next_span <- ids_base + 1;
+    fresh.next_trace <- ids_base + 1;
+    Domain.DLS.set dls fresh;
+    let restore () = Domain.DLS.set dls saved in
+    match f () with
+    | v ->
+        restore ();
+        let all = registered () in
+        let cells = Array.to_list (Array.mapi (fun i c -> (all.(i), c)) fresh.cells) in
+        (v, { snap_trace = Buffer.contents fresh.buf; snap_spans = fresh.spans_started; snap_cells = cells })
+    | exception e ->
+        restore ();
+        raise e
+  end
+
+let absorb snap =
+  if snap.snap_trace <> "" || snap.snap_spans <> 0 || snap.snap_cells <> [] then begin
+    let s = st () in
+    Buffer.add_string s.buf snap.snap_trace;
+    s.spans_started <- s.spans_started + snap.snap_spans;
+    List.iter
+      (fun (h, c) ->
+        let dst = cell_of s h in
+        match h.h_kind with
+        | Counter -> dst.cl_n <- dst.cl_n + c.cl_n
+        | Hist ->
+            dst.cl_n <- dst.cl_n + c.cl_n;
+            dst.cl_sum <- dst.cl_sum +. c.cl_sum;
+            if c.cl_min < dst.cl_min then dst.cl_min <- c.cl_min;
+            if c.cl_max > dst.cl_max then dst.cl_max <- c.cl_max
+        | Gauge ->
+            if c.cl_max > neg_infinity then begin
+              dst.cl_last <- c.cl_last;
+              if c.cl_max > dst.cl_max then dst.cl_max <- c.cl_max
+            end)
+      snap.snap_cells
+  end
 
 (* {1 Output} *)
 
-let trace_jsonl () = Buffer.contents buf
+let trace_jsonl () = Buffer.contents (st ()).buf
 
 let json_string s =
   let b = Buffer.create (String.length s + 2) in
@@ -243,37 +364,41 @@ let fmt_float v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.6f" v
 
+let touched_metrics () =
+  let s = st () in
+  let all = registered () in
+  let acc = ref [] in
+  Array.iteri
+    (fun i c ->
+      if i < Array.length all then begin
+        let h = all.(i) in
+        let live =
+          match h.h_kind with
+          | Counter | Hist -> c.cl_n <> 0
+          | Gauge -> c.cl_max > neg_infinity
+        in
+        if live then acc := (h, c) :: !acc
+      end)
+    s.cells;
+  List.sort (fun ((a : handle), _) (b, _) -> String.compare a.h_metric b.h_metric) !acc
+
 let metrics_jsonl () =
-  let lines = ref [] in
-  Hashtbl.iter
-    (fun _ c ->
-      if c.c_value <> 0 then
-        lines :=
-          ( c.c_name,
-            Printf.sprintf "{\"metric\":%S,\"type\":\"counter\",\"value\":%d}" c.c_name c.c_value )
-          :: !lines)
-    counters;
-  Hashtbl.iter
-    (fun _ g ->
-      if g.g_max > neg_infinity then
-        lines :=
-          ( g.g_name,
-            Printf.sprintf "{\"metric\":%S,\"type\":\"gauge\",\"value\":%s,\"max\":%s}" g.g_name
-              (fmt_float g.g_value) (fmt_float g.g_max) )
-          :: !lines)
-    gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      if h.h_count <> 0 then
-        lines :=
-          ( h.h_name,
+  let lines =
+    List.map
+      (fun ((h : handle), c) ->
+        match h.h_kind with
+        | Counter ->
+            Printf.sprintf "{\"metric\":%S,\"type\":\"counter\",\"value\":%d}" h.h_metric c.cl_n
+        | Gauge ->
+            Printf.sprintf "{\"metric\":%S,\"type\":\"gauge\",\"value\":%s,\"max\":%s}" h.h_metric
+              (fmt_float c.cl_last) (fmt_float c.cl_max)
+        | Hist ->
             Printf.sprintf
               "{\"metric\":%S,\"type\":\"hist\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
-              h.h_name h.h_count (fmt_float h.h_sum) (fmt_float h.h_min) (fmt_float h.h_max) )
-          :: !lines)
-    histograms;
-  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !lines in
-  String.concat "" (List.map (fun (_, l) -> l ^ "\n") sorted)
+              h.h_metric c.cl_n (fmt_float c.cl_sum) (fmt_float c.cl_min) (fmt_float c.cl_max))
+      (touched_metrics ())
+  in
+  String.concat "" (List.map (fun l -> l ^ "\n") lines)
 
 let dump_jsonl ~path () =
   let oc = open_out path in
@@ -285,41 +410,30 @@ let dump_jsonl ~path () =
 
 let report () =
   Report.section "Observability summary (Splay_obs)";
-  let sorted_tbl tbl =
-    Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
-  in
-  let cs =
-    List.sort
-      (fun a b -> String.compare a.c_name b.c_name)
-      (List.filter (fun c -> c.c_value <> 0) (sorted_tbl counters))
-  in
+  let touched = touched_metrics () in
+  let of_kind k = List.filter (fun ((h : handle), _) -> h.h_kind = k) touched in
+  let cs = of_kind Counter in
   if cs <> [] then
     Report.table ~header:[ "counter"; "value" ]
-      (List.map (fun c -> [ c.c_name; string_of_int c.c_value ]) cs);
-  let gs =
-    List.sort
-      (fun a b -> String.compare a.g_name b.g_name)
-      (List.filter (fun g -> g.g_max > neg_infinity) (sorted_tbl gauges))
-  in
+      (List.map (fun ((h : handle), c) -> [ h.h_metric; string_of_int c.cl_n ]) cs);
+  let gs = of_kind Gauge in
   if gs <> [] then
     Report.table ~header:[ "gauge"; "value"; "max" ]
-      (List.map (fun g -> [ g.g_name; fmt_float g.g_value; fmt_float g.g_max ]) gs);
-  let hs =
-    List.sort
-      (fun a b -> String.compare a.h_name b.h_name)
-      (List.filter (fun h -> h.h_count <> 0) (sorted_tbl histograms))
-  in
+      (List.map
+         (fun ((h : handle), c) -> [ h.h_metric; fmt_float c.cl_last; fmt_float c.cl_max ])
+         gs);
+  let hs = of_kind Hist in
   if hs <> [] then
     Report.table
       ~header:[ "histogram"; "count"; "mean"; "min"; "max" ]
       (List.map
-         (fun h ->
+         (fun ((h : handle), c) ->
            [
-             h.h_name;
-             string_of_int h.h_count;
-             Report.float_cell ~decimals:6 (h.h_sum /. Float.of_int h.h_count);
-             Report.float_cell ~decimals:6 h.h_min;
-             Report.float_cell ~decimals:6 h.h_max;
+             h.h_metric;
+             string_of_int c.cl_n;
+             Report.float_cell ~decimals:6 (c.cl_sum /. Float.of_int c.cl_n);
+             Report.float_cell ~decimals:6 c.cl_min;
+             Report.float_cell ~decimals:6 c.cl_max;
            ])
          hs);
-  Report.kvf "trace spans" "%d" !spans_started
+  Report.kvf "trace spans" "%d" (span_count ())

@@ -20,12 +20,24 @@
 
     Metric objects ({!counter}, {!gauge}, {!histogram}) are created once at
     the instrumentation site (typically at module initialisation) and are
-    cheap mutable cells afterwards; creating the same name twice returns
-    the same cell. *)
+    cheap handles afterwards; creating the same name twice returns the
+    same handle.
+
+    Multicore: every piece of mutable recording state — virtual clock,
+    trace buffer, span/trace numbering, current context, metric cells —
+    is {e domain-local} ([Domain.DLS]). Trials running on different
+    domains record into disjoint state; the trial pool
+    ({!Splay_sim.Pool}) brackets each trial with {!capture} and merges
+    the snapshots back in trial-index order with {!absorb}, so the final
+    trace and metrics are independent of how trials were spread over
+    domains. Handle registration is mutex-guarded and safe from any
+    domain. *)
 
 val enabled : bool ref
 (** Master switch, off by default. Check it once per site before building
-    attribute lists; the recording primitives also check it. *)
+    attribute lists; the recording primitives also check it. Toggle it
+    only outside parallel sections (before spawning worker domains): the
+    flag itself is process-global. *)
 
 val set_clock : (unit -> float) -> unit
 (** Install the virtual-clock source. {!Splay_sim.Engine.create} calls
@@ -36,9 +48,35 @@ val now : unit -> float
     exists). *)
 
 val reset : unit -> unit
-(** Clear the trace buffer, zero every registered metric, restart span and
-    trace numbering and clear the current context. Call between
-    independent runs that must produce independent traces. *)
+(** Clear the calling domain's trace buffer, zero every registered metric,
+    restart span and trace numbering and clear the current context. Call
+    between independent runs that must produce independent traces. *)
+
+(** {1 Capture / absorb — deterministic multi-domain merge}
+
+    The unit of isolation is a {e trial}: an independent simulation run
+    (own engine, own seed). {!capture} runs a trial against a fresh
+    domain-local state and returns everything it recorded as an inert
+    {!snapshot}; {!absorb} merges a snapshot into the calling domain's
+    state (trace appended, counters and histograms added, gauges taking
+    the snapshot's last value). Absorbing snapshots in trial-index order
+    makes the merged output a pure function of the trial list — identical
+    whether the trials ran on one domain or eight. *)
+
+type snapshot
+(** What one captured trial recorded. Immutable and domain-independent. *)
+
+val capture : ?ids_base:int -> (unit -> 'a) -> 'a * snapshot
+(** [capture ~ids_base f] runs [f ()] against a fresh domain-local state
+    whose span/trace numbering starts at [ids_base + 1] (give each trial a
+    distinct base so ids never collide in the merged trace), then restores
+    the previous state. When the layer is disabled this is just [f ()]
+    plus an empty snapshot. *)
+
+val absorb : snapshot -> unit
+(** Merge a snapshot into the calling domain's state. Order matters for
+    gauges (last absorbed wins) and for trace record order — absorb in
+    trial-index order. *)
 
 (** {1 Trace context}
 

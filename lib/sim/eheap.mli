@@ -1,0 +1,39 @@
+(** Specialized 4-ary min-heap on an inlined [(at, seq)] key — the event
+    queue of the simulation engine, also reused for Dijkstra in the
+    topology model.
+
+    Unlike a generic comparator heap, the keys are stored in parallel
+    unboxed arrays and compared with two scalar loads — no closure call,
+    no float boxing. The order is strictly lexicographic on [(at, seq)];
+    when callers hand out unique [seq] values the pop sequence is exactly
+    sorted order, i.e. FIFO among entries that share [at]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> at:float -> seq:int -> 'a -> unit
+(** Insert [x] keyed on [(at, seq)]. *)
+
+val min_at : 'a t -> float
+(** The [at] key of the minimum entry, or [infinity] when empty —
+    allocation-free peeking for run loops. *)
+
+val peek : 'a t -> 'a option
+(** Payload of the minimum entry without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the payload of the minimum entry. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Drop every entry whose payload fails the predicate, then re-heapify
+    (O(n)). The engine uses this to compact cancelled events out of the
+    queue. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** All payloads in unspecified order (for inspection in tests). *)

@@ -17,29 +17,33 @@ let g_queue_depth = Obs.gauge "engine.queue_depth"
    scheduled and restored when it fires — causality follows control flow
    through timers, spawns and suspensions without any help from call
    sites. When tracing is off it is always [Obs.null_ctx] (a shared
-   immutable record: capturing it allocates nothing). *)
+   immutable record: capturing it allocates nothing).
+
+   [dead] means fired-or-cancelled: cancellation is one store on the
+   record, no hashing, no allocation, and cancelling an event that
+   already fired is structurally a no-op. Dead events linger in the heap
+   until popped or compacted away (see [cancel]). *)
 type event = {
   at : float;
   sched : float;
   seq : int;
-  ev_id : int;
   ctx : Obs.ctx;
   fn : unit -> unit;
+  mutable dead : bool;
 }
 
 type proc_state = Pending | Active | Dead
 
 type t = {
   mutable now : float;
-  queue : event Heap.t;
-  cancelled : (int, unit) Hashtbl.t;
-  mutable next_event_id : int;
+  queue : event Eheap.t;
   mutable next_seq : int;
   mutable next_pid : int;
   root_rng : Rng.t;
   mutable current : proc option;
   mutable crashed_list : (proc * exn) list;
   mutable live_events : int;
+  mutable heap_dead : int; (* cancelled events still sitting in the heap *)
   mutable events_fired : int;
   mutable max_queue_depth : int;
 }
@@ -56,34 +60,29 @@ and proc = {
   mutable exit_hooks : (unit -> unit) list;
 }
 
-type event_id = int
+type event_id = event
 
 type _ Effect.t += Suspend : ((('a, exn) result -> unit) -> (unit -> unit)) -> 'a Effect.t
 type _ Effect.t += Self : proc Effect.t
-
-let cmp_event a b =
-  let c = Float.compare a.at b.at in
-  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?(seed = 42) () =
   let t =
     {
       now = 0.0;
-      queue = Heap.create ~cmp:cmp_event;
-      cancelled = Hashtbl.create 64;
-      next_event_id = 0;
+      queue = Eheap.create ();
       next_seq = 0;
       next_pid = 0;
       root_rng = Rng.create seed;
       current = None;
       crashed_list = [];
       live_events = 0;
+      heap_dead = 0;
       events_fired = 0;
       max_queue_depth = 0;
     }
   in
   (* The trace is stamped with virtual time: the most recently created
-     engine owns the observability clock. *)
+     engine on this domain owns the observability clock. *)
   Obs.set_clock (fun () -> t.now);
   t
 
@@ -92,56 +91,66 @@ let rng t = t.root_rng
 
 let schedule_at t ~at fn =
   let at = if at < t.now then t.now else at in
-  let id = t.next_event_id in
-  t.next_event_id <- id + 1;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.queue { at; sched = t.now; seq; ev_id = id; ctx = Obs.current (); fn };
+  (* context capture is a domain-local read; skip even that when tracing
+     is off — every context is null then anyway *)
+  let ctx = if !Obs.enabled then Obs.current () else Obs.null_ctx in
+  let ev = { at; sched = t.now; seq; ctx; fn; dead = false } in
+  Eheap.push t.queue ~at ~seq ev;
   t.live_events <- t.live_events + 1;
-  let depth = Heap.size t.queue in
+  let depth = Eheap.size t.queue in
   if depth > t.max_queue_depth then begin
     t.max_queue_depth <- depth;
     if !Obs.enabled then Obs.gauge_set g_queue_depth (Float.of_int depth)
   end;
-  id
+  ev
 
 let schedule t ~delay fn =
   let delay = if delay < 0.0 then 0.0 else delay in
   schedule_at t ~at:(t.now +. delay) fn
 
-let cancel t id =
-  if not (Hashtbl.mem t.cancelled id) then begin
-    Hashtbl.replace t.cancelled id ();
-    t.live_events <- t.live_events - 1
+(* Cancelled events stay in the heap as tombstones until they surface at
+   the top — except that create-then-cancel churn (RPC timeouts are
+   exactly this) could then grow the heap without bound. When more than
+   half the heap is dead we compact it in place: O(n), amortised against
+   the cancels that built the garbage up. *)
+let cancel t ev =
+  if not ev.dead then begin
+    ev.dead <- true;
+    t.live_events <- t.live_events - 1;
+    t.heap_dead <- t.heap_dead + 1;
+    if t.heap_dead > 64 && 2 * t.heap_dead > Eheap.size t.queue then begin
+      Eheap.filter_in_place t.queue (fun e -> not e.dead);
+      t.heap_dead <- 0
+    end
   end
 
 let pending_events t = t.live_events
 
-let pop_live t =
-  let rec loop () =
-    match Heap.pop t.queue with
-    | None -> None
-    | Some ev ->
-        if Hashtbl.mem t.cancelled ev.ev_id then begin
-          Hashtbl.remove t.cancelled ev.ev_id;
-          loop ()
-        end
-        else Some ev
-  in
-  loop ()
+let rec pop_live t =
+  match Eheap.pop t.queue with
+  | None -> None
+  | Some ev ->
+      if ev.dead then begin
+        t.heap_dead <- t.heap_dead - 1;
+        pop_live t
+      end
+      else Some ev
 
 let step t =
   match pop_live t with
   | None -> false
   | Some ev ->
       t.now <- ev.at;
+      ev.dead <- true (* fired: a late cancel must not touch the accounting *);
       t.live_events <- t.live_events - 1;
       t.events_fired <- t.events_fired + 1;
       if !Obs.enabled then begin
         Obs.incr c_events;
-        Obs.observe h_event_wait (ev.at -. ev.sched)
+        Obs.observe h_event_wait (ev.at -. ev.sched);
+        Obs.set_current ev.ctx
       end;
-      Obs.set_current ev.ctx;
       ev.fn ();
       true
 
@@ -151,21 +160,18 @@ let stats (t : t) =
   { events_fired = t.events_fired; final_clock = t.now; max_queue_depth = t.max_queue_depth }
 
 let run ?until t =
-  let continue_run = ref true in
-  while !continue_run do
-    match Heap.peek t.queue with
-    | None -> continue_run := false
-    | Some ev when Hashtbl.mem t.cancelled ev.ev_id ->
-        ignore (Heap.pop t.queue);
-        Hashtbl.remove t.cancelled ev.ev_id
-    | Some ev -> (
-        match until with
-        | Some limit when ev.at > limit ->
-            t.now <- limit;
-            continue_run := false
-        | _ -> ignore (step t))
-  done;
-  (match until with Some limit when t.now < limit -> t.now <- limit | _ -> ());
+  (match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue_run = ref true in
+      while !continue_run do
+        (* [min_at] is exact even with tombstones at the top: a dead
+           minimum only over-approximates how soon the next live event is,
+           and [step] skips it for free. *)
+        let at = Eheap.min_at t.queue in
+        if at > limit then continue_run := false else ignore (step t)
+      done;
+      if t.now < limit then t.now <- limit);
   stats t
 
 (* {2 Processes} *)
@@ -231,8 +237,11 @@ let spawn ?name t f =
                   (* A process keeps its own trace context across a
                      suspension: the resume event would otherwise inherit
                      the resolver's context (e.g. a reply delivery),
-                     misattributing everything the process does next. *)
-                  let susp_ctx = Obs.current () in
+                     misattributing everything the process does next.
+                     Gated so the disabled path does not even read
+                     domain-local state. *)
+                  let traced = !Obs.enabled in
+                  let susp_ctx = if traced then Obs.current () else Obs.null_ctx in
                   let settled = ref false in
                   let cleanup = ref (fun () -> ()) in
                   let settle () =
@@ -248,7 +257,7 @@ let spawn ?name t f =
                         if not !settled then begin
                           settle ();
                           with_current t p (fun () ->
-                              Obs.set_current susp_ctx;
+                              if traced then Obs.set_current susp_ctx;
                               discontinue k Process_killed)
                         end);
                   let resolve r =
@@ -259,11 +268,11 @@ let spawn ?name t f =
                              if p.state = Dead then ()
                              else if p.killed then
                                with_current t p (fun () ->
-                                   Obs.set_current susp_ctx;
+                                   if traced then Obs.set_current susp_ctx;
                                    discontinue k Process_killed)
                              else
                                with_current t p (fun () ->
-                                   Obs.set_current susp_ctx;
+                                   if traced then Obs.set_current susp_ctx;
                                    match r with Ok v -> continue k v | Error e -> discontinue k e)))
                     end
                   in

@@ -24,7 +24,9 @@ type t
     (clock, queue, processes, RNG) hangs off the instance. *)
 
 type event_id
-(** Handle for a scheduled event; allows cancellation. *)
+(** Handle for a scheduled event; allows cancellation. Internally the
+    event record itself, carrying a mutable fired-or-cancelled flag — so
+    cancellation is one store, with no table lookup and no allocation. *)
 
 type proc
 (** Handle for a spawned process. *)
@@ -51,8 +53,11 @@ val schedule_at : t -> at:float -> (unit -> unit) -> event_id
 (** Absolute-time variant; times in the past are clamped to [now]. *)
 
 val cancel : t -> event_id -> unit
-(** Cancel a pending event. Cancelling an already-fired or already-cancelled
-    event is a no-op. *)
+(** Cancel a pending event in O(1). Cancelling an already-fired or
+    already-cancelled event is a no-op (and does not disturb
+    {!pending_events} accounting). Cancelled events are lazily compacted
+    out of the queue once they outnumber the live ones, so
+    create-then-cancel churn (RPC timeouts) cannot bloat the heap. *)
 
 type run_stats = {
   events_fired : int;  (** events executed over the engine's lifetime *)

@@ -1,0 +1,86 @@
+(* Tests for the multicore trial pool: results and merged observability
+   output must be byte-identical for any number of domains, exceptions
+   must propagate, and the pool must stay usable afterwards. *)
+
+open Splay_sim
+module Obs = Splay_obs.Obs
+
+(* One self-contained trial: its own engine, its own seed, some spans and
+   metrics recorded along the way, a plain-data result out. *)
+let trial seed =
+  let e = Engine.create ~seed () in
+  let c = Obs.counter "pool.test.ticks" in
+  let h = Obs.histogram "pool.test.fire_time" in
+  let total = ref 0 in
+  for i = 1 to 50 do
+    ignore
+      (Engine.schedule e
+         ~delay:(Float.of_int (i * seed mod 17))
+         (fun () ->
+           Obs.incr c;
+           Obs.observe h (Engine.now e);
+           Obs.with_span "pool.tick" (fun () -> total := !total + i)))
+  done;
+  ignore (Engine.run e);
+  Printf.sprintf "seed=%d total=%d end=%.3f" seed !total (Engine.now e)
+
+let seeds = [ 3; 1; 4; 1; 5; 9; 2; 6 ]
+
+let test_results_deterministic () =
+  let r1 = Pool.map ~jobs:1 trial seeds in
+  let r4 = Pool.map ~jobs:4 trial seeds in
+  Alcotest.(check (list string)) "same results" r1 r4
+
+let with_obs f =
+  Obs.enabled := true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.enabled := false)
+    f
+
+let obs_output jobs =
+  with_obs (fun () ->
+      let rs = Pool.map ~jobs trial seeds in
+      (rs, Obs.trace_jsonl (), Obs.metrics_jsonl ()))
+
+let test_obs_merge_deterministic () =
+  let r1, t1, m1 = obs_output 1 in
+  let r4, t4, m4 = obs_output 4 in
+  Alcotest.(check (list string)) "results identical" r1 r4;
+  Alcotest.(check bool) "trace nonempty" true (String.length t1 > 0);
+  Alcotest.(check bool) "metrics nonempty" true (String.length m1 > 0);
+  Alcotest.(check string) "merged trace identical" t1 t4;
+  Alcotest.(check string) "merged metrics identical" m1 m4
+
+let test_exception_propagates () =
+  let f x = if x = 2 then failwith "trial boom" else x * 10 in
+  (match Pool.map ~jobs:3 f [ 0; 1; 2; 3 ] with
+  | _ -> Alcotest.fail "expected the trial failure to propagate"
+  | exception Failure m -> Alcotest.(check string) "msg" "trial boom" m);
+  (* the pool must stay usable after a failed batch *)
+  Alcotest.(check (list int)) "recovers" [ 0; 10 ] (Pool.map ~jobs:2 f [ 0; 1 ])
+
+let test_jobs_clamped () =
+  Alcotest.(check (list int)) "jobs > n" [ 2; 4 ] (Pool.map ~jobs:16 (fun x -> 2 * x) [ 1; 2 ]);
+  Alcotest.(check (list int)) "jobs = 0" [ 2 ] (Pool.map ~jobs:0 (fun x -> 2 * x) [ 1 ]);
+  Alcotest.(check (list int)) "empty items" [] (Pool.map ~jobs:4 (fun x -> x) [])
+
+let test_mapi () =
+  Alcotest.(check (list string))
+    "index visible" [ "0:a"; "1:b" ]
+    (Pool.mapi ~jobs:2 (fun i s -> Printf.sprintf "%d:%s" i s) [ "a"; "b" ])
+
+let () =
+  Alcotest.run "splay_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "results deterministic" `Quick test_results_deterministic;
+          Alcotest.test_case "obs merge deterministic" `Quick test_obs_merge_deterministic;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "mapi" `Quick test_mapi;
+        ] );
+    ]

@@ -4,33 +4,63 @@ open Splay_sim
 
 let check_float = Alcotest.(check (float 1e-9))
 
-(* {2 Heap} *)
+(* {2 Event heap} *)
 
-let test_heap_order () =
-  let h = Heap.create ~cmp:Int.compare in
-  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
-  Alcotest.(check int) "size" 7 (Heap.size h);
-  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
-  let out = List.filter_map (fun _ -> Heap.pop h) [ (); (); (); (); (); (); () ] in
-  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] out;
-  Alcotest.(check (option int)) "empty pop" None (Heap.pop h)
+let drain_eheap h =
+  let rec go acc = match Eheap.pop h with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []
 
-let test_heap_empty () =
-  let h = Heap.create ~cmp:Int.compare in
-  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
-  Alcotest.(check (option int)) "peek" None (Heap.peek h);
-  Heap.push h 1;
-  Heap.clear h;
-  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+let test_eheap_order () =
+  let h = Eheap.create () in
+  List.iteri (fun i x -> Eheap.push h ~at:(Float.of_int x) ~seq:i x) [ 5; 3; 8; 1; 9; 2; 7 ];
+  Alcotest.(check int) "size" 7 (Eheap.size h);
+  check_float "min_at" 1.0 (Eheap.min_at h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Eheap.peek h);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain_eheap h);
+  Alcotest.(check (option int)) "empty pop" None (Eheap.pop h)
 
-let prop_heap_sorted =
-  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
-    QCheck.(list int)
-    (fun xs ->
-      let h = Heap.create ~cmp:Int.compare in
-      List.iter (Heap.push h) xs;
-      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
-      drain [] = List.sort Int.compare xs)
+let test_eheap_empty () =
+  let h = Eheap.create () in
+  Alcotest.(check bool) "is_empty" true (Eheap.is_empty h);
+  Alcotest.(check bool) "min_at empty" true (Eheap.min_at h = infinity);
+  Alcotest.(check (option int)) "peek" None (Eheap.peek h);
+  Eheap.push h ~at:1.0 ~seq:0 1;
+  Eheap.clear h;
+  Alcotest.(check bool) "cleared" true (Eheap.is_empty h)
+
+let test_eheap_fifo_ties () =
+  (* entries sharing [at] must come out in seq (= insertion) order *)
+  let h = Eheap.create () in
+  for i = 0 to 9 do
+    Eheap.push h ~at:1.0 ~seq:i i
+  done;
+  Eheap.push h ~at:0.5 ~seq:100 100;
+  Alcotest.(check (list int)) "fifo among ties" (100 :: List.init 10 Fun.id) (drain_eheap h)
+
+let test_eheap_filter () =
+  let h = Eheap.create () in
+  (* i * 7 mod 100 is a bijection on 0..99, so every key is unique *)
+  for i = 0 to 99 do
+    Eheap.push h ~at:(Float.of_int (i * 7 mod 100)) ~seq:i i
+  done;
+  Eheap.filter_in_place h (fun x -> x mod 2 = 0);
+  Alcotest.(check int) "size halved" 50 (Eheap.size h);
+  let expected =
+    List.init 50 (fun k -> 2 * k)
+    |> List.sort (fun a b -> compare (a * 7 mod 100) (b * 7 mod 100))
+  in
+  Alcotest.(check (list int)) "survivors sorted" expected (drain_eheap h);
+  Eheap.filter_in_place h (fun _ -> false);
+  Alcotest.(check bool) "filter to empty" true (Eheap.is_empty h)
+
+let prop_eheap_sorted =
+  QCheck.Test.make ~name:"event heap pops in (at, seq) order" ~count:200
+    QCheck.(list (float_range 0.0 100.0))
+    (fun ats ->
+      let h = Eheap.create () in
+      List.iteri (fun i at -> Eheap.push h ~at ~seq:i i) ats;
+      let keyed = List.mapi (fun i at -> (at, i)) ats in
+      drain_eheap h = List.map snd (List.sort compare keyed))
 
 (* {2 Rng} *)
 
@@ -136,6 +166,37 @@ let test_engine_cancel () =
   ignore (Engine.run e);
   Alcotest.(check bool) "not fired" false !fired;
   Alcotest.(check int) "no pending" 0 (Engine.pending_events e)
+
+let test_engine_cancel_after_fire () =
+  (* regression: cancelling an event that already fired used to decrement
+     the live-event count and leak a tombstone; with the flag-based cancel
+     it must be a strict no-op *)
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> ()));
+  ignore (Engine.run ~until:1.5 e);
+  Alcotest.(check bool) "fired" true !fired;
+  Engine.cancel e id;
+  Engine.cancel e id;
+  Alcotest.(check int) "accounting undisturbed" 1 (Engine.pending_events e);
+  ignore (Engine.run e);
+  Alcotest.(check int) "drained" 0 (Engine.pending_events e)
+
+let test_engine_cancel_churn () =
+  (* heavy create-then-cancel churn (the RPC-timeout pattern) must not
+     bloat the queue or perturb the run: only the survivor fires *)
+  let e = Engine.create () in
+  for i = 1 to 10_000 do
+    let id = Engine.schedule e ~delay:(100.0 +. Float.of_int (i land 63)) (fun () -> ()) in
+    Engine.cancel e id
+  done;
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  Alcotest.(check int) "one pending" 1 (Engine.pending_events e);
+  ignore (Engine.run e);
+  Alcotest.(check int) "survivor fired" 1 !fired;
+  check_float "clock stops at survivor" 1.0 (Engine.now e)
 
 let test_engine_run_until () =
   let e = Engine.create () in
@@ -428,15 +489,17 @@ let prop_schedule_cancel_accounting =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_heap_sorted; prop_pareto_support; prop_schedule_cancel_accounting ]
+    [ prop_eheap_sorted; prop_pareto_support; prop_schedule_cancel_accounting ]
 
 let () =
   Alcotest.run "splay_sim"
     [
-      ( "heap",
+      ( "eheap",
         [
-          Alcotest.test_case "order" `Quick test_heap_order;
-          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "order" `Quick test_eheap_order;
+          Alcotest.test_case "empty" `Quick test_eheap_empty;
+          Alcotest.test_case "fifo ties" `Quick test_eheap_fifo_ties;
+          Alcotest.test_case "filter_in_place" `Quick test_eheap_filter;
         ] );
       ( "rng",
         [
@@ -453,6 +516,8 @@ let () =
           Alcotest.test_case "schedule order" `Quick test_engine_schedule_order;
           Alcotest.test_case "fifo same time" `Quick test_engine_fifo_same_time;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire;
+          Alcotest.test_case "cancel churn" `Quick test_engine_cancel_churn;
           Alcotest.test_case "run until" `Quick test_engine_run_until;
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
         ] );
