@@ -11,11 +11,17 @@ bench:
 	dune exec bench/main.exe
 
 # Quick benchmark smoke test: one parallelized figure plus the framework
-# microbenchmarks (which also refresh BENCH_engine.json), fanned out over
-# two domains to exercise the Pool/Obs multicore path end to end.
+# microbenchmarks, fanned out over two domains to exercise the Pool/Obs
+# multicore path end to end. Writes the bench json to an untracked path so
+# `make check` never dirties the committed BENCH_engine.json baseline.
 bench-smoke:
-	dune exec bench/main.exe -- fig7a micro --jobs 2
+	dune exec bench/main.exe -- fig7a micro --jobs 2 --bench-out=_build/BENCH_engine.smoke.json
 	@echo "bench-smoke: OK"
+
+# Refresh the committed BENCH_engine.json baseline (explicit, never part
+# of check).
+bench-baseline:
+	dune exec bench/main.exe -- micro
 
 # End-to-end tracing demo: run a traced Chord deployment, then verify the
 # analyzer extracts a non-empty RPC critical path from the dump.
@@ -27,4 +33,4 @@ trace-demo:
 	  | tee /dev/stderr | grep -q "rpc\."
 	@echo "trace-demo: OK (critical path extracted)"
 
-.PHONY: all check test bench bench-smoke trace-demo
+.PHONY: all check test bench bench-smoke bench-baseline trace-demo

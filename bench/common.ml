@@ -21,6 +21,11 @@ let jobs = ref 1
 
 let par_map f xs = Pool.map ~jobs:!jobs f xs
 
+(* Where the micro workload section writes its machine-readable baseline
+   (--bench-out=PATH). bench-smoke points this at an untracked path so
+   routine `make check` runs never dirty the committed BENCH_engine.json. *)
+let bench_out = ref "BENCH_engine.json"
+
 (* Observability: --obs / --obs-trace=FILE / --critical-path, parsed and
    acted on by the shared Obs_flags helper (same flags as splay_cli). *)
 let obs_begin () = Obs_flags.arm ()

@@ -48,20 +48,33 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let listing = List.mem "--list" args in
-  (* --jobs N / --jobs=N: trial fan-out width for the experiments *)
-  let rec scan_jobs = function
+  let value_of ~pfx a =
+    let lp = String.length pfx in
+    if String.length a >= lp && String.sub a 0 lp = pfx then
+      Some (String.sub a lp (String.length a - lp))
+    else None
+  in
+  (* --jobs N / --jobs=N: trial fan-out width for the experiments;
+     --bench-out=PATH: where micro writes its machine-readable baseline *)
+  let rec scan_flags = function
     | [] -> ()
+    | [ "--jobs" ] -> ignore (jobs_of_string "--jobs" "" : int)
     | "--jobs" :: n :: rest ->
         Common.jobs := jobs_of_string "--jobs" n;
-        scan_jobs rest
+        scan_flags rest
     | a :: rest ->
-        let pfx = "--jobs=" in
-        if String.length a > String.length pfx && String.sub a 0 (String.length pfx) = pfx then
-          Common.jobs :=
-            jobs_of_string "--jobs" (String.sub a (String.length pfx) (String.length a - String.length pfx));
-        scan_jobs rest
+        (match value_of ~pfx:"--jobs=" a with
+        | Some v -> Common.jobs := jobs_of_string "--jobs" v
+        | None -> (
+            match value_of ~pfx:"--bench-out=" a with
+            | Some "" ->
+                Printf.eprintf "--bench-out expects a path\n";
+                exit 2
+            | Some path -> Common.bench_out := path
+            | None -> ()));
+        scan_flags rest
   in
-  scan_jobs args;
+  scan_flags args;
   List.iter (fun a -> ignore (Splay.Obs_flags.parse_arg a : bool)) args;
   let selected =
     let rec keep = function

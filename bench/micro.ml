@@ -195,4 +195,4 @@ let run () =
         ("spawn_suspend", spawn_suspend procs);
       ]
   in
-  write_bench_json "BENCH_engine.json" recorded
+  write_bench_json !Common.bench_out recorded

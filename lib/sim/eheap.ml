@@ -103,10 +103,12 @@ let pop t =
     t.size <- n;
     if n > 0 then begin
       let at = t.ats.(n) and seq = t.seqs.(n) and x = t.data.(n) in
-      (* the vacated slot keeps a duplicate of a live element, so nothing
-         dead stays reachable through the array *)
-      t.data.(n) <- t.data.(0);
-      sift_down t 0 ~at ~seq x
+      sift_down t 0 ~at ~seq x;
+      (* sift_down left live elements in [0, n); parking a duplicate of
+         the new root in the vacated slot keeps the popped payload from
+         staying reachable through the array. (When the heap empties,
+         slot 0 retains the last payload until the next push.) *)
+      t.data.(n) <- t.data.(0)
     end;
     Some top
   end

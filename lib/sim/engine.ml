@@ -159,15 +159,25 @@ type run_stats = { events_fired : int; final_clock : float; max_queue_depth : in
 let stats (t : t) =
   { events_fired = t.events_fired; final_clock = t.now; max_queue_depth = t.max_queue_depth }
 
+(* Pop cancelled tombstones off the heap head so [min_at] reflects the
+   next *live* event. Without this, a dead head with [at <= limit] passes
+   the limit check and [step] — which skips tombstones unconditionally —
+   would fire the next live event even past the limit. *)
+let rec drain_dead_head t =
+  match Eheap.peek t.queue with
+  | Some ev when ev.dead ->
+      ignore (Eheap.pop t.queue);
+      t.heap_dead <- t.heap_dead - 1;
+      drain_dead_head t
+  | _ -> ()
+
 let run ?until t =
   (match until with
   | None -> while step t do () done
   | Some limit ->
       let continue_run = ref true in
       while !continue_run do
-        (* [min_at] is exact even with tombstones at the top: a dead
-           minimum only over-approximates how soon the next live event is,
-           and [step] skips it for free. *)
+        drain_dead_head t;
         let at = Eheap.min_at t.queue in
         if at > limit then continue_run := false else ignore (step t)
       done;

@@ -209,6 +209,23 @@ let test_engine_run_until () =
   ignore (Engine.run e);
   Alcotest.(check int) "rest" 2 !fired
 
+let test_engine_run_until_cancelled_head () =
+  (* regression: a cancelled event sitting at the heap head with
+     at <= limit used to pass [run ~until]'s limit check, after which
+     [step] skipped the tombstone and fired the next live event past the
+     limit, dragging the clock with it *)
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> fired := true));
+  Engine.cancel e id;
+  ignore (Engine.run ~until:2.0 e);
+  Alcotest.(check bool) "late event not fired" false !fired;
+  check_float "clock clamped to limit" 2.0 (Engine.now e);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "fires once resumed" true !fired;
+  check_float "clock at late event" 10.0 (Engine.now e)
+
 let test_engine_nested_schedule () =
   let e = Engine.create () in
   let times = ref [] in
@@ -519,6 +536,8 @@ let () =
           Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire;
           Alcotest.test_case "cancel churn" `Quick test_engine_cancel_churn;
           Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "run until with cancelled head" `Quick
+            test_engine_run_until_cancelled_head;
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
         ] );
       ( "process",
