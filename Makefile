@@ -2,7 +2,7 @@ all:
 	dune build @all
 
 check:
-	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke
+	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) check-smoke
 
 test:
 	dune runtest
@@ -23,6 +23,17 @@ bench-smoke:
 bench-baseline:
 	dune exec bench/main.exe -- micro
 
+# Simulation-testing gates. check-smoke is the fast always-green CI gate;
+# check-fuzz is the broad fault-injection sweep over every suite (base
+# chord is *expected* to fail it — the || true keeps the target usable as
+# a bug-hunting report rather than a pass/fail gate).
+check-smoke:
+	dune exec bin/splay_cli.exe -- check --suite smoke --seeds 50 --jobs 2
+	@echo "check-smoke: OK"
+
+check-fuzz:
+	dune exec bin/splay_cli.exe -- check --suite all --seeds 25 --jobs 4 || true
+
 # End-to-end tracing demo: run a traced Chord deployment, then verify the
 # analyzer extracts a non-empty RPC critical path from the dump.
 trace-demo:
@@ -33,4 +44,4 @@ trace-demo:
 	  | tee /dev/stderr | grep -q "rpc\."
 	@echo "trace-demo: OK (critical path extracted)"
 
-.PHONY: all check test bench bench-smoke bench-baseline trace-demo
+.PHONY: all check test bench bench-smoke bench-baseline trace-demo check-smoke check-fuzz

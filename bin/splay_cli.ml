@@ -204,6 +204,143 @@ let run_term =
 
 let run_cmd_info = Cmd.info "run" ~doc:"Deploy an application on a simulated testbed and measure it."
 
+(* {1 splay check} *)
+
+let check_cmd list_suites suite seeds jobs base_seed seed_opt nemesis_str no_perturb no_shrink
+    trace_dir obs_trace =
+  if list_suites then begin
+    List.iter
+      (fun s -> Printf.printf "%-10s %s\n" s.Check_suite.name s.Check_suite.doc)
+      Check_suite.all;
+    exit 0
+  end;
+  let suites =
+    match Check_suite.find suite with
+    | Ok s -> s
+    | Error msg ->
+        Printf.eprintf "splay check: %s\n" msg;
+        exit 1
+  in
+  let perturb = not no_perturb in
+  match seed_opt with
+  | Some seed ->
+      (* replay mode: one trial, optionally under an explicit nemesis *)
+      let suite =
+        match suites with
+        | [ s ] -> s
+        | _ ->
+            Printf.eprintf "splay check: --seed needs a single --suite\n";
+            exit 1
+      in
+      let nemesis =
+        match nemesis_str with
+        | None -> None
+        | Some s -> (
+            try Some (Nemesis.parse s)
+            with Nemesis.Parse_error m ->
+              Printf.eprintf "splay check: %s\n" m;
+              exit 1)
+      in
+      Obs_flags.trace_path := obs_trace;
+      Obs_flags.arm ();
+      let o = Check_runner.run_one ~suite ~seed ?nemesis ~perturb () in
+      print_endline (Check_suite.outcome_to_string o);
+      if not (Obs_flags.finish ()) then exit 1;
+      if Check_suite.failed o then exit 1
+  | None ->
+      if nemesis_str <> None then begin
+        Printf.eprintf "splay check: --nemesis requires --seed\n";
+        exit 1
+      end;
+      let report =
+        Check_runner.sweep ~suites ~seeds ~jobs ~base_seed ~perturb
+          ~shrink_failures:(not no_shrink) ?trace_dir ()
+      in
+      List.iter
+        (fun r ->
+          Printf.printf "%-10s %d seeds: %s\n" r.Check_runner.r_suite r.Check_runner.r_seeds
+            (match r.Check_runner.r_failing with
+            | [] -> "ok"
+            | f ->
+                Printf.sprintf "%d FAILING (seeds %s)" (List.length f)
+                  (String.concat ", " (List.map string_of_int f))))
+        report.Check_runner.rep_suites;
+      List.iter
+        (fun f ->
+          Printf.printf "\n--- %s seed %d: minimal reproducer ---\n" f.Check_runner.f_suite
+            f.Check_runner.f_seed;
+          print_endline (Check_suite.outcome_to_string f.Check_runner.f_shrunk);
+          if f.Check_runner.f_shrink_steps > 0 then
+            Printf.printf "shrunk in %d steps from: %s\n" f.Check_runner.f_shrink_steps
+              (Nemesis.to_string f.Check_runner.f_outcome.Check_suite.o_nemesis);
+          (match f.Check_runner.f_trace with
+          | Some p -> Printf.printf "trace: %s\n" p
+          | None -> ());
+          Printf.printf "replay: %s\n" f.Check_runner.f_replay)
+        report.Check_runner.rep_failures;
+      Printf.printf "\n%d trials; %d suites failing\n" report.Check_runner.rep_trials
+        (List.length report.Check_runner.rep_failures);
+      if Check_runner.failed report then exit 1
+
+let check_term =
+  let list_f = Arg.(value & flag & info [ "list" ] ~doc:"List the available suites and exit.") in
+  let suite =
+    Arg.(
+      value & opt string "smoke"
+      & info [ "suite"; "s" ] ~docv:"SUITE"
+          ~doc:"Suite to check (see --list), or $(b,all) for every suite.")
+  in
+  let seeds = Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to sweep.") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Domains to sweep on. The failing-seed set is identical for any value.")
+  in
+  let base_seed = Arg.(value & opt int 1 & info [ "base-seed" ] ~doc:"First seed of the sweep.") in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Replay one trial with this seed instead of sweeping.")
+  in
+  let nemesis =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "nemesis" ] ~docv:"SPEC"
+          ~doc:"Fault schedule for the --seed trial (default: the generated one).")
+  in
+  let no_perturb =
+    Arg.(value & flag & info [ "no-perturb" ] ~doc:"Disable event-schedule perturbation.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
+  in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:"Re-run each minimal reproducer under tracing and dump its trace into $(docv).")
+  in
+  let obs_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"(--seed mode) Write the trial's observability trace to $(docv).")
+  in
+  Term.(
+    const check_cmd $ list_f $ suite $ seeds $ jobs $ base_seed $ seed $ nemesis $ no_perturb
+    $ no_shrink $ trace_dir $ obs_trace)
+
+let check_cmd_info =
+  Cmd.info "check"
+    ~doc:
+      "Deterministic simulation testing: sweep seeds over protocol suites under fault nemeses, \
+       verify invariants, and shrink failures to minimal reproducers."
+
 (* {1 splay profile} *)
 
 let profile_cmd path initial =
@@ -264,7 +401,12 @@ let trace_analyze critical root_name = function
       Printf.eprintf "splay trace: missing TRACE.jsonl argument (or subcommand; see --help)\n";
       exit 2
   | Some path ->
-      let t = Trace_analysis.load_file path in
+      let t =
+        try Trace_analysis.load_file path
+        with Sys_error m ->
+          Printf.eprintf "splay trace: cannot read trace: %s\n" m;
+          exit 1
+      in
       let root =
         match root_name with
         | None -> None
@@ -315,7 +457,9 @@ let trace_cmds =
      `run --trace FILE` output); the argv shim in [main] routes a FILE
      first argument here so the subcommand name can stay implicit. *)
   let analyze_term =
-    let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl") in
+    (* [string], not [file]: a missing path must be our clean exit-1 usage
+       error, not cmdliner's exit-124 conversion failure *)
+    let file = Arg.(value & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl") in
     let critical =
       Arg.(
         value & flag
@@ -363,6 +507,11 @@ let () =
   let root =
     Cmd.group
       (Cmd.info "splay" ~version:"1.0" ~doc:"SPLAY for OCaml — deploy and evaluate distributed systems.")
-      [ Cmd.v run_cmd_info run_term; Cmd.v profile_cmd_info profile_term; trace_cmds ]
+      [
+        Cmd.v run_cmd_info run_term;
+        Cmd.v check_cmd_info check_term;
+        Cmd.v profile_cmd_info profile_term;
+        trace_cmds;
+      ]
   in
   exit (Cmd.eval ~argv root)

@@ -139,7 +139,7 @@ let join t n0 =
       (match first_successor t with
       | Some succ -> ignore (acall t succ "notify" [ Node.to_value t.self ])
       | None -> ())
-  | Error () -> () (* rendezvous unreachable; stabilization will keep trying via later joins *)
+  | Error () -> () (* rendezvous unreachable; the app-level join-retry loop tries again *)
 
 (* Stabilize against the first live successor, and adopt its successor list
    (the leafset replication that rides along in fault-tolerant Chord). *)
@@ -235,7 +235,45 @@ let app ?(config = default_config) ~register env =
   ignore (Env.periodic env config.stabilize_interval (fun () -> fix_fingers t));
   Env.sleep (Float.of_int env.Env.position *. config.join_delay_per_position);
   match env.Env.nodes with
-  | rendezvous :: _ when env.Env.position > 1 -> join t (Node.make ~id:0 ~addr:rendezvous)
+  | rendezvous :: _ when env.Env.position > 1 ->
+      let rendezvous = Node.make ~id:0 ~addr:rendezvous in
+      join t rendezvous;
+      (* A join into a ring that is still repairing can time out (the
+         recursive find_successor may stall on a not-yet-pruned dead hop
+         inside its own deadline). A fault-tolerant node keeps trying —
+         giving up here would leave it orphaned forever, with an empty
+         leafset that stabilization can never grow. *)
+      if t.succs = [] then
+        ignore
+          (Env.thread env ~name:"join-retry" (fun () ->
+               let attempts = ref 0 in
+               while t.succs = [] && !attempts < 60 do
+                 incr attempts;
+                 Env.sleep config.stabilize_interval;
+                 if t.succs = [] then join t rendezvous
+               done))
   | _ -> ()
 
 let lookup t key = find_successor t key ~hops:0
+
+let successor = first_successor
+
+(* Same successor-order walk as {!Chord.ring_of}, over the head of the
+   leafset — shared ground truth for the ring-consistency oracle. *)
+let ring_of nodes =
+  match List.sort (fun a b -> Int.compare (id a) (id b)) nodes with
+  | [] -> []
+  | first :: _ ->
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun n -> Hashtbl.replace by_id (id n) n) nodes;
+      let rec walk acc n =
+        match successor n with
+        | None -> List.rev acc
+        | Some s ->
+            if s.Node.id = id first then List.rev acc
+            else (
+              match Hashtbl.find_opt by_id s.Node.id with
+              | Some next when List.length acc <= List.length nodes -> walk (s.Node.id :: acc) next
+              | _ -> List.rev acc)
+      in
+      walk [ id first ] first

@@ -29,6 +29,10 @@ val id : node -> int
 val addr : node -> Addr.t
 val successors : node -> Node.t list
 val predecessors : node -> Node.t list
+
+(** Head of the successor leafset — the node's best current guess, the
+    counterpart of base Chord's single pointer. *)
+val successor : node -> Node.t option
 val is_stopped : node -> bool
 val node_env : node -> Env.t
 
@@ -38,3 +42,8 @@ val lookup : node -> int -> (Node.t * int) option
 
 val suspected_count : node -> int
 (** Peers pruned so far (observability for churn experiments). *)
+
+val ring_of : node list -> int list
+(** Successor-order walk from the lowest-id node (see {!Chord.ring_of});
+    a repaired ring visits every live node exactly once. Pure inspection
+    of in-process state, for tests and invariant oracles. *)

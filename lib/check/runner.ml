@@ -1,0 +1,123 @@
+module Rng = Splay_sim.Rng
+module Pool = Splay_sim.Pool
+module Obs = Splay_obs.Obs
+
+(* The generator stream must depend on nothing but (suite, seed): deriving
+   it from the trial engine would make the schedule depend on how many
+   streams the platform split before the nemesis ran. *)
+let suite_salt name =
+  String.fold_left (fun a c -> ((a * 131) + Char.code c) land 0x3FFFFFFF) 7 name
+
+let nemesis_for (s : Suite.t) seed =
+  s.Suite.gen (Rng.create (suite_salt s.Suite.name lxor (seed * 0x9E3779B9) lxor 0x5EED5))
+
+let run_one ~suite ~seed ?nemesis ~perturb () =
+  let nemesis = match nemesis with Some n -> n | None -> nemesis_for suite seed in
+  suite.Suite.run ~seed ~nemesis ~perturb
+
+let replay_command ?(perturb = true) ~suite ~seed nemesis =
+  Printf.sprintf "splay check --suite %s --seed %d --nemesis '%s'%s" suite seed
+    (Nemesis.to_string nemesis)
+    (if perturb then "" else " --no-perturb")
+
+type failure = {
+  f_suite : string;
+  f_seed : int;
+  f_outcome : Suite.outcome;
+  f_shrunk : Suite.outcome;
+  f_shrink_steps : int;
+  f_replay : string;
+  f_trace : string option;
+}
+
+type suite_report = { r_suite : string; r_seeds : int; r_failing : int list }
+
+type report = { rep_suites : suite_report list; rep_failures : failure list; rep_trials : int }
+
+let failed r = r.rep_failures <> []
+
+let shrink ~suite ~seed ~perturb outcome =
+  let best = ref outcome and steps = ref 0 and shrinking = ref true in
+  while !shrinking && !steps < 32 do
+    let next =
+      List.find_map
+        (fun n ->
+          let o = run_one ~suite ~seed ~nemesis:n ~perturb () in
+          if Suite.failed o then Some o else None)
+        (Nemesis.shrink_candidates !best.Suite.o_nemesis)
+    in
+    match next with
+    | Some o ->
+        incr steps;
+        best := o
+    | None -> shrinking := false
+  done;
+  (!best, !steps)
+
+let sweep ~suites ~seeds ?(jobs = 1) ?(base_seed = 1) ?(perturb = true) ?(shrink_failures = true)
+    ?trace_dir () =
+  let trials = List.concat_map (fun s -> List.init seeds (fun i -> (s, base_seed + i))) suites in
+  let outcomes = Pool.map ~jobs (fun (s, seed) -> run_one ~suite:s ~seed ~perturb ()) trials in
+  let tagged = List.combine trials outcomes in
+  let by_suite =
+    List.map
+      (fun s -> (s, List.filter_map (fun ((s', _), o) -> if s' == s then Some o else None) tagged))
+      suites
+  in
+  let rep_suites =
+    List.map
+      (fun ((s : Suite.t), outs) ->
+        {
+          r_suite = s.Suite.name;
+          r_seeds = seeds;
+          r_failing =
+            List.filter_map (fun o -> if Suite.failed o then Some o.Suite.o_seed else None) outs;
+        })
+      by_suite
+  in
+  let rep_failures =
+    List.filter_map
+      (fun ((s : Suite.t), outs) ->
+        match List.filter Suite.failed outs with
+        | [] -> None
+        | fs ->
+            let first =
+              List.hd (List.sort (fun a b -> Int.compare a.Suite.o_seed b.Suite.o_seed) fs)
+            in
+            let seed = first.Suite.o_seed in
+            let shrunk, steps =
+              if shrink_failures then shrink ~suite:s ~seed ~perturb first else (first, 0)
+            in
+            let trace =
+              match trace_dir with
+              | None -> None
+              | Some dir ->
+                  (* replay the minimal reproducer with tracing armed and
+                     keep the trace next to the report *)
+                  let was = !Obs.enabled in
+                  Obs.reset ();
+                  Obs.enabled := true;
+                  ignore (run_one ~suite:s ~seed ~nemesis:shrunk.Suite.o_nemesis ~perturb ());
+                  let path =
+                    Filename.concat dir
+                      (Printf.sprintf "check-%s-seed%d.trace.jsonl" s.Suite.name seed)
+                  in
+                  Obs.dump_jsonl ~path ();
+                  Obs.enabled := was;
+                  Obs.reset ();
+                  Some path
+            in
+            Some
+              {
+                f_suite = s.Suite.name;
+                f_seed = seed;
+                f_outcome = first;
+                f_shrunk = shrunk;
+                f_shrink_steps = steps;
+                f_replay =
+                  replay_command ~perturb ~suite:s.Suite.name ~seed shrunk.Suite.o_nemesis;
+                f_trace = trace;
+              })
+      by_suite
+  in
+  { rep_suites; rep_failures; rep_trials = List.length trials }

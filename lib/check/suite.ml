@@ -1,0 +1,560 @@
+module Engine = Splay_sim.Engine
+module Rng = Splay_sim.Rng
+module Controller = Splay_ctl.Controller
+module Daemon = Splay_ctl.Daemon
+module Descriptor = Splay_ctl.Descriptor
+module Apps = Splay_apps
+
+type outcome = {
+  o_suite : string;
+  o_seed : int;
+  o_nemesis : Nemesis.t;
+  o_violations : Invariant.violation list;
+  o_crashes : string list;
+}
+
+let failed o = o.o_violations <> [] || o.o_crashes <> []
+
+let outcome_to_string o =
+  if not (failed o) then Printf.sprintf "%s seed %d: ok" o.o_suite o.o_seed
+  else
+    Printf.sprintf "%s seed %d: FAIL (nemesis: %s)\n%s" o.o_suite o.o_seed
+      (match o.o_nemesis with [] -> "none" | n -> Nemesis.to_string n)
+      (String.concat "\n"
+         (List.map (fun v -> "  " ^ Invariant.violation_to_string v) o.o_violations
+         @ List.map (fun c -> "  [crash] " ^ c) o.o_crashes))
+
+type t = {
+  name : string;
+  doc : string;
+  gen : Rng.t -> Nemesis.t;
+  run : seed:int -> nemesis:Nemesis.t -> perturb:bool -> outcome;
+}
+
+(* When perturbation is on, same-instant events are reordered and every
+   delivery picks up to this much extra random delay — enough to flush
+   out accidental ordering dependencies, small enough not to distort the
+   protocols' timing assumptions. *)
+let perturb_extra_delay = 0.005
+
+(* The oracle RNG (key choice, origin rotation) is derived from the trial
+   seed but independent of the engine's stream, so adding an oracle never
+   changes the schedule under test. *)
+let check_rng seed = Rng.create (0x51ACC8EC lxor (seed * 0x9E3779B9))
+
+(* One trial = one freshly built platform: engine (optionally perturbed),
+   cluster testbed plus a controller host, daemons, and a driver process
+   that deploys the application, lets the nemesis loose and evaluates the
+   oracles. Everything is derived from [seed]; nothing escapes the call. *)
+let run_platform ~suite ~seed ~perturb ~hosts ~until f =
+  let eng = Engine.create ~seed () in
+  if perturb then Engine.set_perturbation eng ~tie_shuffle:true ~max_extra_delay:perturb_extra_delay;
+  let tb0 = Testbed.cluster ~n:hosts (Engine.rng eng) in
+  let tb, ctl_host = Testbed.with_extra_host tb0 in
+  let net = Net.create eng tb in
+  let ctl = Controller.create net ~host:ctl_host in
+  let daemons = Controller.boot_daemons ctl (List.init hosts Fun.id) in
+  let violations = ref [] in
+  ignore
+    (Env.thread (Controller.env ctl) ~name:("check:" ^ suite) (fun () ->
+         Fun.protect
+           ~finally:(fun () ->
+             List.iter Daemon.shutdown daemons;
+             ignore (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))))
+           (fun () -> violations := f eng net ctl)));
+  ignore (Engine.run ~until eng);
+  let crashes =
+    List.rev_map
+      (fun (p, e) -> Printf.sprintf "%s: %s" (Engine.proc_name p) (Printexc.to_string e))
+      (Engine.crashed eng)
+  in
+  (!violations, crashes)
+
+(* {2 DHT oracles, shared by the Chord family} *)
+
+(* Ground truth for "who owns key": smallest live id >= key, cyclically. *)
+let expected_responsible ids key ~modulus =
+  let ids = List.sort_uniq Int.compare ids in
+  match (List.filter (fun i -> i >= key) ids, ids) with
+  | i :: _, _ | [], i :: _ -> i mod modulus
+  | [], [] -> invalid_arg "expected_responsible: no ids"
+
+type 'n dht = {
+  d_id : 'n -> int;
+  d_stopped : 'n -> bool;
+  d_ring_of : 'n list -> int list;
+  d_lookup : 'n -> int -> (Apps.Node.t * int) option;
+}
+
+let dht_invariants checker ~rng ~modulus ~dht ~nodes ~wrong_tol =
+  let live () = List.filter (fun n -> not (dht.d_stopped n)) !nodes in
+  Invariant.register checker "ring.successor-agreement" (fun () ->
+      let l = live () in
+      let ring = dht.d_ring_of l in
+      if
+        List.length ring = List.length l
+        && List.sort_uniq Int.compare ring = List.sort_uniq Int.compare (List.map dht.d_id l)
+      then Ok ()
+      else
+        Error
+          (Printf.sprintf "successor walk visits %d of %d live nodes" (List.length ring)
+             (List.length l)));
+  Invariant.register checker "keys.no-lost" (fun () ->
+      let l = live () in
+      let live_ids = List.map dht.d_id l in
+      let origins = Array.of_list l in
+      let keys = 20 in
+      let failures = ref 0 and wrong = ref 0 in
+      for i = 0 to keys - 1 do
+        let key = Rng.int rng modulus in
+        match dht.d_lookup origins.(i mod Array.length origins) key with
+        | None -> incr failures
+        | Some (resp, _) ->
+            if resp.Apps.Node.id <> expected_responsible live_ids key ~modulus then incr wrong
+      done;
+      if !failures = 0 && !wrong <= wrong_tol then Ok ()
+      else
+        Error
+          (Printf.sprintf "%d/%d lookups failed; %d resolved to the wrong live owner" !failures
+             keys !wrong))
+
+(* {2 chord — base Chord, the demo quarry}
+
+   No fault tolerance: a crashed successor is never pruned, lookups hit
+   120 s timeouts and the ring never heals — exactly the failure §4's FT
+   extensions exist to fix. Crash-only nemeses (the unguarded [join] in
+   the paper's listing would crash the app main if the rendezvous died,
+   which would bury the interesting finding under a trivial one). *)
+
+let chord_config =
+  (* m = 24 (the app default): a 14-node 16-bit ring collides ids across a
+   200-seed sweep (birthday bound), and Chord's contract assumes unique ids *)
+  { Apps.Chord.default_config with stabilize_interval = 2.0; join_delay_per_position = 0.5 }
+
+let chord_nodes = 14
+
+let chord_gen rng =
+  let wave lo = Nemesis.Crash { at = lo +. Rng.float rng 30.0; count = 1 + Rng.int rng 3 } in
+  let ops = [ wave 5.0 ] in
+  if Rng.chance rng 0.4 then ops @ [ wave 60.0 ] else ops
+
+let chord_run ~seed ~nemesis ~perturb =
+  let rng = check_rng seed in
+  let violations, crashes =
+    run_platform ~suite:"chord" ~seed ~perturb ~hosts:7 ~until:600_000.0 (fun eng _net ctl ->
+        let nodes = ref [] in
+        let dep =
+          Controller.deploy ctl ~name:"chord"
+            ~main:(Apps.Chord.app ~config:chord_config ~register:(fun c -> nodes := c :: !nodes))
+            (Descriptor.make ~bootstrap:(Descriptor.Head 1) chord_nodes)
+        in
+        Env.sleep ((Float.of_int chord_nodes *. 0.5) +. 120.0);
+        Nemesis.run ~rng ~dep nemesis;
+        Env.sleep 240.0;
+        let checker = Invariant.create () in
+        dht_invariants checker ~rng ~modulus:(1 lsl 24) ~nodes ~wrong_tol:0
+          ~dht:
+            {
+              d_id = Apps.Chord.id;
+              d_stopped = Apps.Chord.is_stopped;
+              d_ring_of = Apps.Chord.ring_of;
+              d_lookup = Apps.Chord.lookup;
+            };
+        let vs = Invariant.eval checker ~at:(Engine.now eng) Invariant.Quiescence in
+        Controller.undeploy dep;
+        vs)
+  in
+  { o_suite = "chord"; o_seed = seed; o_nemesis = nemesis; o_violations = violations; o_crashes = crashes }
+
+(* {2 chord-ft / smoke} *)
+
+let chord_ft_config =
+  {
+    Apps.Chord_ft.default_config with
+    m = 24;
+    stabilize_interval = 2.0;
+    join_delay_per_position = 0.5;
+    rpc_timeout = 5.0;
+    suspect_threshold = 2;
+    leafset_size = 4;
+  }
+
+let chord_ft_gen rng =
+  let ops = [ Nemesis.Crash { at = 5.0 +. Rng.float rng 30.0; count = 1 + Rng.int rng 3 } ] in
+  let ops =
+    if Rng.chance rng 0.4 then
+      ops @ [ Nemesis.Join { at = 60.0 +. Rng.float rng 20.0; count = 1 + Rng.int rng 2 } ]
+    else ops
+  in
+  if Rng.chance rng 0.3 then
+    ops
+    @ [
+        Nemesis.Slow
+          { at = 40.0; until = 70.0 +. Rng.float rng 20.0; delay = 0.2 +. Rng.float rng 0.3 };
+      ]
+  else ops
+
+let chord_ft_run ~name ~n ~seed ~nemesis ~perturb =
+  let rng = check_rng seed in
+  let violations, crashes =
+    run_platform ~suite:name ~seed ~perturb ~hosts:7 ~until:600_000.0 (fun eng _net ctl ->
+        let nodes = ref [] in
+        let dep =
+          Controller.deploy ctl ~name
+            ~main:(Apps.Chord_ft.app ~config:chord_ft_config ~register:(fun c -> nodes := c :: !nodes))
+            (Descriptor.make ~bootstrap:(Descriptor.Head 1) n)
+        in
+        Env.sleep ((Float.of_int n *. 0.5) +. 120.0);
+        Nemesis.run ~rng ~dep nemesis;
+        Env.sleep 240.0;
+        let checker = Invariant.create () in
+        (* the leafset repairs the ring exactly, but a freshly joined or
+           repaired overlay may misroute the odd key for a few more
+           rounds — allow 1/20 *)
+        dht_invariants checker ~rng ~modulus:(1 lsl 24) ~nodes ~wrong_tol:1
+          ~dht:
+            {
+              d_id = Apps.Chord_ft.id;
+              d_stopped = Apps.Chord_ft.is_stopped;
+              d_ring_of = Apps.Chord_ft.ring_of;
+              d_lookup = Apps.Chord_ft.lookup;
+            };
+        let vs = Invariant.eval checker ~at:(Engine.now eng) Invariant.Quiescence in
+        Controller.undeploy dep;
+        vs)
+  in
+  { o_suite = name; o_seed = seed; o_nemesis = nemesis; o_violations = violations; o_crashes = crashes }
+
+(* {2 pastry} *)
+
+let pastry_config =
+  {
+    Apps.Pastry.default_config with
+    bits = 24;
+    stabilize_interval = 2.0;
+    rpc_timeout = 5.0;
+    join_delay_per_position = 0.3;
+  }
+
+let pastry_nodes = 20
+
+(* Pastry's owner: numerically closest id (min circular distance). *)
+let pastry_owner ids key ~modulus =
+  let d a b =
+    let cw = (b - a + modulus) mod modulus in
+    min cw (modulus - cw)
+  in
+  List.fold_left (fun best i -> if d i key < d best key then i else best) (List.hd ids) ids
+
+let pastry_gen rng =
+  let ops = [ Nemesis.Crash { at = 5.0 +. Rng.float rng 30.0; count = 1 + Rng.int rng 3 } ] in
+  if Rng.chance rng 0.4 then
+    ops
+    @ [
+        Nemesis.Drop
+          { at = 20.0; until = 45.0 +. Rng.float rng 15.0; loss = 0.05 +. Rng.float rng 0.1 };
+      ]
+  else ops
+
+let pastry_run ~seed ~nemesis ~perturb =
+  let rng = check_rng seed in
+  let violations, crashes =
+    run_platform ~suite:"pastry" ~seed ~perturb ~hosts:7 ~until:600_000.0 (fun eng _net ctl ->
+        let nodes = ref [] in
+        let dep =
+          Controller.deploy ctl ~name:"pastry"
+            ~main:(Apps.Pastry.app ~config:pastry_config ~register:(fun c -> nodes := c :: !nodes))
+            (Descriptor.make ~bootstrap:(Descriptor.Head 1) pastry_nodes)
+        in
+        Env.sleep ((Float.of_int pastry_nodes *. 0.3) +. 120.0);
+        Nemesis.run ~rng ~dep nemesis;
+        Env.sleep 180.0;
+        let checker = Invariant.create () in
+        Invariant.register checker "pastry.routing-converges" (fun () ->
+            let live = List.filter (fun p -> not (Apps.Pastry.is_stopped p)) !nodes in
+            let live_ids = List.map Apps.Pastry.id live in
+            let origins = Array.of_list live in
+            let total = 20 in
+            let failures = ref 0 and wrong = ref 0 in
+            for i = 0 to total - 1 do
+              let key = Rng.int rng (1 lsl 24) in
+              match Apps.Pastry.lookup origins.(i mod Array.length origins) key with
+              | None -> incr failures
+              | Some (owner, _) ->
+                  if owner.Apps.Node.id <> pastry_owner live_ids key ~modulus:(1 lsl 24) then
+                    incr wrong
+            done;
+            (* Fig. 10: a small residual right after repair is the expected
+               regime, a large one is a routing bug *)
+            if !failures <= 2 && !wrong <= 2 then Ok ()
+            else
+              Error
+                (Printf.sprintf "%d/%d lookups failed; %d wrong owners" !failures total !wrong));
+        let vs = Invariant.eval checker ~at:(Engine.now eng) Invariant.Quiescence in
+        Controller.undeploy dep;
+        vs)
+  in
+  { o_suite = "pastry"; o_seed = seed; o_nemesis = nemesis; o_violations = violations; o_crashes = crashes }
+
+(* {2 rpc — at-most-once safety under message-level faults}
+
+   One server, seven callers issuing uniquely-tokened calls. Callers at
+   even positions retry with backoff (duplication allowed, bounded by the
+   attempt count); odd positions are single-attempt (strict at-most-once).
+   Safety oracles run at checkpoints {e while} the nemesis is active. *)
+
+let rpc_nodes = 8
+
+let rpc_gen rng =
+  let ops = ref [] in
+  if Rng.chance rng 0.7 then
+    ops :=
+      !ops
+      @ [
+          Nemesis.Drop
+            {
+              at = 5.0 +. Rng.float rng 10.0;
+              until = 25.0 +. Rng.float rng 15.0;
+              loss = 0.2 +. Rng.float rng 0.3;
+            };
+        ];
+  if Rng.chance rng 0.5 then
+    ops :=
+      !ops
+      @ [
+          Nemesis.Slow
+            {
+              at = 20.0 +. Rng.float rng 10.0;
+              until = 45.0 +. Rng.float rng 10.0;
+              delay = 0.5 +. Rng.float rng 2.0;
+            };
+        ];
+  if !ops = [] || Rng.chance rng 0.3 then
+    ops :=
+      !ops
+      @ [
+          Nemesis.Partition
+            { at = 10.0 +. Rng.float rng 10.0; until = 35.0 +. Rng.float rng 10.0; groups = 2 };
+        ];
+  !ops
+
+let rpc_run ~seed ~nemesis ~perturb =
+  let rng = check_rng seed in
+  let execs : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let oks : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let strict : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let main env =
+    if env.Env.position = 1 then
+      Rpc.server env
+        [
+          ( "exec",
+            fun args ->
+              match args with
+              | [ Codec.String tok ] ->
+                  Hashtbl.replace execs tok (1 + Option.value ~default:0 (Hashtbl.find_opt execs tok));
+                  Codec.Null
+              | _ -> failwith "exec: bad args" );
+        ]
+    else begin
+      Rpc.client env;
+      let server = List.hd env.Env.nodes in
+      let retrying = env.Env.position mod 2 = 0 in
+      let options =
+        if retrying then
+          { Rpc.timeout = 2.0; retries = 2; backoff = 0.5; backoff_jitter = 0.5 }
+        else { Rpc.default_options with timeout = 2.0 }
+      in
+      ignore
+        (Env.thread env ~name:"caller" (fun () ->
+             for i = 1 to 25 do
+               Env.sleep 2.0;
+               let tok = Printf.sprintf "%s#%d" (Addr.to_string env.Env.me) i in
+               if not retrying then Hashtbl.replace strict tok ();
+               match Rpc.a_call_opt env server ~options "exec" [ Codec.String tok ] with
+               | Ok _ -> Hashtbl.replace oks tok ()
+               | Error _ -> ()
+             done))
+    end
+  in
+  let violations, crashes =
+    run_platform ~suite:"rpc" ~seed ~perturb ~hosts:4 ~until:100_000.0 (fun eng _net ctl ->
+        let dep =
+          Controller.deploy ctl ~name:"rpc" ~main
+            (Descriptor.make ~bootstrap:(Descriptor.Head 1) rpc_nodes)
+        in
+        let checker = Invariant.create () in
+        let count_bad p = Hashtbl.fold (fun tok n acc -> if p tok n then acc + 1 else acc) execs 0 in
+        Invariant.register checker ~phase:Invariant.Checkpoint "rpc.at-most-once" (fun () ->
+            let bad = count_bad (fun tok n -> Hashtbl.mem strict tok && n > 1) in
+            if bad = 0 then Ok ()
+            else Error (Printf.sprintf "%d single-attempt calls executed more than once" bad));
+        Invariant.register checker ~phase:Invariant.Checkpoint "rpc.bounded-duplication" (fun () ->
+            let bad = count_bad (fun _ n -> n > 3) in
+            if bad = 0 then Ok ()
+            else Error (Printf.sprintf "%d calls executed more often than they were attempted" bad));
+        Invariant.register checker "rpc.ok-implies-executed" (fun () ->
+            let missing =
+              Hashtbl.fold (fun tok () acc -> if Hashtbl.mem execs tok then acc else acc + 1) oks 0
+            in
+            if missing = 0 then Ok ()
+            else Error (Printf.sprintf "%d calls reported Ok but never executed" missing));
+        let vs = ref [] in
+        Env.sleep 2.0;
+        ignore
+          (Env.thread (Controller.env ctl) ~name:"nemesis" (fun () ->
+               Nemesis.run ~rng ~dep nemesis));
+        (* callers run 2..~52 s; observe safety every 15 s while faults
+           are live, then settle past the nemesis tail and retries *)
+        for _ = 1 to 4 do
+          Env.sleep 15.0;
+          vs := !vs @ Invariant.eval checker ~at:(Engine.now eng) Invariant.Checkpoint
+        done;
+        Env.sleep (Float.max 30.0 (Nemesis.duration nemesis -. 60.0) +. 30.0);
+        vs := !vs @ Invariant.eval checker ~at:(Engine.now eng) Invariant.Quiescence;
+        Controller.undeploy dep;
+        !vs)
+  in
+  { o_suite = "rpc"; o_seed = seed; o_nemesis = nemesis; o_violations = violations; o_crashes = crashes }
+
+(* {2 epidemic — eventual delivery on lossy links} *)
+
+let epidemic_nodes = 16
+let epidemic_config = { Apps.Epidemic.default_config with fanout = 6 }
+
+let epidemic_gen rng =
+  let ops = ref [] in
+  if Rng.chance rng 0.3 then
+    ops := [ Nemesis.Crash { at = 1.0 +. Rng.float rng 5.0; count = 1 + Rng.int rng 2 } ];
+  if Rng.chance rng 0.7 then
+    ops :=
+      !ops
+      @ [
+          Nemesis.Drop
+            {
+              at = Rng.float rng 3.0;
+              until = 15.0 +. Rng.float rng 15.0;
+              loss = 0.05 +. Rng.float rng 0.1;
+            };
+        ];
+  if !ops = [] || Rng.chance rng 0.4 then
+    ops :=
+      !ops
+      @ [
+          Nemesis.Slow
+            {
+              at = Rng.float rng 5.0;
+              until = 20.0 +. Rng.float rng 10.0;
+              delay = 0.3 +. Rng.float rng 1.0;
+            };
+        ];
+  !ops
+
+let epidemic_run ~seed ~nemesis ~perturb =
+  let rng = check_rng seed in
+  let rumor = Printf.sprintf "rumor-%d" seed in
+  let violations, crashes =
+    run_platform ~suite:"epidemic" ~seed ~perturb ~hosts:8 ~until:100_000.0 (fun eng _net ctl ->
+        let nodes = ref [] in
+        let dep =
+          Controller.deploy ctl ~name:"epidemic"
+            ~main:(Apps.Epidemic.app ~config:epidemic_config ~register:(fun c -> nodes := c :: !nodes))
+            (Descriptor.make ~bootstrap:Descriptor.All epidemic_nodes)
+        in
+        Env.sleep 10.0;
+        ignore
+          (Env.thread (Controller.env ctl) ~name:"nemesis" (fun () ->
+               Nemesis.run ~rng ~dep nemesis));
+        Env.sleep 2.0;
+        (* inject mid-faults, at the first-deployed node still alive — an
+           operator would not pick a crashed machine to start a rumor, and
+           a rumor that was never injected says nothing about delivery *)
+        (match
+           List.filter (fun n -> not (Apps.Epidemic.is_stopped n)) (List.rev !nodes)
+         with
+        | origin :: _ -> Apps.Epidemic.broadcast origin rumor
+        | [] -> ());
+        Env.sleep (Float.max 60.0 (Nemesis.duration nemesis) +. 45.0);
+        let checker = Invariant.create () in
+        Invariant.register checker "epidemic.eventual-delivery" (fun () ->
+            let live = List.filter (fun n -> not (Apps.Epidemic.is_stopped n)) !nodes in
+            let missing =
+              List.length (List.filter (fun n -> not (Apps.Epidemic.has_received n rumor)) live)
+            in
+            (* push-only gossip with fanout 6 ≈ ln N + c: everyone with
+               high probability; tolerate one unlucky node *)
+            if missing <= 1 then Ok ()
+            else Error (Printf.sprintf "%d of %d live nodes never saw the rumor" missing (List.length live)));
+        let vs = Invariant.eval checker ~at:(Engine.now eng) Invariant.Quiescence in
+        Controller.undeploy dep;
+        vs)
+  in
+  {
+    o_suite = "epidemic";
+    o_seed = seed;
+    o_nemesis = nemesis;
+    o_violations = violations;
+    o_crashes = crashes;
+  }
+
+(* {2 Registry} *)
+
+let chord =
+  {
+    name = "chord";
+    doc = "base Chord: ring consistency + no-lost-keys (expected to FAIL under crashes)";
+    gen = chord_gen;
+    run = chord_run;
+  }
+
+let chord_ft =
+  {
+    name = "chord-ft";
+    doc = "fault-tolerant Chord: same oracles, survives crash/join/slow nemeses";
+    gen = chord_ft_gen;
+    run = (fun ~seed ~nemesis ~perturb -> chord_ft_run ~name:"chord-ft" ~n:14 ~seed ~nemesis ~perturb);
+  }
+
+let pastry =
+  {
+    name = "pastry";
+    doc = "Pastry: routing reconverges to numerically-closest owner after crashes";
+    gen = pastry_gen;
+    run = pastry_run;
+  }
+
+let rpc =
+  {
+    name = "rpc";
+    doc = "RPC layer: at-most-once safety at checkpoints under drop/slow/partition";
+    gen = rpc_gen;
+    run = rpc_run;
+  }
+
+let epidemic =
+  {
+    name = "epidemic";
+    doc = "epidemic dissemination: eventual delivery on lossy, slow links";
+    gen = epidemic_gen;
+    run = epidemic_run;
+  }
+
+let smoke =
+  {
+    name = "smoke";
+    doc = "fast always-green chord-ft variant (CI gate)";
+    gen = (fun rng -> [ Nemesis.Crash { at = 5.0 +. Rng.float rng 20.0; count = 1 + Rng.int rng 2 } ]);
+    run = (fun ~seed ~nemesis ~perturb -> chord_ft_run ~name:"smoke" ~n:10 ~seed ~nemesis ~perturb);
+  }
+
+let all = [ chord; chord_ft; pastry; rpc; epidemic; smoke ]
+
+let find name =
+  match name with
+  | "all" -> Ok (List.filter (fun s -> s.name <> "smoke") all)
+  | _ -> (
+      match List.find_opt (fun s -> s.name = name) all with
+      | Some s -> Ok [ s ]
+      | None ->
+          Error
+            (Printf.sprintf "unknown suite %S (known: %s, all)" name
+               (String.concat ", " (List.map (fun s -> s.name) all))))

@@ -1,0 +1,49 @@
+(** Checkable protocol suites.
+
+    A suite packages a deployment scenario (which application, how many
+    instances, on what testbed), a nemesis generator, and the invariant
+    oracles that define correctness. Running one trial is a pure function
+    of [(seed, nemesis, perturb)] — the whole platform, victim selection
+    and schedule perturbation all derive from those inputs, so a failing
+    trial replays exactly from its one-line command.
+
+    Built-in suites:
+
+    - ["chord"] — base Chord (Listings 1–3 of the paper: no fault
+      tolerance). Oracles: ring consistency and no-lost-keys. {e Expected
+      to fail} under a crash nemesis — the point of §4's FT extensions —
+      which makes it the demo quarry for [splay check].
+    - ["chord-ft"] — fault-tolerant Chord; same oracles, crash/join/slow
+      nemeses. Expected to pass.
+    - ["pastry"] — Pastry under crashes and drop bursts; routing must
+      reconverge to the numerically-closest owner.
+    - ["rpc"] — at-most-once semantics of the RPC layer under drop, delay
+      and partition bursts; safety oracles run at checkpoints.
+    - ["epidemic"] — rumor dissemination under lossy and slow links;
+      eventual delivery to (almost) every live node.
+    - ["smoke"] — a fast, always-green chord-ft variant for CI gates. *)
+
+type outcome = {
+  o_suite : string;
+  o_seed : int;
+  o_nemesis : Nemesis.t;
+  o_violations : Invariant.violation list;
+  o_crashes : string list;  (** simulation processes that died uncaught *)
+}
+
+val failed : outcome -> bool
+val outcome_to_string : outcome -> string
+
+type t = {
+  name : string;
+  doc : string;  (** one line for [--list] *)
+  gen : Splay_sim.Rng.t -> Nemesis.t;  (** nemesis generator for one trial *)
+  run : seed:int -> nemesis:Nemesis.t -> perturb:bool -> outcome;
+}
+
+val all : t list
+
+val find : string -> (t list, string) result
+(** Resolve a [--suite] argument: a suite name, or ["all"] for every
+    suite except the CI alias. [Error] carries a usage message listing
+    the known names. *)

@@ -3,7 +3,9 @@
     One import gives the whole stack: the simulation substrate, the testbed
     and network models, the application libraries (events, RPC, sandboxed
     sockets and filesystem, logging, serialization, locks), the controller
-    and daemons, and the churn manager. {!Platform} bundles the boilerplate
+    and daemons, the churn manager, and the simulation-testing layer
+    ({!Nemesis}, {!Invariant}, {!Check_suite}, {!Check_runner} — the
+    machinery behind [splay check]). {!Platform} bundles the boilerplate
     of standing up a testbed with a controller and daemons, so an experiment
     reads:
 
@@ -67,6 +69,12 @@ module Script = Splay_churn.Script
 module Trace = Splay_churn.Trace
 module Transform = Splay_churn.Transform
 module Replayer = Splay_churn.Replayer
+
+(* Simulation testing: seed sweeps, nemeses, invariants, shrinking *)
+module Nemesis = Splay_check.Nemesis
+module Invariant = Splay_check.Invariant
+module Check_suite = Splay_check.Suite
+module Check_runner = Splay_check.Runner
 
 (** Testbed bring-up boilerplate: engine + testbed + network + controller +
     one daemon per host, in one call. *)

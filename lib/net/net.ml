@@ -27,6 +27,7 @@ type t = {
   handlers : handler AddrTbl.t;
   net_rng : Rng.t;
   mutable loss : float;
+  mutable extra_delay : float;
   mutable partition : (Addr.host_id -> int) option;
   mutable n_sent : int;
   mutable n_bytes : int;
@@ -40,6 +41,7 @@ let create eng tb =
     handlers = AddrTbl.create 1024;
     net_rng = Rng.split (Testbed.rng tb);
     loss = 0.0;
+    extra_delay = 0.0;
     partition = None;
     n_sent = 0;
     n_bytes = 0;
@@ -59,6 +61,9 @@ let unbind t addr = AddrTbl.remove t.handlers addr
 let is_bound t addr = AddrTbl.mem t.handlers addr
 
 let set_loss t p = t.loss <- p
+
+let set_extra_delay t d = t.extra_delay <- if d < 0.0 then 0.0 else d
+let extra_delay t = t.extra_delay
 
 let set_partition t f = t.partition <- Some f
 let clear_partition t = t.partition <- None
@@ -104,6 +109,9 @@ let send t ?(size = 256) ?loss ~src ~dst payload =
       hd.Testbed.down_busy <- start_down +. tx_down;
       let processing = Testbed.proc_cost t.tb dst.Addr.host in
       let deliver_at = start_down +. tx_down +. processing in
+      (* delay-burst nemesis: a flat add-on past the bandwidth queues, so
+         it slows delivery without occupying the links *)
+      let deliver_at = if t.extra_delay > 0.0 then deliver_at +. t.extra_delay else deliver_at in
       if !Obs.enabled then Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
       (* The sender's trace context travels with the message (the
          wire-level counterpart of the RPC envelope's ctx field): delivery

@@ -32,6 +32,13 @@ val set_loss : t -> float -> unit
     library feature "drop a given proportion of the packets" for lossy-link
     studies. *)
 
+val set_extra_delay : t -> float -> unit
+(** Add a flat extra delay (seconds, default 0, clamped at 0) to every
+    subsequent delivery, after the bandwidth queues — the delay-burst
+    nemesis of [splay check]. Messages already in flight are unaffected. *)
+
+val extra_delay : t -> float
+
 val send : t -> ?size:int -> ?loss:float -> src:Addr.t -> dst:Addr.t -> payload -> unit
 (** Fire-and-forget datagram. [size] in bytes (default 256, a small control
     message) governs transmission time through the bandwidth queues; [loss]

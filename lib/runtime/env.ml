@@ -17,6 +17,7 @@ type t = {
   mutable rpc_next_rid : int;
   mutable rpc_handlers : (string * (Codec.value list -> Codec.value)) list;
   mutable rpc_bound : bool;
+  mutable rpc_rng : Splay_sim.Rng.t option;
 }
 
 let engine t = Net.engine t.net
@@ -69,6 +70,7 @@ let create ?(position = 1) ?(nodes = []) ?limits ?(log_level = Log.Info) net ~me
       rpc_next_rid = 0;
       rpc_handlers = [];
       rpc_bound = false;
+      rpc_rng = None;
     }
   in
   Sandbox.set_on_kill sandbox (fun reason ->
@@ -90,6 +92,17 @@ let periodic t interval f =
         Engine.sleep interval;
         f ()
       done)
+
+(* Split lazily, on the first call that actually needs jitter: an eager
+   split in [create] would advance [env_rng] for every instance and change
+   the streams of every existing fixed-seed experiment. *)
+let rpc_rng t =
+  match t.rpc_rng with
+  | Some r -> r
+  | None ->
+      let r = Splay_sim.Rng.split t.env_rng in
+      t.rpc_rng <- Some r;
+      r
 
 let sleep = Engine.sleep
 

@@ -28,6 +28,7 @@ type t = {
   mutable rpc_next_rid : int;
   mutable rpc_handlers : (string * (Codec.value list -> Codec.value)) list;
   mutable rpc_bound : bool;
+  mutable rpc_rng : Splay_sim.Rng.t option; (* lazy; use {!rpc_rng} *)
 }
 
 val create :
@@ -42,6 +43,11 @@ val create :
     paper specifies. *)
 
 val engine : t -> Splay_sim.Engine.t
+
+val rpc_rng : t -> Splay_sim.Rng.t
+(** The instance's RPC jitter stream, split from [env_rng] on first use —
+    lazily, so instances that never draw jitter (the default policy)
+    consume exactly the streams they did before this stream existed. *)
 
 val thread : t -> ?name:string -> (unit -> unit) -> Splay_sim.Engine.proc
 (** [events.thread]: spawn a process owned by this instance. *)

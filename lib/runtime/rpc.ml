@@ -1,4 +1,5 @@
 module Engine = Splay_sim.Engine
+module Rng = Splay_sim.Rng
 module Obs = Splay_obs.Obs
 
 type error = Timeout | Remote of string | Network of string
@@ -12,10 +13,10 @@ exception Rpc_error of error
 
 type handler = Codec.value list -> Codec.value
 
-type options = { timeout : float; retries : int }
+type options = { timeout : float; retries : int; backoff : float; backoff_jitter : float }
 
-let default_options = { timeout = 120.0; retries = 0 }
-let ping_options = { timeout = 5.0; retries = 0 }
+let default_options = { timeout = 120.0; retries = 0; backoff = 0.0; backoff_jitter = 0.0 }
+let ping_options = { timeout = 5.0; retries = 0; backoff = 0.0; backoff_jitter = 0.0 }
 
 (* Observability sites. One span per logical call (retries included) with
    the outcome attached on finish; the serve side gets its own span so
@@ -167,12 +168,28 @@ let a_call_opt env dst ?(options = default_options) proc args =
   (* Retries cover the transient failures (Timeout, local Network refusal);
      a Remote error is the handler's answer and is final. The first attempt
      runs directly under the call span; each retry gets its own child span
-     numbered with the attempt, so the serve spans it causes are
-     distinguishable from the original attempt's. *)
-  let rec go n =
+     numbered with the attempt and tagged with the backoff delay it waited,
+     so the serve spans it causes are distinguishable from the original
+     attempt's. *)
+  let retry_delay n =
+    (* exponential backoff before retry [n] (1-based): backoff * 2^(n-1),
+       stretched by a seeded jitter fraction drawn from the instance's
+       dedicated RPC stream. The default backoff = 0 takes no delay and
+       consumes no RNG, so fixed-seed traces without the policy stay
+       byte-identical. *)
+    if options.backoff <= 0.0 then 0.0
+    else begin
+      let base = options.backoff *. Float.of_int (1 lsl min (n - 1) 30) in
+      if options.backoff_jitter <= 0.0 then base
+      else base *. (1.0 +. (options.backoff_jitter *. Rng.float (Env.rpc_rng env) 1.0))
+    end
+  in
+  let rec go n ~waited =
     let sp_retry =
       if n > 0 && !Obs.enabled then
-        Obs.span ~attrs:[ ("attempt", string_of_int n) ] "rpc.retry"
+        Obs.span
+          ~attrs:[ ("attempt", string_of_int n); ("delay", Printf.sprintf "%.6f" waited) ]
+          "rpc.retry"
       else Obs.null_span
     in
     let r = attempt env dst ~timeout:options.timeout ~size proc args in
@@ -180,10 +197,12 @@ let a_call_opt env dst ?(options = default_options) proc args =
     match r with
     | Error (Timeout | Network _) when n < options.retries ->
         Obs.incr c_retries;
-        go (n + 1)
+        let d = retry_delay (n + 1) in
+        if d > 0.0 then Engine.sleep d;
+        go (n + 1) ~waited:d
     | r -> (r, n + 1)
   in
-  let result, attempts = go 0 in
+  let result, attempts = go 0 ~waited:0.0 in
   Obs.incr c_calls;
   (match result with Error Timeout -> Obs.incr c_timeouts | _ -> ());
   if !Obs.enabled then begin

@@ -22,16 +22,28 @@ type handler = Codec.value list -> Codec.value
 type options = {
   timeout : float;  (** per-attempt reply deadline, virtual seconds *)
   retries : int;  (** extra attempts after a Timeout or Network failure *)
+  backoff : float;
+      (** base pause before retry [n]: [backoff * 2^(n-1)] seconds
+          (exponential). [0.] (the default) retries immediately, exactly
+          as before the field existed. *)
+  backoff_jitter : float;
+      (** stretch each pause by a uniform factor in [[1, 1 + jitter]],
+          drawn from the instance's dedicated RPC RNG stream
+          ({!Env.rpc_rng}) — deterministic under a fixed seed, and the
+          stream is only split off on first use, so policies without
+          jitter leave every other stream untouched. *)
 }
 (** Call policy, consolidated from the scattered [?timeout] arguments.
     Retries re-send the request with a fresh id; a [Remote] error is the
     handler's answer and is never retried. *)
 
 val default_options : options
-(** [{ timeout = 120.0; retries = 0 }] — the "standard 2 minutes" default. *)
+(** [{ timeout = 120.0; retries = 0; backoff = 0.; backoff_jitter = 0. }] —
+    the "standard 2 minutes" default. *)
 
 val ping_options : options
-(** [{ timeout = 5.0; retries = 0 }] — liveness-probe policy. *)
+(** [{ timeout = 5.0; retries = 0; backoff = 0.; backoff_jitter = 0. }] —
+    liveness-probe policy. *)
 
 val server : Env.t -> (string * handler) list -> unit
 (** Start the RPC server on the instance's endpoint ([rpc.server(n.port)]).
@@ -50,7 +62,8 @@ val a_call_opt :
     tracing is enabled, each logical call records one [rpc.call] span
     carrying the procedure, source, destination, payload bytes, outcome
     and total attempt count; each retry additionally records a child
-    [rpc.retry] span tagged with its attempt number. The caller's trace
+    [rpc.retry] span tagged with its attempt number and the backoff delay
+    it waited ([delay], seconds). The caller's trace
     context travels in the request envelope, so the callee's [rpc.serve]
     span — and everything the handler does, including nested calls — is a
     child of this call's span across nodes. *)

@@ -35,8 +35,15 @@ let restrict a b =
 
 exception Violation of string
 
+module Obs = Splay_obs.Obs
+
+(* Observability: every enforcement action is a point event in the trace
+   (with the reason and whether it was fatal) plus a counter, so a run
+   that died to its sandbox is diagnosable from the dump alone. *)
+let c_violations = Obs.counter "sandbox.violations"
+
 type t = {
-  lim : limits;
+  mutable lim : limits;
   mutable mem : int;
   mutable sockets : int;
   mutable fs : int;
@@ -51,9 +58,16 @@ let create ?(limits = default) () =
 
 let limits t = t.lim
 
+let squeeze t lim = t.lim <- restrict t.lim lim
+
 let set_on_kill t f = t.on_kill <- f
 
 let violation t ~fatal msg =
+  Obs.incr c_violations;
+  if !Obs.enabled then
+    Obs.event
+      ~attrs:[ ("reason", msg); ("fatal", if fatal then "true" else "false") ]
+      "sandbox.violation";
   if fatal then t.on_kill msg;
   raise (Violation msg)
 

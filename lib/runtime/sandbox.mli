@@ -27,13 +27,22 @@ val restrict : limits -> limits -> limits
 
 exception Violation of string
 (** Raised by the failing I/O operation (disk or network overuse, blacklist
-    hit, socket exhaustion). *)
+    hit, socket exhaustion). Every enforcement — fatal or not — also
+    records a [sandbox.violation] point event (attrs [reason], [fatal]) in
+    the observability trace and bumps the [sandbox.violations] counter. *)
 
 type t
 
 val create : ?limits:limits -> unit -> t
 
 val limits : t -> limits
+
+val squeeze : t -> limits -> unit
+(** Tighten the live sandbox to [restrict current given] — the
+    sandbox-limit nemesis of [splay check] and the runtime form of a
+    controller pushing stricter limits. Never weakens. Usage already above
+    a tightened cap is not retroactively punished: the next operation that
+    needs headroom fails (or kills, for memory). *)
 
 val set_on_kill : t -> (string -> unit) -> unit
 (** Invoked when a violation is fatal (memory). The environment installs a

@@ -6,7 +6,16 @@
     unboxed arrays and compared with two scalar loads — no closure call,
     no float boxing. The order is strictly lexicographic on [(at, seq)];
     when callers hand out unique [seq] values the pop sequence is exactly
-    sorted order, i.e. FIFO among entries that share [at]. *)
+    sorted order, i.e. FIFO among entries that share [at].
+
+    Tie-break policy: [seq] is an opaque ordering key, not necessarily an
+    arrival counter — the heap only requires that callers keep it unique
+    per [at]. The engine exploits this as its tie-break policy hook: the
+    default policy passes the arrival sequence (FIFO), while the schedule
+    perturbation of {!Splay_sim.Engine.set_perturbation} passes a key whose
+    high bits are a deterministic random draw and whose low bits keep the
+    arrival sequence, shuffling same-instant order while preserving a
+    total, reproducible order. *)
 
 type 'a t
 

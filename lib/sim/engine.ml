@@ -34,12 +34,25 @@ type event = {
 
 type proc_state = Pending | Active | Dead
 
+(* Schedule perturbation — the hook Splay_check drives. When installed,
+   every scheduled event may receive a bounded extra delay and a shuffled
+   same-instant tie-break key, both drawn from a dedicated split of the
+   root RNG taken at install time: the explored schedule is a pure
+   function of (seed, policy), and the default path pays one [None] check
+   per schedule and nothing else. *)
+type perturbation = {
+  p_rng : Rng.t;
+  p_tie_shuffle : bool;
+  p_max_extra_delay : float;
+}
+
 type t = {
   mutable now : float;
   queue : event Eheap.t;
   mutable next_seq : int;
   mutable next_pid : int;
   root_rng : Rng.t;
+  mutable perturb : perturbation option;
   mutable current : proc option;
   mutable crashed_list : (proc * exn) list;
   mutable live_events : int;
@@ -73,6 +86,7 @@ let create ?(seed = 42) () =
       next_seq = 0;
       next_pid = 0;
       root_rng = Rng.create seed;
+      perturb = None;
       current = None;
       crashed_list = [];
       live_events = 0;
@@ -89,15 +103,48 @@ let create ?(seed = 42) () =
 let now t = t.now
 let rng t = t.root_rng
 
+let set_perturbation ?(tie_shuffle = true) ?(max_extra_delay = 0.0) t =
+  t.perturb <-
+    Some
+      {
+        p_rng = Rng.split t.root_rng;
+        p_tie_shuffle = tie_shuffle;
+        p_max_extra_delay = max_extra_delay;
+      }
+
+let clear_perturbation t = t.perturb <- None
+let perturbation_active t = t.perturb <> None
+
 let schedule_at t ~at fn =
   let at = if at < t.now then t.now else at in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
+  (* The heap orders strictly by the (at, key) pair; [key] defaults to the
+     arrival sequence (FIFO among same-instant events). A perturbation
+     policy replaces the key's high bits with a random draw — shuffling the
+     tie-break while the low sequence bits keep the order total — and may
+     push [at] out by a bounded random delay. Both draws happen on every
+     schedule, so the consumed stream (hence the whole schedule) depends
+     only on (seed, policy), not on heap contents. *)
+  let at, key =
+    match t.perturb with
+    | None -> (at, seq)
+    | Some p ->
+        let at =
+          if p.p_max_extra_delay > 0.0 then at +. Rng.float p.p_rng p.p_max_extra_delay
+          else at
+        in
+        let key =
+          if p.p_tie_shuffle then (Rng.int p.p_rng 0x40000000 lsl 31) lor (seq land 0x7FFFFFFF)
+          else seq
+        in
+        (at, key)
+  in
   (* context capture is a domain-local read; skip even that when tracing
      is off — every context is null then anyway *)
   let ctx = if !Obs.enabled then Obs.current () else Obs.null_ctx in
   let ev = { at; sched = t.now; seq; ctx; fn; dead = false } in
-  Eheap.push t.queue ~at ~seq ev;
+  Eheap.push t.queue ~at ~seq:key ev;
   t.live_events <- t.live_events + 1;
   let depth = Eheap.size t.queue in
   if depth > t.max_queue_depth then begin

@@ -11,7 +11,11 @@
 
     Determinism: given the same seed and the same program, a run is exactly
     reproducible. Events scheduled for the same instant fire in scheduling
-    order (FIFO).
+    order (FIFO) — unless a {!set_perturbation} policy is installed, in
+    which case the same-instant order is shuffled (and bounded extra delays
+    may be injected) by a dedicated RNG split, making the run a pure
+    function of [(seed, policy)] instead; with no policy installed behavior
+    is bit-for-bit identical to an engine without the hook.
 
     Trace-context propagation: the engine captures {!Splay_obs.Obs.current}
     at every {!schedule}/{!spawn} and restores it when the event fires, and
@@ -44,6 +48,28 @@ val now : t -> float
 
 val rng : t -> Rng.t
 (** The engine's root RNG. Components should {!Rng.split} it. *)
+
+(** {1 Schedule perturbation — simulation testing}
+
+    The hook behind [splay check]: systematically explore alternative but
+    reproducible schedules of the same program. *)
+
+val set_perturbation : ?tie_shuffle:bool -> ?max_extra_delay:float -> t -> unit
+(** Install a perturbation policy (splitting the root RNG for its dedicated
+    stream, so install it at a fixed point — right after {!create} — for
+    reproducibility). [tie_shuffle] (default [true]) randomizes the firing
+    order of events scheduled for the same instant, replacing the FIFO
+    tie-break; [max_extra_delay] (default [0.]) adds an extra uniform
+    [[0, max_extra_delay)] seconds to every scheduled event, modelling OS
+    scheduling jitter. Every draw comes from the dedicated split, one or
+    two per {!schedule}, independent of queue state — so the explored
+    schedule is exactly reproducible from [(seed, policy)]. *)
+
+val clear_perturbation : t -> unit
+(** Return to the default FIFO schedule (from now on; already-queued
+    events keep their perturbed times and keys). *)
+
+val perturbation_active : t -> bool
 
 val schedule : t -> delay:float -> (unit -> unit) -> event_id
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative delays are

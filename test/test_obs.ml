@@ -95,6 +95,51 @@ let test_trace_deterministic () =
         Alcotest.failf "rpc.serve sid %d has no parent (pid 0)" sp.Ta.sid)
     serves
 
+(* {2 Golden-trace regression} *)
+
+(* The byte-exact trace and metrics of the seed-7 deployment, pinned as
+   files: any unintended change to event ordering, RNG stream consumption
+   or span/metric emission — e.g. a perturbation hook that is not strictly
+   zero-cost when disabled — shows up here as a diff against the bytes the
+   pre-existing code produced. Regenerate only after a deliberate behavior
+   change:
+
+     SPLAY_GOLDEN_DIR=$PWD/test/golden dune exec test/test_obs.exe -- test golden
+*)
+(* dune runtest runs with cwd = the test directory (where the (deps ...)
+   copies land); `dune exec test/test_obs.exe` runs from the project root. *)
+let golden_file name = if Sys.file_exists "golden" then "golden/" ^ name else "test/golden/" ^ name
+let golden_trace () = golden_file "chord_seed7.trace.jsonl"
+let golden_metrics () = golden_file "chord_seed7.metrics.jsonl"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let test_golden_trace () =
+  let trace, metrics =
+    with_obs (fun () ->
+        ignore (run_chord_deployment ~seed:7);
+        (Obs.trace_jsonl (), Obs.metrics_jsonl ()))
+  in
+  match Sys.getenv_opt "SPLAY_GOLDEN_DIR" with
+  | Some dir ->
+      write_file (Filename.concat dir "chord_seed7.trace.jsonl") trace;
+      write_file (Filename.concat dir "chord_seed7.metrics.jsonl") metrics;
+      Printf.printf "regenerated golden files under %s\n" dir
+  | None ->
+      Alcotest.(check bool) "golden trace is byte-identical" true
+        (read_file (golden_trace ()) = trace);
+      Alcotest.(check bool) "golden metrics are byte-identical" true
+        (read_file (golden_metrics ()) = metrics)
+
 (* {2 Cross-node causality} *)
 
 (* A 3-hop forwarding chain A -> B -> C -> D: each serve span must be a
@@ -234,7 +279,7 @@ let test_retries () =
                  let t0 = Engine.now eng in
                  let r =
                    Rpc.a_call_opt client server.Env.me
-                     ~options:{ Rpc.timeout = 1.0; retries = 2 }
+                     ~options:{ Rpc.default_options with timeout = 1.0; retries = 2 }
                      "echo" []
                  in
                  (match r with
@@ -248,6 +293,51 @@ let test_retries () =
       Alcotest.(check int) "two retries recorded" 2
         (Obs.counter_value (Obs.counter "rpc.retries"));
       Alcotest.(check int) "one logical call" 1 (Obs.counter_value (Obs.counter "rpc.calls")))
+
+(* Exponential backoff with seeded jitter (the [splay check] satellite of
+   the retry policy): pause before retry [n] is [backoff * 2^(n-1)],
+   stretched by a uniform factor in [1, 1+jitter] drawn from the
+   instance's dedicated RPC stream. *)
+let backoff_elapsed ~seed ~jitter =
+  let elapsed = ref nan in
+  let trace =
+    with_obs (fun () ->
+        two_host_rpc ~seed (fun eng net server client ->
+            Net.set_host_up net 0 false;
+            ignore
+              (Env.thread client (fun () ->
+                   let t0 = Engine.now eng in
+                   (match
+                      Rpc.a_call_opt client server.Env.me
+                        ~options:
+                          { Rpc.timeout = 1.0; retries = 2; backoff = 0.5; backoff_jitter = jitter }
+                        "echo" []
+                    with
+                   | Error Rpc.Timeout -> ()
+                   | _ -> Alcotest.fail "expected Timeout after retries");
+                   elapsed := Engine.now eng -. t0)));
+        Obs.trace_jsonl ())
+  in
+  (!elapsed, trace)
+
+let test_backoff_timing () =
+  let elapsed, trace = backoff_elapsed ~seed:9 ~jitter:0.0 in
+  (* attempts start at t = 0, 1.5 (1s timeout + 0.5s pause) and 3.5
+     (+ 1s timeout + 1s doubled pause); the last deadline lands at 4.5 *)
+  Alcotest.(check (float 1e-6)) "jitter-free exponential schedule" 4.5 elapsed;
+  Alcotest.(check bool) "retry spans in trace" true (contains trace "\"name\":\"rpc.retry\"");
+  Alcotest.(check bool) "backoff delay recorded on the span" true
+    (contains trace "\"delay\":\"0.500000\"")
+
+let test_backoff_jitter_deterministic () =
+  let e1, _ = backoff_elapsed ~seed:9 ~jitter:0.5 in
+  let e2, _ = backoff_elapsed ~seed:9 ~jitter:0.5 in
+  Alcotest.(check (float 1e-9)) "same seed, same schedule" e1 e2;
+  (* total stretch is bounded by jitter * (sum of base pauses) = 0.5 * 1.5 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "jitter stretches within bounds (%.3fs)" e1)
+    true
+    (e1 > 4.5 && e1 <= 4.5 +. (0.5 *. 1.5) +. 1e-9)
 
 let test_ok_span_outcome () =
   with_obs (fun () ->
@@ -376,6 +466,7 @@ let () =
       ( "obs",
         [
           Alcotest.test_case "deterministic trace" `Quick test_trace_deterministic;
+          Alcotest.test_case "golden trace unchanged" `Quick test_golden_trace;
           Alcotest.test_case "cross-node linkage" `Quick test_cross_node_linkage;
           Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
         ] );
@@ -383,6 +474,9 @@ let () =
         [
           Alcotest.test_case "timeout span" `Quick test_timeout_span;
           Alcotest.test_case "retries" `Quick test_retries;
+          Alcotest.test_case "backoff timing" `Quick test_backoff_timing;
+          Alcotest.test_case "backoff jitter deterministic" `Quick
+            test_backoff_jitter_deterministic;
           Alcotest.test_case "ok outcome" `Quick test_ok_span_outcome;
         ] );
       ("engine", [ Alcotest.test_case "run stats" `Quick test_run_stats ]);

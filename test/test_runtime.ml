@@ -218,6 +218,66 @@ let test_sandbox_blacklist () =
   Alcotest.(check bool) "banned" true (Sandbox.blacklisted sb 3);
   Alcotest.(check bool) "others ok" false (Sandbox.blacklisted sb 4)
 
+(* Every enforcement — fatal or not — must leave a [sandbox.violation]
+   point event in the observability trace, with [fatal] telling the two
+   kill paths apart. A nemesis-squeezed instance that dies without one is
+   undebuggable. *)
+let with_obs_trace f =
+  Splay_obs.Obs.reset ();
+  Splay_obs.Obs.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Splay_obs.Obs.enabled := false;
+      Splay_obs.Obs.reset ())
+    (fun () ->
+      f ();
+      Splay_obs.Obs.trace_jsonl ())
+
+let test_sandbox_memory_kill_traced () =
+  let trace =
+    with_obs_trace (fun () ->
+        let sb = Sandbox.create ~limits:{ Sandbox.default with max_memory = 1000 } () in
+        try Sandbox.alloc sb 2000 with Sandbox.Violation _ -> ())
+  in
+  Alcotest.(check bool) "violation event" true (string_contains trace "sandbox.violation");
+  Alcotest.(check bool) "fatal" true (string_contains trace "\"fatal\":\"true\"");
+  Alcotest.(check bool) "reason names memory" true (string_contains trace "memory")
+
+let test_sandbox_socket_denial_traced () =
+  let trace =
+    with_obs_trace (fun () ->
+        let sb = Sandbox.create ~limits:{ Sandbox.default with max_sockets = 1 } () in
+        Sandbox.socket_opened sb;
+        try Sandbox.socket_opened sb with Sandbox.Violation _ -> ())
+  in
+  Alcotest.(check bool) "violation event" true (string_contains trace "sandbox.violation");
+  Alcotest.(check bool) "nonfatal" true (string_contains trace "\"fatal\":\"false\"");
+  Alcotest.(check bool) "reason names sockets" true (string_contains trace "socket")
+
+let test_sandbox_fs_quota_traced () =
+  let trace =
+    with_obs_trace (fun () ->
+        let sb = Sandbox.create ~limits:{ Sandbox.default with max_fs_bytes = 100 } () in
+        Sandbox.fs_grow sb 90;
+        try Sandbox.fs_grow sb 20 with Sandbox.Violation _ -> ())
+  in
+  Alcotest.(check bool) "violation event" true (string_contains trace "sandbox.violation");
+  Alcotest.(check bool) "nonfatal" true (string_contains trace "\"fatal\":\"false\"")
+
+let test_sandbox_squeeze_traced () =
+  (* the [splay check] squeeze nemesis: tightening the send budget makes
+     the next send fail, visibly *)
+  let trace =
+    with_obs_trace (fun () ->
+        let sb = Sandbox.create () in
+        Sandbox.network_send sb 512;
+        Sandbox.squeeze sb
+          { Sandbox.unlimited with max_send_bytes = Sandbox.bytes_sent sb + 64 };
+        try Sandbox.network_send sb 128 with Sandbox.Violation _ -> ())
+  in
+  Alcotest.(check bool) "violation event" true (string_contains trace "sandbox.violation");
+  Alcotest.(check bool) "nonfatal" true (string_contains trace "\"fatal\":\"false\"")
+
 (* {2 Test fixtures: a small cluster network} *)
 
 let with_cluster ?(n = 4) f =
@@ -839,6 +899,10 @@ let () =
           Alcotest.test_case "sockets" `Quick test_sandbox_sockets;
           Alcotest.test_case "restrict" `Quick test_sandbox_restrict;
           Alcotest.test_case "blacklist" `Quick test_sandbox_blacklist;
+          Alcotest.test_case "memory kill traced" `Quick test_sandbox_memory_kill_traced;
+          Alcotest.test_case "socket denial traced" `Quick test_sandbox_socket_denial_traced;
+          Alcotest.test_case "fs quota traced" `Quick test_sandbox_fs_quota_traced;
+          Alcotest.test_case "squeeze traced" `Quick test_sandbox_squeeze_traced;
         ] );
       ( "sb_fs",
         [

@@ -78,6 +78,47 @@ let test_rng_split_independent () =
   ignore (Rng.int a 100);
   Alcotest.(check int) "split unaffected" (Rng.int c' 1000) (Rng.int c 1000)
 
+(* Golden splitmix64 outputs: the raw stream for seed 42, across a split.
+   These pin the generator's exact bit-level behaviour — any change to the
+   core algorithm (or to what [split] consumes from the parent) invalidates
+   every recorded trace, golden fixture and published failing seed, so it
+   must show up here first. *)
+let test_rng_golden () =
+  let check = Alcotest.(check int64) in
+  let r = Rng.create 42 in
+  check "draw 1" 0xaba1321580cecf6aL (Rng.bits64 r);
+  check "draw 2" 0x700a26608762924cL (Rng.bits64 r);
+  check "draw 3" 0xb3300b9da09ef58fL (Rng.bits64 r);
+  check "draw 4" 0xec28dbaf22cac8bdL (Rng.bits64 r);
+  let c = Rng.split r in
+  check "child draw 1" 0x45f546d5c6a74029L (Rng.bits64 c);
+  check "child draw 2" 0x9d65b92950785430L (Rng.bits64 c);
+  check "parent after split" 0xba5446c3a7b9204bL (Rng.bits64 r)
+
+(* Parent and child streams after a split should look pairwise independent:
+   the sample correlation of matched uniform draws stays near zero. *)
+let test_rng_split_uncorrelated () =
+  let n = 100_000 in
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 and sxy = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.float a 1.0 and y = Rng.float b 1.0 in
+    sx := !sx +. x;
+    sy := !sy +. y;
+    sxx := !sxx +. (x *. x);
+    syy := !syy +. (y *. y);
+    sxy := !sxy +. (x *. y)
+  done;
+  let nf = Float.of_int n in
+  let cov = (!sxy /. nf) -. (!sx /. nf *. (!sy /. nf)) in
+  let var s2 s = (s2 /. nf) -. (s /. nf *. (s /. nf)) in
+  let corr = cov /. sqrt (var !sxx !sx *. var !syy !sy) in
+  Alcotest.(check bool)
+    (Printf.sprintf "correlation %.4f small" corr)
+    true
+    (Float.abs corr < 0.02)
+
 let test_rng_ranges () =
   let r = Rng.create 1 in
   for _ = 1 to 1000 do
@@ -522,6 +563,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "golden stream" `Quick test_rng_golden;
+          Alcotest.test_case "split uncorrelated" `Quick test_rng_split_uncorrelated;
           Alcotest.test_case "ranges" `Quick test_rng_ranges;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "chance" `Quick test_rng_chance;
