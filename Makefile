@@ -15,13 +15,15 @@ bench:
 # multicore path end to end. Writes the bench json to an untracked path so
 # `make check` never dirties the committed BENCH_engine.json baseline.
 bench-smoke:
-	dune exec bench/main.exe -- fig7a micro --jobs 2 --bench-out=_build/BENCH_engine.smoke.json
+	dune exec bench/main.exe -- fig7a micro macro --jobs 2 --bench-out=_build/BENCH_engine.smoke.json --bench-macro-out=_build/BENCH_macro.smoke.json
+	scripts/check_bench_floors.sh _build/BENCH_macro.smoke.json BENCH_macro.floors.json
 	@echo "bench-smoke: OK"
 
-# Refresh the committed BENCH_engine.json baseline (explicit, never part
-# of check).
+# Refresh the committed BENCH_engine.json and BENCH_macro.json baselines
+# (explicit, never part of check). --jobs 2 makes the macro baseline
+# record both single-domain and fanned-out rates.
 bench-baseline:
-	dune exec bench/main.exe -- micro
+	dune exec bench/main.exe -- micro macro --jobs 2
 
 # Simulation-testing gates. check-smoke is the fast always-green CI gate;
 # check-fuzz is the broad fault-injection sweep over every suite (base

@@ -26,6 +26,10 @@ let par_map f xs = Pool.map ~jobs:!jobs f xs
    routine `make check` runs never dirty the committed BENCH_engine.json. *)
 let bench_out = ref "BENCH_engine.json"
 
+(* Where the macro workload section writes its baseline
+   (--bench-macro-out=PATH); same smoke-test redirection story. *)
+let bench_macro_out = ref "BENCH_macro.json"
+
 (* Observability: --obs / --obs-trace=FILE / --critical-path, parsed and
    acted on by the shared Obs_flags helper (same flags as splay_cli). *)
 let obs_begin () = Obs_flags.arm ()

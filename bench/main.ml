@@ -29,6 +29,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig14", "Fig 14   cooperative web cache over time", Fig14.run);
     ("abl", "Ablations superset / leafset / proximity / stagger / vivaldi", Ablations.run);
     ("micro", "Micro    framework hot paths (Bechamel)", Micro.run);
+    ("macro", "Macro    message-plane workloads (Chord, epidemic, RPC)", Macro.run);
   ]
 
 let aliases = [ ("fig6b", "fig6a"); ("fig6", "fig6a"); ("fig7", "fig7a"); ("loc", "tab-loc") ]
@@ -55,23 +56,36 @@ let () =
     else None
   in
   (* --jobs N / --jobs=N: trial fan-out width for the experiments;
-     --bench-out=PATH: where micro writes its machine-readable baseline *)
+     --bench-out=PATH / --bench-macro-out=PATH: where micro and macro
+     write their machine-readable baselines. A bare or empty output flag
+     is an error — silently falling through to the committed default path
+     would overwrite the baseline the caller meant to redirect. *)
+  let out_path ~flag v =
+    match v with
+    | "" ->
+        Printf.eprintf "%s expects a path (%s=PATH)\n" flag flag;
+        exit 2
+    | path -> path
+  in
   let rec scan_flags = function
     | [] -> ()
     | [ "--jobs" ] -> ignore (jobs_of_string "--jobs" "" : int)
     | "--jobs" :: n :: rest ->
         Common.jobs := jobs_of_string "--jobs" n;
         scan_flags rest
+    | ("--bench-out" | "--bench-macro-out") :: _ ->
+        Printf.eprintf "output flags take inline values: --bench-out=PATH / --bench-macro-out=PATH\n";
+        exit 2
     | a :: rest ->
         (match value_of ~pfx:"--jobs=" a with
         | Some v -> Common.jobs := jobs_of_string "--jobs" v
         | None -> (
             match value_of ~pfx:"--bench-out=" a with
-            | Some "" ->
-                Printf.eprintf "--bench-out expects a path\n";
-                exit 2
-            | Some path -> Common.bench_out := path
-            | None -> ()));
+            | Some v -> Common.bench_out := out_path ~flag:"--bench-out" v
+            | None -> (
+                match value_of ~pfx:"--bench-macro-out=" a with
+                | Some v -> Common.bench_macro_out := out_path ~flag:"--bench-macro-out" v
+                | None -> ())));
         scan_flags rest
   in
   scan_flags args;

@@ -134,6 +134,26 @@ let spawn_suspend n () =
   ignore (Engine.run e);
   n * 9
 
+(* The same lifecycle ops over a small standing population: [spawn_suspend]
+   above round-robins tens of thousands of fibers, so at scale it measures
+   the memory system walking a working set far beyond L2 as much as the
+   scheduler; this variant keeps ~100 fibers live and is the cache-resident
+   cost of spawn/sleep/resume itself. *)
+let spawn_suspend_hot n () =
+  let e = Engine.create () in
+  let rounds = n / 100 in
+  for r = 1 to rounds do
+    for i = 1 to 100 do
+      ignore
+        (Engine.spawn e (fun () ->
+             for _ = 1 to 8 do
+               Engine.sleep (Float.of_int ((r + i) land 7))
+             done))
+    done;
+    ignore (Engine.run e)
+  done;
+  rounds * 100 * 9
+
 let time_workload (name, f) =
   let t0 = Unix.gettimeofday () in
   let ops = f () in
@@ -193,6 +213,7 @@ let run () =
         ("schedule_cancel_churn", sched_cancel churn);
         ("schedule_pop_chain", sched_pop chain);
         ("spawn_suspend", spawn_suspend procs);
+        ("spawn_suspend_hot", spawn_suspend_hot procs);
       ]
   in
   write_bench_json !Common.bench_out recorded

@@ -77,6 +77,12 @@ let set_host_up t id up = (Testbed.host t.tb id).Testbed.up <- up
 
 let base_rtt t a b = 2.0 *. Testbed.base_delay t.tb a b
 
+(* Hoisted out of [send] so a dropped (or delivered-then-dropped) message
+   costs a call, not a fresh closure per send. *)
+let count_drop t =
+  t.n_dropped <- t.n_dropped + 1;
+  Obs.incr c_drops
+
 (* Store-and-forward through sender uplink and receiver downlink queues:
    a transfer occupies the uplink for size/bw_up starting when the uplink
    frees, propagates, then occupies the downlink. This is what makes links
@@ -86,45 +92,44 @@ let send t ?(size = 256) ?loss ~src ~dst payload =
   t.n_bytes <- t.n_bytes + size;
   Obs.incr c_msgs;
   Obs.add c_obs_bytes size;
-  let drop () =
-    t.n_dropped <- t.n_dropped + 1;
-    Obs.incr c_drops
-  in
   let hs = Testbed.host t.tb src.Addr.host in
-  if (not hs.Testbed.up) || partitioned t src.Addr.host dst.Addr.host then drop ()
+  if (not hs.Testbed.up) || partitioned t src.Addr.host dst.Addr.host then count_drop t
   else begin
     let p = match loss with Some p -> p | None -> t.loss in
-    if p > 0.0 && Rng.chance t.net_rng p then drop ()
+    if p > 0.0 && Rng.chance t.net_rng p then count_drop t
     else begin
+      let traced = !Obs.enabled in
       let now = Engine.now t.eng in
       let sz = Float.of_int size in
       let tx_up = sz /. hs.Testbed.bw_up in
       let start_up = Float.max now hs.Testbed.up_busy in
       hs.Testbed.up_busy <- start_up +. tx_up;
-      let propagation = Testbed.delay t.tb src.Addr.host dst.Addr.host in
-      let arrival = start_up +. tx_up +. propagation in
       let hd = Testbed.host t.tb dst.Addr.host in
+      let propagation = Testbed.delay_h t.tb hs hd in
+      let arrival = start_up +. tx_up +. propagation in
       let tx_down = sz /. hd.Testbed.bw_down in
       let start_down = Float.max arrival hd.Testbed.down_busy in
       hd.Testbed.down_busy <- start_down +. tx_down;
-      let processing = Testbed.proc_cost t.tb dst.Addr.host in
+      let processing = Testbed.proc_cost_h hd in
       let deliver_at = start_down +. tx_down +. processing in
       (* delay-burst nemesis: a flat add-on past the bandwidth queues, so
          it slows delivery without occupying the links *)
       let deliver_at = if t.extra_delay > 0.0 then deliver_at +. t.extra_delay else deliver_at in
-      if !Obs.enabled then Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
+      if traced then Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
       (* The sender's trace context travels with the message (the
          wire-level counterpart of the RPC envelope's ctx field): delivery
          runs under it, so receiver-side spans join the sender's causal
-         trace for any payload, not just RPC. *)
-      let mctx = Obs.current () in
+         trace for any payload, not just RPC. With tracing off, skip both
+         the capture and the receiver-side restore — the context is pinned
+         to [null_ctx] then, so there is nothing to propagate. *)
+      let mctx = if traced then Obs.current () else Obs.null_ctx in
       ignore
         (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
-             Obs.set_current mctx;
-             if not hd.Testbed.up then drop ()
+             if traced then Obs.set_current mctx;
+             if not hd.Testbed.up then count_drop t
              else
                match AddrTbl.find_opt t.handlers dst with
-               | None -> drop ()
+               | None -> count_drop t
                | Some h -> h ~src payload))
     end
   end

@@ -168,10 +168,15 @@ let euclid (x1, y1) (x2, y2) =
   let dx = x1 -. x2 and dy = y1 -. y2 in
   sqrt ((dx *. dx) +. (dy *. dy))
 
-let base_delay t a b =
-  if a = b then 0.000_05
+(* Host-record variants ([*_h]) let callers that already hold the [host]
+   records (the network send path looks both endpoints up anyway for the
+   link queues) skip the repeated [t.all.(id)] loads. They are the
+   implementations; the id-keyed functions are wrappers, so both draw from
+   the same RNG streams in the same order. *)
+
+let base_delay_h t ha hb =
+  if ha.id = hb.id then 0.000_05
   else begin
-    let ha = t.all.(a) and hb = t.all.(b) in
     match (ha.kind, hb.kind) with
     | Planetlab, Planetlab -> 0.005 +. euclid ha.coord hb.coord
     | Modelnet, Modelnet -> (
@@ -193,18 +198,21 @@ let base_delay t a b =
     | Cluster, Modelnet | Modelnet, Cluster -> 0.002
   end
 
-let delay t a b =
-  let base = base_delay t a b in
-  let ha = t.all.(a) and hb = t.all.(b) in
+let base_delay t a b = base_delay_h t t.all.(a) t.all.(b)
+
+let delay_h t ha hb =
+  let base = base_delay_h t ha hb in
   if ha.kind = Planetlab || hb.kind = Planetlab then
     (* wide-area jitter: median ~5% of base, occasional 2-3x spikes *)
     base *. Rng.lognormal t.t_rng ~mu:0.0 ~sigma:0.25
   else base
 
+let delay t a b = delay_h t t.all.(a) t.all.(b)
+
 let service_delay t id =
   let h = t.all.(id) in
   Rng.exponential h.host_rng ~mean:(h.slowness *. h.service_mult)
 
-let proc_cost t id =
-  let h = t.all.(id) in
-  0.000_1 *. h.load_factor *. h.service_mult
+let proc_cost_h h = 0.000_1 *. h.load_factor *. h.service_mult
+
+let proc_cost t id = proc_cost_h t.all.(id)

@@ -61,6 +61,11 @@ val delay : t -> Addr.host_id -> Addr.host_id -> float
 (** One-way propagation delay for one message: {!base_delay} plus jitter
     (PlanetLab hosts only; emulated and LAN links are stable). *)
 
+val delay_h : t -> host -> host -> float
+(** {!delay} keyed by host records — the send path already holds both
+    endpoints for the link queues, so this skips the id lookups. Draws
+    from the same RNG stream in the same order as {!delay}. *)
+
 val service_delay : t -> Addr.host_id -> float
 (** Draw a host service time for a control-plane request (process fork,
     probe answer): exponential with the host's [slowness] mean, scaled by
@@ -69,3 +74,6 @@ val service_delay : t -> Addr.host_id -> float
 val proc_cost : t -> Addr.host_id -> float
 (** Per-message processing cost on this host for data-plane traffic:
     sub-millisecond, scaled by [load_factor] and [service_mult]. *)
+
+val proc_cost_h : host -> float
+(** {!proc_cost} keyed by the host record (no lookup, no RNG). *)

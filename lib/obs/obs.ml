@@ -154,8 +154,63 @@ let add_attrs b attrs =
     attrs
 
 (* All times are virtual seconds; fixed-point rendering keeps the trace
-   stable across printf implementations. *)
-let add_time s b = Buffer.add_string b (Printf.sprintf "%.6f" (s.clock ()))
+   stable across printf implementations.
+
+   The emitter runs once per span start/finish/event — the hottest write
+   in a traced run — so the common case avoids printf entirely and
+   produces exactly the bytes [%.6f] would. A finite positive double is
+   m * 2^(ex-53) with m a 53-bit integer (frexp), so
+
+     v * 10^6  =  m * 15625 / 2^(47-ex)
+
+   exactly. The product m * 15625 needs 67 bits and is carried in two
+   32-bit limbs; the shift rounds to nearest, ties to even, which is what
+   the libc formatter does with the exact binary value. Anything a
+   simulated clock never produces — negative (or -0.0), non-finite, v >=
+   1e12 (where the shift count would leave the two-limb range), or
+   0 < v < 1e-6 — falls back to printf. *)
+
+let micros_of_time v =
+  (* precondition: 1e-6 <= v < 1e12; then 7 <= s <= 66 *)
+  let f, ex = Float.frexp v in
+  let m = int_of_float (Float.ldexp f 53) in
+  let s = 47 - ex in
+  let mlo = m land 0xFFFFFFFF and mhi = m lsr 32 in
+  let plo = mlo * 15625 and phi = mhi * 15625 in
+  (* m * 15625 = hi * 2^32 + lo *)
+  let lo = plo land 0xFFFFFFFF and hi = phi + (plo lsr 32) in
+  if s <= 32 then begin
+    let q = (hi lsl (32 - s)) lor (lo lsr s) in
+    let r = lo land ((1 lsl s) - 1) in
+    let half = 1 lsl (s - 1) in
+    if r > half || (r = half && q land 1 = 1) then q + 1 else q
+  end
+  else begin
+    let sh = s - 32 in
+    let q = hi lsr sh in
+    let rhi = hi land ((1 lsl sh) - 1) in
+    let half_hi = 1 lsl (sh - 1) in
+    if rhi > half_hi || (rhi = half_hi && (lo > 0 || q land 1 = 1)) then q + 1
+    else q
+  end
+
+let add_time_value b v =
+  if v = 0.0 && not (Float.sign_bit v) then Buffer.add_string b "0.000000"
+  else if v >= 1e-6 && v < 1e12 then begin
+    let n = micros_of_time v in
+    let ip = n / 1_000_000 and fp = n mod 1_000_000 in
+    Buffer.add_string b (string_of_int ip);
+    Buffer.add_char b '.';
+    Buffer.add_char b (Char.unsafe_chr (Char.code '0' + fp / 100_000));
+    Buffer.add_char b (Char.unsafe_chr (Char.code '0' + fp / 10_000 mod 10));
+    Buffer.add_char b (Char.unsafe_chr (Char.code '0' + fp / 1_000 mod 10));
+    Buffer.add_char b (Char.unsafe_chr (Char.code '0' + fp / 100 mod 10));
+    Buffer.add_char b (Char.unsafe_chr (Char.code '0' + fp / 10 mod 10));
+    Buffer.add_char b (Char.unsafe_chr (Char.code '0' + fp mod 10))
+  end
+  else Buffer.add_string b (Printf.sprintf "%.6f" v)
+
+let add_time s b = add_time_value b (s.clock ())
 
 let span ?(attrs = []) ?parent name =
   if not !enabled then null_span
@@ -405,7 +460,10 @@ let dump_jsonl ~path () =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (trace_jsonl ());
+      (* stream the trace buffer straight to the channel — [trace_jsonl]
+         would first copy the whole run's trace into one string, doubling
+         peak memory for long runs *)
+      Buffer.output_buffer oc (st ()).buf;
       output_string oc (metrics_jsonl ()))
 
 let report () =

@@ -201,3 +201,9 @@ val json_string : string -> string
 (** Quote and escape a string exactly as the trace emitter does — for
     sibling emitters (the controller's log dump) that must stay
     parseable by the same toolkit. *)
+
+val add_time_value : Buffer.t -> float -> unit
+(** Append a timestamp formatted exactly as the trace emitter renders the
+    clock: the bytes of [Printf.sprintf "%.6f"], produced by fixed-point
+    integer emission on the common range. Exposed so tests can pin the
+    equivalence and so sibling emitters render times identically. *)

@@ -67,7 +67,48 @@ let encode v =
   write b v;
   Buffer.contents b
 
-let encoded_size v = String.length (encode v)
+(* Size by structural recursion, mirroring [write] production by
+   production — no intermediate string. RPC sizes every request and reply
+   (the network model charges by the byte), so this runs on the message
+   hot path; the old [String.length (encode v)] built and threw away the
+   full encoding each time. [Float] still formats: its repr length
+   (%.1f / %.17g with a shortest-round-trip tail) is not worth
+   reimplementing, and floats are rare in RPC payloads. *)
+
+let escaped_length s =
+  let n = ref 2 (* quotes *) in
+  String.iter
+    (fun c ->
+      n :=
+        !n
+        +
+        match c with
+        | '"' | '\\' | '\n' | '\r' | '\t' -> 2
+        | c when Char.code c < 0x20 -> 6 (* \uXXXX *)
+        | _ -> 1)
+    s;
+  !n
+
+let int_length i =
+  if i = min_int then String.length (string_of_int min_int)
+  else begin
+    let rec digits n = if n < 10 then 1 else 1 + digits (n / 10) in
+    if i < 0 then 1 + digits (-i) else digits i
+  end
+
+let rec encoded_size = function
+  | Null -> 4
+  | Bool true -> 4
+  | Bool false -> 5
+  | Int i -> int_length i
+  | Float f -> String.length (float_repr f)
+  | String s -> escaped_length s
+  | List vs ->
+      List.fold_left (fun acc v -> acc + 1 + encoded_size v) 1 vs
+      + if vs == [] then 1 else 0
+  | Assoc kvs ->
+      List.fold_left (fun acc (k, v) -> acc + 1 + escaped_length k + 1 + encoded_size v) 1 kvs
+      + if kvs == [] then 1 else 0
 
 (* {2 Parser} *)
 

@@ -9,13 +9,14 @@ type t = {
   log : Log.t;
   env_rng : Splay_sim.Rng.t;
   mutable procs : Engine.proc list;
+  mutable procs_len : int;
   mutable ports : Addr.t list;
   mutable loss_rate : float;
   mutable stopped : bool;
   mutable stop_hooks : (unit -> unit) list;
   rpc_pending : (int, (Codec.value, string) result -> unit) Hashtbl.t;
   mutable rpc_next_rid : int;
-  mutable rpc_handlers : (string * (Codec.value list -> Codec.value)) list;
+  rpc_handlers : (string, Codec.value list -> Codec.value) Hashtbl.t;
   mutable rpc_bound : bool;
   mutable rpc_rng : Splay_sim.Rng.t option;
 }
@@ -32,6 +33,7 @@ let stop t =
     let eng = engine t in
     let procs = t.procs in
     t.procs <- [];
+    t.procs_len <- 0;
     (* Kill own process last: self-kill raises and unwinds the caller. *)
     let self = try Some (Engine.self ()) with Effect.Unhandled _ -> None in
     let self_in_list =
@@ -62,13 +64,14 @@ let create ?(position = 1) ?(nodes = []) ?limits ?(log_level = Log.Info) net ~me
       log;
       env_rng = Splay_sim.Rng.split (Engine.rng (Net.engine net));
       procs = [];
+      procs_len = 0;
       ports = [];
       loss_rate = 0.0;
       stopped = false;
       stop_hooks = [];
       rpc_pending = Hashtbl.create 16;
       rpc_next_rid = 0;
-      rpc_handlers = [];
+      rpc_handlers = Hashtbl.create 16;
       rpc_bound = false;
       rpc_rng = None;
     }
@@ -82,8 +85,14 @@ let thread t ?name f =
   if t.stopped then invalid_arg "Env.thread: instance stopped";
   let p = Engine.spawn ?name (engine t) f in
   t.procs <- p :: t.procs;
-  (* prune dead processes opportunistically to keep the list short *)
-  if List.length t.procs mod 32 = 0 then t.procs <- List.filter Engine.alive t.procs;
+  t.procs_len <- t.procs_len + 1;
+  (* Prune dead processes opportunistically to keep the list short. The
+     counter tracks the list length so each spawn stays O(1); the filter
+     itself amortizes because it only runs every 32 spawns. *)
+  if t.procs_len land 31 = 0 then begin
+    t.procs <- List.filter Engine.alive t.procs;
+    t.procs_len <- List.length t.procs
+  end;
   p
 
 let periodic t interval f =

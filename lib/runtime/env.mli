@@ -16,6 +16,7 @@ type t = {
   log : Log.t;
   env_rng : Splay_sim.Rng.t;
   mutable procs : Splay_sim.Engine.proc list;
+  mutable procs_len : int; (* tracked length of [procs], for O(1) spawn *)
   mutable ports : Addr.t list;
   mutable loss_rate : float;
       (** proportion of this instance's outgoing packets dropped by the
@@ -26,7 +27,9 @@ type t = {
   (* RPC plumbing (owned here so client and server share the endpoint) *)
   rpc_pending : (int, (Codec.value, string) result -> unit) Hashtbl.t;
   mutable rpc_next_rid : int;
-  mutable rpc_handlers : (string * (Codec.value list -> Codec.value)) list;
+  rpc_handlers : (string, Codec.value list -> Codec.value) Hashtbl.t;
+      (** procedure name -> handler; {!Rpc.add_handler} replaces on
+          re-registration (last registration wins) *)
   mutable rpc_bound : bool;
   mutable rpc_rng : Splay_sim.Rng.t option; (* lazy; use {!rpc_rng} *)
 }

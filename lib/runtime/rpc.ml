@@ -44,8 +44,10 @@ let reply_size = function
   | Ok v -> 32 + Codec.encoded_size v
   | Error m -> 32 + String.length m
 
-let add_handler env name h =
-  env.Env.rpc_handlers <- (name, h) :: List.remove_assoc name env.Env.rpc_handlers
+(* Last registration wins: [Hashtbl.replace] drops any previous binding
+   for [name], so a handler can be re-registered (e.g. on reconfiguration)
+   without leaking the old one or shadowing it non-deterministically. *)
+let add_handler env name h = Hashtbl.replace env.Env.rpc_handlers name h
 
 let send_reply env ~dst rid result =
   try Sb_socket.send env ~dst ~size:(reply_size result) (Reply { rid; result })
@@ -54,8 +56,12 @@ let send_reply env ~dst rid result =
 let dispatch env ~src payload =
   match payload with
   | Request { rid; proc; args; ctx } ->
+      (* The fiber name only surfaces in traces and crash reports; skip the
+         per-request string concat when tracing is off (the engine names
+         anonymous procs lazily, so passing [None] allocates nothing). *)
+      let name = if !Obs.enabled then Some ("rpc:" ^ proc) else None in
       ignore
-        (Env.thread env ~name:("rpc:" ^ proc) (fun () ->
+        (Env.thread env ?name (fun () ->
              let eng = Env.engine env in
              let t0 = Engine.now eng in
              let sp =
@@ -66,7 +72,7 @@ let dispatch env ~src payload =
                else Obs.null_span
              in
              let result =
-               match List.assoc_opt proc env.Env.rpc_handlers with
+               match Hashtbl.find_opt env.Env.rpc_handlers proc with
                | None -> Error (Printf.sprintf "unknown procedure %S" proc)
                | Some h -> (
                    try Ok (h args) with

@@ -12,14 +12,20 @@
    unique [seq] values, so the key order is total and the pop sequence is
    exactly sorted order — FIFO among entries that share [at]. *)
 
+(* Single-field float record: flat representation, so mutating [v] writes
+   an unboxed double in place (a plain mutable float field of the mixed
+   record below would be boxed and re-boxed on every store). *)
+type fcell = { mutable v : float }
+
 type 'a t = {
   mutable ats : float array;
   mutable seqs : int array;
   mutable data : 'a array;
   mutable size : int;
+  popped_at : fcell;
 }
 
-let create () = { ats = [||]; seqs = [||]; data = [||]; size = 0 }
+let create () = { ats = [||]; seqs = [||]; data = [||]; size = 0; popped_at = { v = nan } }
 
 let size t = t.size
 let is_empty t = t.size = 0
@@ -95,23 +101,28 @@ let min_at t = if t.size = 0 then infinity else t.ats.(0)
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    let n = t.size - 1 in
-    t.size <- n;
-    if n > 0 then begin
-      let at = t.ats.(n) and seq = t.seqs.(n) and x = t.data.(n) in
-      sift_down t 0 ~at ~seq x;
-      (* sift_down left live elements in [0, n); parking a duplicate of
-         the new root in the vacated slot keeps the popped payload from
-         staying reachable through the array. (When the heap empties,
-         slot 0 retains the last payload until the next push.) *)
-      t.data.(n) <- t.data.(0)
-    end;
-    Some top
-  end
+let popped_at t = t.popped_at.v
+
+(* precondition: t.size > 0 *)
+let pop_nonempty t =
+  let top = t.data.(0) in
+  t.popped_at.v <- t.ats.(0);
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let at = t.ats.(n) and seq = t.seqs.(n) and x = t.data.(n) in
+    sift_down t 0 ~at ~seq x;
+    (* sift_down left live elements in [0, n); parking a duplicate of
+       the new root in the vacated slot keeps the popped payload from
+       staying reachable through the array. (When the heap empties,
+       slot 0 retains the last payload until the next push.) *)
+    t.data.(n) <- t.data.(0)
+  end;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_nonempty t)
+let pop_or t dflt = if t.size = 0 then dflt else pop_nonempty t
+let top_or t dflt = if t.size = 0 then dflt else t.data.(0)
 
 let filter_in_place t pred =
   let j = ref 0 in

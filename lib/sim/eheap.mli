@@ -37,6 +37,20 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a option
 (** Remove and return the payload of the minimum entry. *)
 
+val pop_or : 'a t -> 'a -> 'a
+(** [pop_or t dflt] removes and returns the payload of the minimum entry,
+    or returns [dflt] when empty. Allocation-free alternative to {!pop}
+    for hot loops with a natural sentinel payload. *)
+
+val top_or : 'a t -> 'a -> 'a
+(** Payload of the minimum entry without removing it, or [dflt] when
+    empty — allocation-free alternative to {!peek}. *)
+
+val popped_at : 'a t -> float
+(** The [at] key of the last entry removed by {!pop} ([nan] before the
+    first pop). Lets callers keep keys out of their payloads: the engine's
+    event records carry no [at] field and read the clock value from here. *)
+
 val filter_in_place : 'a t -> ('a -> bool) -> unit
 (** Drop every entry whose payload fails the predicate, then re-heapify
     (O(n)). The engine uses this to compact cancelled events out of the

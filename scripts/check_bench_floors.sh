@@ -1,0 +1,54 @@
+#!/bin/sh
+# CI floor guard for the macro benchmark: fail if any workload in a
+# BENCH_macro.json dropped below its committed floor, or if a floored
+# workload is missing from the output entirely. Floors are deliberately
+# conservative (an order of magnitude under healthy numbers) — the guard
+# catches collapses, not noise.
+#
+# Usage: scripts/check_bench_floors.sh BENCH_macro.json BENCH_macro.floors.json
+set -eu
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 BENCH_macro.json BENCH_macro.floors.json" >&2
+  exit 2
+fi
+bench=$1
+floors=$2
+for f in "$bench" "$floors"; do
+  if [ ! -f "$f" ]; then
+    echo "check_bench_floors: no such file: $f" >&2
+    exit 2
+  fi
+done
+
+# Both files keep one workload per line ({"name": ..., "ops_per_sec": ...}),
+# so a line-oriented awk pass is enough — no JSON parser dependency.
+awk -v FS='"' '
+  FNR == NR {
+    if ($2 == "name" && match($0, /"floor_ops_per_sec": */)) {
+      floor[$4] = substr($0, RSTART + RLENGTH) + 0
+    }
+    next
+  }
+  $2 == "name" && match($0, /"ops_per_sec": */) {
+    name = $4
+    rate = substr($0, RSTART + RLENGTH) + 0
+    if (name in floor) {
+      seen[name] = 1
+      if (rate < floor[name]) {
+        printf "FLOOR VIOLATION: %s ran at %.0f ops/s, floor is %.0f\n", name, rate, floor[name]
+        bad = 1
+      } else {
+        printf "floor ok: %-18s %12.0f ops/s (floor %.0f)\n", name, rate, floor[name]
+      }
+    }
+  }
+  END {
+    for (n in floor)
+      if (!(n in seen)) {
+        printf "FLOOR VIOLATION: workload %s missing from bench output\n", n
+        bad = 1
+      }
+    exit bad
+  }
+' "$floors" "$bench"

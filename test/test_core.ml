@@ -187,9 +187,42 @@ let test_crcp_slower_on_thin_links () =
     (Printf.sprintf "crcp finishes later (%.1f s vs %.1f s)" crcp_t splay_t)
     true (crcp_t > splay_t)
 
+(* {2 Bench harness CLI} *)
+
+(* The bench output flags must fail loudly on a bare or empty value —
+   silently keeping the default would overwrite the committed baseline the
+   caller meant to redirect. The exe is a declared test dep; flag errors
+   exit before any experiment runs, so these are fast. *)
+let bench_exe () =
+  let local = "../bench/main.exe" in
+  if Sys.file_exists local then Some local else None
+
+let test_bench_out_flag_errors () =
+  match bench_exe () with
+  | None -> () (* run outside the dune sandbox; nothing to exercise *)
+  | Some exe ->
+      let run args = Sys.command (Filename.quote_command exe args ~stdout:Filename.null ~stderr:Filename.null) in
+      List.iter
+        (fun args ->
+          Alcotest.(check int)
+            (String.concat " " ("exit 2 for" :: args))
+            2 (run args))
+        [
+          [ "--bench-out=" ];
+          [ "--bench-out" ];
+          [ "--bench-macro-out=" ];
+          [ "--bench-macro-out" ];
+          [ "--bench-out"; "somewhere.json" ];
+        ];
+      (* a well-formed output flag still reaches normal argument handling *)
+      Alcotest.(check int) "exit 0 for valid flag + --list" 0
+        (run [ "--bench-out=_bench_flag_test.json"; "--list" ])
+
 let () =
   Alcotest.run "splay_core"
     [
+      ( "bench-cli",
+        [ Alcotest.test_case "bench-out flag errors" `Quick test_bench_out_flag_errors ] );
       ( "platform",
         [
           Alcotest.test_case "specs" `Quick test_platform_specs;

@@ -140,6 +140,63 @@ let test_golden_trace () =
       Alcotest.(check bool) "golden metrics are byte-identical" true
         (read_file (golden_metrics ()) = metrics)
 
+(* The untraced fast path (recycled timer records, ring scheduling, no
+   span emission) and the traced path share engine state. Running a whole
+   deployment untraced first, then the traced golden run in the same
+   process, pins that the fast path leaves no residue — warm caches,
+   registry growth, DLS state — that could perturb a later traced run. *)
+let test_golden_after_untraced_run () =
+  ignore (run_chord_deployment ~seed:7);
+  let trace, metrics =
+    with_obs (fun () ->
+        ignore (run_chord_deployment ~seed:7);
+        (Obs.trace_jsonl (), Obs.metrics_jsonl ()))
+  in
+  if Sys.getenv_opt "SPLAY_GOLDEN_DIR" = None then begin
+    Alcotest.(check bool) "golden trace identical after untraced warm-up" true
+      (read_file (golden_trace ()) = trace);
+    Alcotest.(check bool) "golden metrics identical after untraced warm-up" true
+      (read_file (golden_metrics ()) = metrics)
+  end
+
+(* {2 Timestamp formatter} *)
+
+(* The trace writer renders the clock by fixed-point integer emission;
+   the contract is byte-equality with [Printf.sprintf "%.6f"]. Exercise
+   the exact-tie cases (odd multiples of 2^-7 scale to ....5 microseconds,
+   where round-half-even bites), the fallback ranges, and a seeded random
+   sweep across the magnitudes a simulated clock visits. *)
+let test_time_format_matches_printf () =
+  let check v =
+    let b = Buffer.create 32 in
+    Obs.add_time_value b v;
+    Alcotest.(check string)
+      (Printf.sprintf "format of %h" v)
+      (Printf.sprintf "%.6f" v) (Buffer.contents b)
+  in
+  check 0.0;
+  List.iter check [ 1e-6; 0.1; 1.0; 40.0; 10_000.0; 123_456.789_012; 1e11 ];
+  (* exact ties for round-half-even *)
+  for i = 0 to 100 do
+    check (Float.of_int ((2 * i) + 1) *. 0.0078125)
+  done;
+  (* fallback paths: negative zero, negative, tiny, huge, non-finite *)
+  List.iter check [ -0.0; -1.5; 1e-7; 9e-7; 1e12; 5e13; infinity; neg_infinity ];
+  (* powers of two sweep the full shift range of the fast path *)
+  let p = ref 1e-6 in
+  while !p < 1e12 do
+    check !p;
+    check (Float.pred !p);
+    check (Float.succ !p);
+    check (!p *. 1.5);
+    p := !p *. 2.0
+  done;
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to 20_000 do
+    let mag = 10.0 ** Float.of_int (Random.State.int st 18 - 6) in
+    check (Random.State.float st mag)
+  done
+
 (* {2 Cross-node causality} *)
 
 (* A 3-hop forwarding chain A -> B -> C -> D: each serve span must be a
@@ -467,6 +524,8 @@ let () =
         [
           Alcotest.test_case "deterministic trace" `Quick test_trace_deterministic;
           Alcotest.test_case "golden trace unchanged" `Quick test_golden_trace;
+          Alcotest.test_case "golden after untraced run" `Quick test_golden_after_untraced_run;
+          Alcotest.test_case "time format matches printf" `Quick test_time_format_matches_printf;
           Alcotest.test_case "cross-node linkage" `Quick test_cross_node_linkage;
           Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
         ] );

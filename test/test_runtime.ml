@@ -605,6 +605,24 @@ let test_rpc_concurrent_calls () =
       (* handlers ran concurrently: total time ~1s, not 4s *)
       Alcotest.(check bool) "concurrent handlers" true (Engine.now eng < 2.0))
 
+let test_rpc_reregistration_last_wins () =
+  with_cluster (fun eng net ->
+      let server_env = mk_env net 0 in
+      let client_env = mk_env net 1 in
+      Rpc.server server_env [ ("ver", fun _ -> Codec.Int 1) ];
+      (* re-registering the same procedure replaces the handler: the later
+         binding wins and the older one is gone, not shadowed *)
+      Rpc.server server_env [ ("ver", fun _ -> Codec.Int 2) ];
+      Rpc.add_handler server_env "ver" (fun _ -> Codec.Int 3);
+      let got = ref 0 in
+      ignore
+        (Env.thread client_env (fun () ->
+             got := Codec.to_int (Rpc.call client_env server_env.Env.me "ver" [])));
+      ignore (Engine.run eng);
+      Alcotest.(check int) "last registration wins" 3 !got;
+      Alcotest.(check int) "single binding, not a shadow stack" 1
+        (List.length (Hashtbl.find_all server_env.Env.rpc_handlers "ver")))
+
 let test_message_loss_forces_timeout () =
   with_cluster (fun eng net ->
       Net.set_loss net 1.0;
@@ -687,14 +705,35 @@ let test_misc_take_and_duration () =
   Alcotest.(check string) "hours" "1h01m" (Misc.duration_to_string 3660.0)
 
 let test_codec_encoded_size () =
-  let v = Codec.Assoc [ ("k", Codec.List [ Codec.Int 1; Codec.Null ]) ] in
-  Alcotest.(check int) "encoded_size = length of encode"
-    (String.length (Codec.encode v))
-    (Codec.encoded_size v)
+  let check_sz name v =
+    Alcotest.(check int) name (String.length (Codec.encode v)) (Codec.encoded_size v)
+  in
+  check_sz "nested" (Codec.Assoc [ ("k", Codec.List [ Codec.Int 1; Codec.Null ]) ]);
+  check_sz "empty list" (Codec.List []);
+  check_sz "empty object" (Codec.Assoc []);
+  check_sz "min_int" (Codec.Int min_int);
+  check_sz "max_int" (Codec.Int max_int);
+  check_sz "negative" (Codec.Int (-7));
+  check_sz "control chars" (Codec.String "a\x01\"\\\n\r\tz");
+  check_sz "float integral" (Codec.Float 3.0);
+  check_sz "float fraction" (Codec.Float 0.1)
+
+(* The structural-recursion [encoded_size] must agree with the writer for
+   every value shape — it is used to charge network byte costs, so a drift
+   would silently skew every simulated message size. *)
+let prop_encoded_size =
+  QCheck.Test.make ~name:"encoded_size v = length (encode v)" ~count:500
+    (QCheck.make ~print:(fun v -> Codec.encode v) value_gen)
+    (fun v -> Codec.encoded_size v = String.length (Codec.encode v))
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_between_exclusive_split; prop_codec_roundtrip; prop_framing_roundtrip ]
+    [
+      prop_between_exclusive_split;
+      prop_codec_roundtrip;
+      prop_framing_roundtrip;
+      prop_encoded_size;
+    ]
 
 
 
@@ -936,6 +975,7 @@ let () =
           Alcotest.test_case "blocking handler" `Quick test_rpc_blocking_handler;
           Alcotest.test_case "blacklist" `Quick test_rpc_blacklist;
           Alcotest.test_case "concurrent calls" `Quick test_rpc_concurrent_calls;
+          Alcotest.test_case "re-registration last wins" `Quick test_rpc_reregistration_last_wins;
           Alcotest.test_case "loss forces timeout" `Quick test_message_loss_forces_timeout;
         ] );
       ( "log",

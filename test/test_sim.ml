@@ -342,6 +342,85 @@ let test_proc_self_kill () =
   Alcotest.(check bool) "nothing after self-kill" false !after;
   Alcotest.(check int) "not a crash" 0 (List.length (Engine.crashed e))
 
+(* The untraced engine recycles a proc's timer event record across
+   consecutive sleeps. Kill a proc whose record has been recycled several
+   times while its timer is pending: cleanup must run, the tombstoned
+   record must not resurrect, and an unrelated proc must be unaffected. *)
+let test_proc_kill_recycled_timer () =
+  let e = Engine.create () in
+  let cleaned = ref false and finished = ref false and other = ref 0 in
+  let p =
+    Engine.spawn e (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () ->
+            (* several sleeps so the timer record is a recycled one *)
+            for _ = 1 to 5 do
+              Engine.sleep 0.5
+            done;
+            Engine.sleep 10.0;
+            finished := true))
+  in
+  ignore (Engine.spawn e (fun () -> for _ = 1 to 8 do Engine.sleep 1.0; incr other done));
+  ignore (Engine.schedule e ~delay:4.0 (fun () -> Engine.kill e p));
+  ignore (Engine.run e);
+  Alcotest.(check bool) "cleanup ran" true !cleaned;
+  Alcotest.(check bool) "body did not finish" false !finished;
+  Alcotest.(check bool) "dead" false (Engine.alive p);
+  Alcotest.(check int) "other proc unaffected" 8 !other;
+  check_float "ran to other proc's end" 8.0 (Engine.now e);
+  Alcotest.(check (list reject)) "no crash" [] (List.map snd (Engine.crashed e))
+
+(* Kill landing in the window between a sleep timer firing and the
+   same-instant resume running: the timer (scheduled at spawn time) fires
+   at t=1 and queues the resume; the kill event carries a sequence number
+   between the two, so it runs while the proc is resume-pending. The
+   pending resume must then be a no-op, not a resurrection. *)
+let test_proc_kill_resume_pending () =
+  let e = Engine.create () in
+  let cleaned = ref false and finished = ref false in
+  let p =
+    Engine.spawn e (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () ->
+            Engine.sleep 1.0;
+            finished := true))
+  in
+  (* the helper's start event runs after [p] has begun its sleep, so this
+     kill event's sequence number sits between p's timer and the resume
+     the timer will enqueue — at t=1 the timer fires first, then the kill,
+     then the orphaned resume *)
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore (Engine.schedule e ~delay:1.0 (fun () -> Engine.kill e p))));
+  ignore (Engine.run e);
+  Alcotest.(check bool) "cleanup ran" true !cleaned;
+  Alcotest.(check bool) "body did not finish" false !finished;
+  Alcotest.(check bool) "dead" false (Engine.alive p);
+  Alcotest.(check (list reject)) "no crash" [] (List.map snd (Engine.crashed e))
+
+(* Zero-length sleeps take the same-instant ring; several procs looping on
+   them must keep strict FIFO interleaving even as each proc's recycled
+   record re-enters the ring every iteration. *)
+let test_proc_sleep_zero_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for id = 0 to 2 do
+    ignore
+      (Engine.spawn e (fun () ->
+           for round = 0 to 3 do
+             Engine.sleep 0.0;
+             log := (id, round) :: !log
+           done))
+  done;
+  ignore (Engine.run e);
+  let expect =
+    List.concat_map (fun round -> List.map (fun id -> (id, round)) [ 0; 1; 2 ]) [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list (pair int int))) "round-robin FIFO" expect (List.rev !log);
+  check_float "no time passed" 0.0 (Engine.now e)
+
 let test_proc_exit_hooks_order () =
   let e = Engine.create () in
   let log = ref [] in
@@ -588,6 +667,9 @@ let () =
           Alcotest.test_case "sleep" `Quick test_proc_sleep;
           Alcotest.test_case "concurrent" `Quick test_proc_concurrent;
           Alcotest.test_case "kill while sleeping" `Quick test_proc_kill_while_sleeping;
+          Alcotest.test_case "kill recycled timer" `Quick test_proc_kill_recycled_timer;
+          Alcotest.test_case "kill resume pending" `Quick test_proc_kill_resume_pending;
+          Alcotest.test_case "sleep zero fifo" `Quick test_proc_sleep_zero_fifo;
           Alcotest.test_case "kill before start" `Quick test_proc_kill_before_start;
           Alcotest.test_case "self kill" `Quick test_proc_self_kill;
           Alcotest.test_case "exit hooks order" `Quick test_proc_exit_hooks_order;
