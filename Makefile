@@ -2,7 +2,7 @@ all:
 	dune build @all
 
 check:
-	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) check-smoke
+	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) check-smoke
 
 test:
 	dune runtest
@@ -18,6 +18,16 @@ bench-smoke:
 	dune exec bench/main.exe -- fig7a micro macro --jobs 2 --bench-out=_build/BENCH_engine.smoke.json --bench-macro-out=_build/BENCH_macro.smoke.json
 	scripts/check_bench_floors.sh _build/BENCH_macro.smoke.json BENCH_macro.floors.json
 	@echo "bench-smoke: OK"
+
+# Scale smoke test: the 10k-node single-run workloads (quick scale covers
+# 1k and 10k), guarded by ops/sec floors AND resident-words-per-node
+# ceilings — a footprint regression that would push the million-node run
+# out of memory budget trips here, long before anyone runs a million
+# nodes. Same untracked-output story as bench-smoke.
+bench-scale-smoke:
+	dune exec bench/main.exe -- scale --bench-scale-out=_build/BENCH_scale.smoke.json
+	scripts/check_bench_floors.sh _build/BENCH_scale.smoke.json BENCH_scale.floors.json
+	@echo "bench-scale-smoke: OK"
 
 # Refresh the committed BENCH_engine.json and BENCH_macro.json baselines
 # (explicit, never part of check). --jobs 2 makes the macro baseline
@@ -46,4 +56,4 @@ trace-demo:
 	  | tee /dev/stderr | grep -q "rpc\."
 	@echo "trace-demo: OK (critical path extracted)"
 
-.PHONY: all check test bench bench-smoke bench-baseline trace-demo check-smoke check-fuzz
+.PHONY: all check test bench bench-smoke bench-scale-smoke bench-baseline trace-demo check-smoke check-fuzz

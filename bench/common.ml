@@ -30,6 +30,10 @@ let bench_out = ref "BENCH_engine.json"
    (--bench-macro-out=PATH); same smoke-test redirection story. *)
 let bench_macro_out = ref "BENCH_macro.json"
 
+(* Where the scale workload section writes its node-count curve
+   (--bench-scale-out=PATH); same smoke-test redirection story. *)
+let bench_scale_out = ref "BENCH_scale.json"
+
 (* Observability: --obs / --obs-trace=FILE / --critical-path, parsed and
    acted on by the shared Obs_flags helper (same flags as splay_cli). *)
 let obs_begin () = Obs_flags.arm ()
@@ -75,9 +79,12 @@ let wait_convergence ~n ~join_delay ~rounds ~interval =
   Env.sleep ((Float.of_int n *. join_delay) +. (Float.of_int rounds *. interval))
 
 (* Issue [count] random lookups from random live origins, collecting
-   delays (seconds), hop counts, and failures. *)
-let measure_pastry_lookups ~rng ~keyspace ~count nodes =
-  let delays = Dist.create () and hops = Dist.create () in
+   delays (seconds), hop counts, and failures into streaming sinks.
+   [mk_sink] picks the storage policy: figure runs keep the default exact
+   backend (a few thousand samples), large-scale runs pass
+   [Sink.sketch ~seed] to stay in bounded memory. *)
+let measure_pastry_lookups ?(mk_sink = fun () -> Sink.exact ()) ~rng ~keyspace ~count nodes =
+  let delays = mk_sink () and hops = mk_sink () in
   let failures = ref 0 in
   let eng = Engine.engine () in
   let live () = List.filter (fun x -> not (Apps.Pastry.is_stopped x)) nodes in
@@ -90,8 +97,8 @@ let measure_pastry_lookups ~rng ~keyspace ~count nodes =
         let t0 = Engine.now eng in
         match Apps.Pastry.lookup origin key with
         | Some (_, h) ->
-            Dist.add delays (Engine.now eng -. t0);
-            Dist.add hops (Float.of_int h)
+            Sink.add delays (Engine.now eng -. t0);
+            Sink.add hops (Float.of_int h)
         | None -> incr failures)
   done;
   (delays, hops, !failures)
@@ -103,6 +110,14 @@ let pct_cells d =
   if Dist.is_empty d then List.map (fun _ -> "-") pcts
   else List.map (fun p -> Report.float_cell ~decimals:4 (Dist.percentile d p)) pcts
 
+let pct_cells_sink s = Report.sink_pct_cells ~decimals:4 s pcts
+
 let ms v = Report.float_cell ~decimals:1 (1000.0 *. v)
+
+(* Compact node-count tag for workload names: 1000 -> "1k", 1000000 -> "1m". *)
+let size_tag n =
+  if n >= 1_000_000 && n mod 1_000_000 = 0 then Printf.sprintf "%dm" (n / 1_000_000)
+  else if n >= 1_000 && n mod 1_000 = 0 then Printf.sprintf "%dk" (n / 1_000)
+  else string_of_int n
 
 let shape_check name ok = Printf.printf "  [shape %s] %s\n" (if ok then "OK" else "MISS") name

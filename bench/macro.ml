@@ -77,7 +77,7 @@ let epidemic_trial ~n ~rumors seed =
         (Controller.deploy ctl ~name:"epidemic"
            ~main:
              (Apps.Epidemic.app
-                ~config:{ Apps.Epidemic.fanout = 6; rpc_timeout = 5.0 }
+                ~config:{ Apps.Epidemic.fanout = 6; rpc_timeout = 5.0; oneway = false }
                 ~register:(fun c -> nodes := c :: !nodes))
            (Descriptor.make ~bootstrap:(Descriptor.Random_subset 12) n));
       Env.sleep 5.0;

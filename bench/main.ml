@@ -30,6 +30,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("abl", "Ablations superset / leafset / proximity / stagger / vivaldi", Ablations.run);
     ("micro", "Micro    framework hot paths (Bechamel)", Micro.run);
     ("macro", "Macro    message-plane workloads (Chord, epidemic, RPC)", Macro.run);
+    ("scale", "Scale    single-run node-count curve (epidemic flood, Chord lookups)", Scale.run);
   ]
 
 let aliases = [ ("fig6b", "fig6a"); ("fig6", "fig6a"); ("fig7", "fig7a"); ("loc", "tab-loc") ]
@@ -73,8 +74,9 @@ let () =
     | "--jobs" :: n :: rest ->
         Common.jobs := jobs_of_string "--jobs" n;
         scan_flags rest
-    | ("--bench-out" | "--bench-macro-out") :: _ ->
-        Printf.eprintf "output flags take inline values: --bench-out=PATH / --bench-macro-out=PATH\n";
+    | ("--bench-out" | "--bench-macro-out" | "--bench-scale-out") :: _ ->
+        Printf.eprintf
+          "output flags take inline values: --bench-out=PATH / --bench-macro-out=PATH / --bench-scale-out=PATH\n";
         exit 2
     | a :: rest ->
         (match value_of ~pfx:"--jobs=" a with
@@ -85,7 +87,10 @@ let () =
             | None -> (
                 match value_of ~pfx:"--bench-macro-out=" a with
                 | Some v -> Common.bench_macro_out := out_path ~flag:"--bench-macro-out" v
-                | None -> ())));
+                | None -> (
+                    match value_of ~pfx:"--bench-scale-out=" a with
+                    | Some v -> Common.bench_scale_out := out_path ~flag:"--bench-scale-out" v
+                    | None -> ()))));
         scan_flags rest
   in
   scan_flags args;

@@ -119,6 +119,22 @@ let check_predecessor t =
 
 let default_config_ref = default_config
 
+(* The node's RPC surface, shared by the join-based [app] and the
+   warm-start [assemble]: lookups route identically however the ring came
+   to exist. *)
+let serve t =
+  Rpc.server t.env
+    [
+      ("find_successor", handle_find_successor t);
+      ("predecessor", fun _ -> Node.opt_to_value t.predecessor);
+      ( "notify",
+        fun args ->
+          (match args with
+          | [ n ] -> notify t (Node.of_value n)
+          | _ -> failwith "notify: bad arguments");
+          Codec.Null );
+    ]
+
 let app ?(config = default_config_ref) ~register env =
   let self = Node.self ~how:config.id_assignment ~bits:config.m env in
   let t =
@@ -132,17 +148,7 @@ let app ?(config = default_config_ref) ~register env =
     }
   in
   register t;
-  Rpc.server env
-    [
-      ("find_successor", handle_find_successor t);
-      ("predecessor", fun _ -> Node.opt_to_value t.predecessor);
-      ( "notify",
-        fun args ->
-          (match args with
-          | [ n ] -> notify t (Node.of_value n)
-          | _ -> failwith "notify: bad arguments");
-          Codec.Null );
-    ];
+  serve t;
   (* protect the periodic state updates against crashing the instance when
      a peer disappears mid-call: base Chord simply retries next period *)
   let guarded f () = try f t with Rpc.Rpc_error _ -> () in
@@ -158,6 +164,50 @@ let app ?(config = default_config_ref) ~register env =
       (* create(): the first node is its own successor, so stabilization
          can splice later arrivals in (the paper's finger[1] = n) *)
       t.finger.(0) <- Some t.self
+
+(* Warm start: construct the converged ring state directly instead of
+   running staggered joins plus stabilization rounds. With [n] nodes the
+   join protocol needs O(n) serialized joins and O(n * m) stabilizer
+   firings before fingers are correct — at 100k nodes that is an
+   infeasible event count, and it tests convergence, not routing. Here
+   every pointer is computed from the full membership: predecessor and
+   successor are the ring neighbours, finger k is the first node at or
+   after self.id + 2^k (binary search), exactly the fixed point
+   stabilize/fix_fingers converge to. No periodic processes are started —
+   the ring is already at the fixed point, and 3 periodics per node is
+   the difference between a 100k-node run fitting its event budget or
+   not. *)
+let assemble ?(config = default_config_ref) ~register ~ring ~index env =
+  let n = Array.length ring in
+  if n = 0 then invalid_arg "Chord.assemble: empty ring";
+  if index < 0 || index >= n then invalid_arg "Chord.assemble: index out of range";
+  let md = Misc.pow2 config.m in
+  (* first node at or after [key] on the ring, wrapping past the top *)
+  let succ_of key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ring.(mid).Node.id < key then lo := mid + 1 else hi := mid
+    done;
+    if !lo = n then ring.(0) else ring.(!lo)
+  in
+  let self = ring.(index) in
+  let finger =
+    Array.init config.m (fun k ->
+        Some (succ_of (Misc.ring_add self.Node.id (Misc.pow2 k) ~modulus:md)))
+  in
+  let t =
+    {
+      cfg = config;
+      env;
+      self;
+      predecessor = Some ring.((index + n - 1) mod n);
+      finger;
+      refresh = 0;
+    }
+  in
+  register t;
+  serve t
 
 let lookup t key =
   match find_successor t key ~hops:0 with

@@ -22,6 +22,20 @@ val app : ?config:config -> register:(node -> unit) -> Env.t -> unit
 (** The application main, suitable for [Controller.deploy ~main]. Calls
     [register] with the node handle before joining the ring. *)
 
+val assemble :
+  ?config:config -> register:(node -> unit) -> ring:Node.t array -> index:int -> Env.t -> unit
+(** Warm-start this instance at position [index] of an already-converged
+    ring: [ring] is the complete membership sorted by id (ids unique),
+    shared read-only across all instances. Predecessor, successor and all
+    [m] fingers are computed directly from the membership — the exact
+    fixed point that [stabilize]/[fix_fingers] converge to — and the same
+    RPC surface as {!app} is bound, so lookups route identically. No
+    periodic processes are started and no join traffic is generated,
+    which is what makes a 100k-node ring constructible: the join protocol
+    would need O(n) serialized joins and O(n*m) stabilizer firings first.
+    Use {!app} to study convergence; use this to study routing at scales
+    where convergence is not the question. *)
+
 val id : node -> int
 val addr : node -> Addr.t
 val successor : node -> Node.t option

@@ -3,9 +3,9 @@ module Rpc = Splay_runtime.Rpc
 module Env = Splay_runtime.Env
 module Rng = Splay_sim.Rng
 
-type config = { fanout : int; rpc_timeout : float }
+type config = { fanout : int; rpc_timeout : float; oneway : bool }
 
-let default_config = { fanout = 6; rpc_timeout = 10.0 }
+let default_config = { fanout = 6; rpc_timeout = 10.0; oneway = false }
 
 type node = {
   cfg : config;
@@ -23,17 +23,31 @@ let is_stopped t = Env.is_stopped t.env
 
 let peers t = List.filter (fun a -> not (Addr.equal a t.env.Env.me)) t.env.Env.nodes
 
+(* Two forwarding modes. The acknowledged mode ([oneway = false]) spawns
+   a fiber per target that blocks on the RPC reply — observable outcomes,
+   but each in-flight forward parks a fiber until the reply or timeout.
+   The one-way mode sends [Rpc.notify] straight from the receive path: no
+   spawn, no parked fiber, no reply traffic — the shape that lets a
+   single process push a rumor through a million nodes. Gossip needs no
+   acks anyway: redundancy is the protocol's own reliability mechanism. *)
 let forward t rumor =
   let targets = Rng.sample t.e_rng t.cfg.fanout (peers t) in
-  List.iter
-    (fun a ->
-      t.forwarded <- t.forwarded + 1;
-      ignore
-        (Env.thread t.env (fun () ->
-             ignore
-               (Rpc.a_call t.env a ~timeout:t.cfg.rpc_timeout "epidemic.rumor"
-                  [ Codec.String rumor ]))))
-    targets
+  if t.cfg.oneway then
+    List.iter
+      (fun a ->
+        t.forwarded <- t.forwarded + 1;
+        Rpc.notify t.env a "epidemic.rumor" [ Codec.String rumor ])
+      targets
+  else
+    List.iter
+      (fun a ->
+        t.forwarded <- t.forwarded + 1;
+        ignore
+          (Env.thread t.env (fun () ->
+               ignore
+                 (Rpc.a_call t.env a ~timeout:t.cfg.rpc_timeout "epidemic.rumor"
+                    [ Codec.String rumor ]))))
+      targets
 
 let receive t rumor =
   if not (Hashtbl.mem t.seen_set rumor) then begin

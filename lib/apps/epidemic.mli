@@ -6,9 +6,17 @@
 type config = {
   fanout : int;
   rpc_timeout : float;
+  oneway : bool;
+      (** forward with {!Rpc.notify} (fire-and-forget, no reply, no fiber
+          parked per forward) instead of an acknowledged [a_call] from a
+          spawned fiber. Default [false] — the acknowledged mode, whose
+          fixed-seed traces predate this field. One-way is the mode for
+          very large populations: the per-forward cost drops to one
+          message, which is what a million-node flood needs. *)
 }
 
 val default_config : config
+(** [{ fanout = 6; rpc_timeout = 10.0; oneway = false }] *)
 
 type node
 

@@ -370,7 +370,7 @@ let rpc_run ~seed ~nemesis ~perturb =
                Env.sleep 2.0;
                let tok = Printf.sprintf "%s#%d" (Addr.to_string env.Env.me) i in
                if not retrying then Hashtbl.replace strict tok ();
-               match Rpc.a_call_opt env server ~options "exec" [ Codec.String tok ] with
+               match Rpc.a_call env server ~options "exec" [ Codec.String tok ] with
                | Ok _ -> Hashtbl.replace oks tok ()
                | Error _ -> ()
              done))

@@ -37,11 +37,13 @@ module Obs_flags = Splay_obs.Obs_flags
 module Dist = Splay_stats.Dist
 module Summary = Splay_stats.Summary
 module Series = Splay_stats.Series
+module Sink = Splay_stats.Sink
 module Report = Splay_stats.Report
 
 (* Network substrate *)
 module Addr = Splay_net.Addr
 module Topology = Splay_net.Topology
+module Latency = Splay_net.Latency
 module Testbed = Splay_net.Testbed
 module Net = Splay_net.Net
 

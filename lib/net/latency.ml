@@ -1,0 +1,146 @@
+type rtt_dist =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Lognormal of { median : float; sigma : float }
+  | Classes of (float * float) array
+
+(* Dispatch on a small variant rather than a closure: the synthetic model
+   sits on the packet-delivery hot path and the variant keeps its
+   parameters inline (no captured environment to chase). *)
+type impl =
+  | Synthetic of { seed64 : int64; dist : rtt_dist; intra_host : float }
+  | Matrix of { topo : Topology.t; stub_of : Addr.host_id -> Topology.router }
+  | Fn of (Addr.host_id -> Addr.host_id -> float)
+
+type t = { name : string; seed : int; impl : impl }
+
+let name t = t.name
+let seed t = t.seed
+
+(* splitmix64 finalizer (Steele et al.): a bijective avalanche mix. The
+   per-pair draw is [mix (seed64 + gamma * pair_key)] — the same stream
+   construction Rng uses, but stateless: the pair key addresses directly
+   into the sequence, so no generator state is kept per pair. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let gamma = 0x9e3779b97f4a7c15L
+
+(* Uniform draw in [0,1) from the pair hash: top 53 bits, as Rng.float. *)
+let pair_u seed64 a b =
+  let lo = if a < b then a else b and hi = if a < b then b else a in
+  (* host ids stay far below 2^31 even at million-host scale, so the pair
+     packs injectively into one 62-bit key *)
+  let key = Int64.of_int ((lo lsl 31) lor hi) in
+  let bits = mix64 (Int64.add seed64 (Int64.mul gamma key)) in
+  Int64.to_float (Int64.shift_right_logical bits 11) *. 0x1.0p-53
+
+(* Inverse standard-normal CDF, Acklam's rational approximation (~1e-9
+   relative error) — turns the single per-pair uniform draw into a normal
+   one without needing a second hash for Box-Muller. *)
+let inv_normal_cdf p =
+  let tail_num q =
+    ((((((-7.784894002430293e-03 *. q) -. 3.223964580411365e-01) *. q -. 2.400758277161838e+00)
+       *. q
+      -. 2.549732539343734e+00)
+      *. q
+     +. 4.374664141464968e+00)
+     *. q)
+    +. 2.938163982698783e+00
+  and tail_den q =
+    ((((7.784695709041462e-03 *. q +. 3.224671290700398e-01) *. q +. 2.445134137142996e+00) *. q
+     +. 3.754408661907416e+00)
+     *. q)
+    +. 1.0
+  in
+  let p_low = 0.02425 in
+  if p <= 0.0 then neg_infinity
+  else if p >= 1.0 then infinity
+  else if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    tail_num q /. tail_den q
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    let num =
+      ((((((-3.969683028665376e+01 *. r) +. 2.209460984245205e+02) *. r -. 2.759285104469687e+02)
+         *. r
+        +. 1.383577518672690e+02)
+        *. r
+       -. 3.066479806614716e+01)
+       *. r)
+      +. 2.506628277459239e+00
+    and den =
+      (((((-5.447609879822406e+01 *. r +. 1.615858368580409e+02) *. r -. 1.556989798598866e+02)
+         *. r
+        +. 6.680131188771972e+01)
+        *. r
+       -. 1.328068155288572e+01)
+       *. r)
+      +. 1.0
+    in
+    num *. q /. den
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.(tail_num q /. tail_den q)
+  end
+
+(* Quantile function of the configured RTT distribution: u in [0,1) to a
+   round-trip time in seconds. *)
+let rtt_of_u dist u =
+  match dist with
+  | Constant rtt -> rtt
+  | Uniform { lo; hi } -> lo +. ((hi -. lo) *. u)
+  | Lognormal { median; sigma } -> median *. exp (sigma *. inv_normal_cdf u)
+  | Classes classes ->
+      let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 classes in
+      let target = u *. total in
+      let n = Array.length classes in
+      let rec pick i acc =
+        if i >= n - 1 then snd classes.(n - 1)
+        else begin
+          let acc = acc +. fst classes.(i) in
+          if target < acc then snd classes.(i) else pick (i + 1) acc
+        end
+      in
+      pick 0 0.0
+
+let transit_stub_classes =
+  (* same-stub / stub-stub / transit-crossing mix, weighted roughly as a
+     uniform host placement over the paper's 10x49 graph lands *)
+  Classes [| (0.02, 0.010); (0.58, 0.030); (0.40, 0.100) |]
+
+let validate_dist = function
+  | Constant rtt -> if rtt < 0.0 then invalid_arg "Latency.synthetic: negative RTT"
+  | Uniform { lo; hi } ->
+      if lo < 0.0 || hi < lo then invalid_arg "Latency.synthetic: bad Uniform bounds"
+  | Lognormal { median; sigma } ->
+      if median <= 0.0 || sigma < 0.0 then invalid_arg "Latency.synthetic: bad Lognormal"
+  | Classes classes ->
+      if Array.length classes = 0 then invalid_arg "Latency.synthetic: empty Classes";
+      Array.iter
+        (fun (w, rtt) ->
+          if w < 0.0 || rtt < 0.0 then invalid_arg "Latency.synthetic: bad Classes entry")
+        classes;
+      if Array.for_all (fun (w, _) -> w = 0.0) classes then
+        invalid_arg "Latency.synthetic: all-zero Classes weights"
+
+let synthetic ?(dist = transit_stub_classes) ?(intra_host = 0.000_05) ~seed () =
+  validate_dist dist;
+  { name = "synthetic"; seed; impl = Synthetic { seed64 = Int64.of_int seed; dist; intra_host } }
+
+let matrix topo ~stub_of = { name = "matrix"; seed = 0; impl = Matrix { topo; stub_of } }
+
+let of_fn ~name ?(seed = 0) f = { name; seed; impl = Fn f }
+
+let delay t a b =
+  match t.impl with
+  | Synthetic { seed64; dist; intra_host } ->
+      if a = b then intra_host else 0.5 *. rtt_of_u dist (pair_u seed64 a b)
+  | Matrix { topo; stub_of } ->
+      (Topology.delay [@ocaml.warning "-3"]) topo (stub_of a) (stub_of b)
+  | Fn f -> f a b

@@ -24,6 +24,9 @@ end)
 type t = {
   eng : Engine.t;
   tb : Testbed.t;
+  cmp : Testbed.Compact.t option;
+      (* struct-of-arrays state when [tb] is a synthetic testbed; checked
+         once at creation so the send path dispatches on a field load *)
   handlers : handler AddrTbl.t;
   net_rng : Rng.t;
   mutable loss : float;
@@ -38,6 +41,7 @@ let create eng tb =
   {
     eng;
     tb;
+    cmp = Testbed.compact tb;
     handlers = AddrTbl.create 1024;
     net_rng = Rng.split (Testbed.rng tb);
     loss = 0.0;
@@ -71,9 +75,9 @@ let clear_partition t = t.partition <- None
 let partitioned t a b =
   match t.partition with Some f -> f a <> f b | None -> false
 
-let host_up t id = (Testbed.host t.tb id).Testbed.up
+let host_up t id = Testbed.host_up t.tb id
 
-let set_host_up t id up = (Testbed.host t.tb id).Testbed.up <- up
+let set_host_up t id up = Testbed.set_host_up t.tb id up
 
 let base_rtt t a b = 2.0 *. Testbed.base_delay t.tb a b
 
@@ -83,11 +87,58 @@ let count_drop t =
   t.n_dropped <- t.n_dropped + 1;
   Obs.incr c_drops
 
+(* The compact (struct-of-arrays) variant of the send path below: same
+   store-and-forward model, same counter/observability behavior, but every
+   per-host load is an unboxed array index instead of a record field, and
+   propagation comes from the testbed's latency model — O(1) and stateless,
+   which is what keeps million-host sends cheap. *)
+let send_compact t c ?(size = 256) ?loss ~src ~dst payload =
+  t.n_sent <- t.n_sent + 1;
+  t.n_bytes <- t.n_bytes + size;
+  Obs.incr c_msgs;
+  Obs.add c_obs_bytes size;
+  let sh = src.Addr.host and dh = dst.Addr.host in
+  if
+    Bytes.unsafe_get c.Testbed.Compact.up_bits sh = '\000'
+    || partitioned t sh dh
+  then count_drop t
+  else begin
+    let p = match loss with Some p -> p | None -> t.loss in
+    if p > 0.0 && Rng.chance t.net_rng p then count_drop t
+    else begin
+      let traced = !Obs.enabled in
+      let now = Engine.now t.eng in
+      let sz = Float.of_int size in
+      let tx_up = sz /. c.Testbed.Compact.bw_up in
+      let up_busy = c.Testbed.Compact.up_busy in
+      let start_up = Float.max now (Array.unsafe_get up_busy sh) in
+      Array.unsafe_set up_busy sh (start_up +. tx_up);
+      let propagation = Latency.delay c.Testbed.Compact.lat sh dh in
+      let arrival = start_up +. tx_up +. propagation in
+      let tx_down = sz /. c.Testbed.Compact.bw_down in
+      let down_busy = c.Testbed.Compact.down_busy in
+      let start_down = Float.max arrival (Array.unsafe_get down_busy dh) in
+      Array.unsafe_set down_busy dh (start_down +. tx_down);
+      let deliver_at = start_down +. tx_down +. c.Testbed.Compact.proc_cost in
+      let deliver_at = if t.extra_delay > 0.0 then deliver_at +. t.extra_delay else deliver_at in
+      if traced then Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
+      let mctx = if traced then Obs.current () else Obs.null_ctx in
+      ignore
+        (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
+             if traced then Obs.set_current mctx;
+             if Bytes.unsafe_get c.Testbed.Compact.up_bits dh = '\000' then count_drop t
+             else
+               match AddrTbl.find_opt t.handlers dst with
+               | None -> count_drop t
+               | Some h -> h ~src payload))
+    end
+  end
+
 (* Store-and-forward through sender uplink and receiver downlink queues:
    a transfer occupies the uplink for size/bw_up starting when the uplink
    frees, propagates, then occupies the downlink. This is what makes links
    saturate under bulk transfers (Fig. 13). *)
-let send t ?(size = 256) ?loss ~src ~dst payload =
+let send_classic t ?(size = 256) ?loss ~src ~dst payload =
   t.n_sent <- t.n_sent + 1;
   t.n_bytes <- t.n_bytes + size;
   Obs.incr c_msgs;
@@ -133,6 +184,11 @@ let send t ?(size = 256) ?loss ~src ~dst payload =
                | Some h -> h ~src payload))
     end
   end
+
+let send t ?size ?loss ~src ~dst payload =
+  match t.cmp with
+  | Some c -> send_compact t c ?size ?loss ~src ~dst payload
+  | None -> send_classic t ?size ?loss ~src ~dst payload
 
 let messages_sent t = t.n_sent
 let bytes_sent t = t.n_bytes

@@ -19,12 +19,43 @@ type host = {
   host_rng : Rng.t;
 }
 
+(* Struct-of-arrays storage for synthetic testbeds: per-host state is two
+   unboxed link-busy floats and one up/down byte; bandwidth, processing
+   cost and the latency model are shared scalars. A host costs ~3 words
+   here against ~60 for a [host] record (mixed record, so every float
+   field is a boxed pointer) — the difference between 1k and 1M hosts
+   fitting in memory. *)
+module Compact = struct
+  type t = {
+    n : int;
+    lat : Latency.t;
+    up_bits : Bytes.t;
+    bw_up : float;
+    bw_down : float;
+    up_busy : float array;
+    down_busy : float array;
+    proc_cost : float;
+    mem_mb : float;
+    c_rng : Rng.t;
+  }
+end
+
 type t = {
   t_rng : Rng.t;
   all : host array;
   topo : Topology.t option;
+  lat : Latency.t option;
+      (* the pair-delay model this testbed routes through: Latency.matrix
+         over [topo] for emulated hosts, the synthetic model for compact
+         testbeds *)
   gateway_delay : float; (* extra one-way delay crossing testbeds *)
+  cmp : Compact.t option;
 }
+
+(* The matrix latency backend over this testbed's topology; [stub_of]
+   reads the attachment router off the (already built) host array. *)
+let matrix_lat all topo =
+  Latency.matrix topo ~stub_of:(fun id -> all.(id).stub)
 
 let mbps x = x *. 1_000_000.0 /. 8.0
 
@@ -60,7 +91,14 @@ let mk_planetlab_host rng id =
 
 let planetlab ?(n = 450) rng =
   let t_rng = Rng.split rng in
-  { t_rng; all = Array.init n (mk_planetlab_host rng); topo = None; gateway_delay = 0.0 }
+  {
+    t_rng;
+    all = Array.init n (mk_planetlab_host rng);
+    topo = None;
+    lat = None;
+    gateway_delay = 0.0;
+    cmp = None;
+  }
 
 let modelnet ?(hosts = 1100) ?bandwidth ?topology rng =
   let topo = match topology with Some t -> t | None -> Topology.transit_stub rng in
@@ -84,7 +122,8 @@ let modelnet ?(hosts = 1100) ?bandwidth ?topology rng =
       host_rng = Rng.split rng;
     }
   in
-  { t_rng; all = Array.init hosts mk; topo = Some topo; gateway_delay = 0.0 }
+  let all = Array.init hosts mk in
+  { t_rng; all; topo = Some topo; lat = Some (matrix_lat all topo); gateway_delay = 0.0; cmp = None }
 
 let cluster ?(n = 11) ?(mem_mb = 2048.0) rng =
   let t_rng = Rng.split rng in
@@ -106,7 +145,7 @@ let cluster ?(n = 11) ?(mem_mb = 2048.0) rng =
       host_rng = Rng.split rng;
     }
   in
-  { t_rng; all = Array.init n mk; topo = None; gateway_delay = 0.0 }
+  { t_rng; all = Array.init n mk; topo = None; lat = None; gateway_delay = 0.0; cmp = None }
 
 let mixed ~planetlab:np ~modelnet:nm rng =
   let topo = Topology.transit_stub rng in
@@ -130,14 +169,43 @@ let mixed ~planetlab:np ~modelnet:nm rng =
           host_rng = Rng.split rng;
         })
   in
+  let all = Array.append pl mn in
   {
     t_rng = Rng.split rng;
-    all = Array.append pl mn;
+    all;
     topo = Some topo;
+    lat = Some (matrix_lat all topo);
     gateway_delay = 0.020;
+    cmp = None;
   }
 
+let synthetic ?latency ?(bw = mbps 10.0) ?(proc_cost = 0.000_1) ?(mem_mb = 2048.0) ~hosts rng =
+  if hosts < 1 then invalid_arg "Testbed.synthetic";
+  let lat =
+    match latency with
+    | Some l -> l
+    | None -> Latency.synthetic ~seed:(Int64.to_int (Rng.bits64 rng)) ()
+  in
+  let t_rng = Rng.split rng in
+  let cmp =
+    {
+      Compact.n = hosts;
+      lat;
+      up_bits = Bytes.make hosts '\001';
+      bw_up = bw;
+      bw_down = bw;
+      up_busy = Array.make hosts 0.0;
+      down_busy = Array.make hosts 0.0;
+      proc_cost;
+      mem_mb;
+      c_rng = Rng.split rng;
+    }
+  in
+  { t_rng; all = [||]; topo = None; lat = Some lat; gateway_delay = 0.0; cmp = Some cmp }
+
 let with_extra_host t =
+  if t.cmp <> None then
+    invalid_arg "Testbed.with_extra_host: synthetic testbeds have no host records";
   let id = Array.length t.all in
   let h =
     {
@@ -157,12 +225,30 @@ let with_extra_host t =
       host_rng = Rng.split t.t_rng;
     }
   in
-  ({ t with all = Array.append t.all [| h |] }, id)
+  let all = Array.append t.all [| h |] in
+  let lat = match t.topo with Some topo -> Some (matrix_lat all topo) | None -> t.lat in
+  ({ t with all; lat }, id)
 
-let size t = Array.length t.all
-let host t id = t.all.(id)
-let hosts t = t.all
+let size t = match t.cmp with Some c -> c.Compact.n | None -> Array.length t.all
+
+let no_records fn =
+  invalid_arg ("Testbed." ^ fn ^ ": synthetic testbeds keep no per-host records")
+
+let host t id = if t.cmp <> None then no_records "host" else t.all.(id)
+let hosts t = if t.cmp <> None then no_records "hosts" else t.all
 let rng t = t.t_rng
+let compact t = t.cmp
+let latency t = t.lat
+
+let host_up t id =
+  match t.cmp with
+  | Some c -> Bytes.unsafe_get c.Compact.up_bits id <> '\000'
+  | None -> t.all.(id).up
+
+let set_host_up t id up =
+  match t.cmp with
+  | Some c -> Bytes.unsafe_set c.Compact.up_bits id (if up then '\001' else '\000')
+  | None -> t.all.(id).up <- up
 
 let euclid (x1, y1) (x2, y2) =
   let dx = x1 -. x2 and dy = y1 -. y2 in
@@ -180,16 +266,19 @@ let base_delay_h t ha hb =
     match (ha.kind, hb.kind) with
     | Planetlab, Planetlab -> 0.005 +. euclid ha.coord hb.coord
     | Modelnet, Modelnet -> (
-        match t.topo with
-        | Some topo -> Topology.delay topo ha.stub hb.stub
+        (* through the Latency signature (the matrix backend over this
+           testbed's topology): same arithmetic, same floats as the old
+           direct Topology.delay call, so fixed-seed traces do not move *)
+        match t.lat with
+        | Some lat -> Latency.delay lat ha.id hb.id
         | None -> 0.015)
     | Cluster, Cluster -> 0.000_05
     | Planetlab, Modelnet | Modelnet, Planetlab -> (
         (* cross the WAN gateway of the emulated site *)
-        let pl, mn = if ha.kind = Planetlab then (ha, hb) else (hb, ha) in
+        let pl, _mn = if ha.kind = Planetlab then (ha, hb) else (hb, ha) in
         let edge = 0.005 +. euclid pl.coord (0.040, 0.040) in
         match t.topo with
-        | Some topo -> edge +. t.gateway_delay +. Topology.delay topo mn.stub mn.stub
+        | Some topo -> edge +. t.gateway_delay +. Topology.intra_stub_delay topo
         | None -> edge +. t.gateway_delay)
     | Cluster, Planetlab | Planetlab, Cluster ->
         (* controller / cluster machines sit at the virtual centre *)
@@ -198,7 +287,10 @@ let base_delay_h t ha hb =
     | Cluster, Modelnet | Modelnet, Cluster -> 0.002
   end
 
-let base_delay t a b = base_delay_h t t.all.(a) t.all.(b)
+let base_delay t a b =
+  match t.cmp with
+  | Some c -> Latency.delay c.Compact.lat a b
+  | None -> base_delay_h t t.all.(a) t.all.(b)
 
 let delay_h t ha hb =
   let base = base_delay_h t ha hb in
@@ -207,12 +299,21 @@ let delay_h t ha hb =
     base *. Rng.lognormal t.t_rng ~mu:0.0 ~sigma:0.25
   else base
 
-let delay t a b = delay_h t t.all.(a) t.all.(b)
+let delay t a b =
+  match t.cmp with
+  | Some c -> Latency.delay c.Compact.lat a b (* model answers are stable: no jitter *)
+  | None -> delay_h t t.all.(a) t.all.(b)
 
 let service_delay t id =
-  let h = t.all.(id) in
-  Rng.exponential h.host_rng ~mean:(h.slowness *. h.service_mult)
+  match t.cmp with
+  | Some c ->
+      ignore (id : Addr.host_id);
+      Rng.exponential c.Compact.c_rng ~mean:0.001
+  | None ->
+      let h = t.all.(id) in
+      Rng.exponential h.host_rng ~mean:(h.slowness *. h.service_mult)
 
 let proc_cost_h h = 0.000_1 *. h.load_factor *. h.service_mult
 
-let proc_cost t id = proc_cost_h t.all.(id)
+let proc_cost t id =
+  match t.cmp with Some c -> c.Compact.proc_cost | None -> proc_cost_h t.all.(id)

@@ -43,14 +43,69 @@ val cluster : ?n:int -> ?mem_mb:float -> Splay_sim.Rng.t -> t
 val mixed : planetlab:int -> modelnet:int -> Splay_sim.Rng.t -> t
 (** PlanetLab hosts first (ids [0 .. planetlab-1]), then ModelNet hosts. *)
 
+val synthetic :
+  ?latency:Latency.t ->
+  ?bw:float ->
+  ?proc_cost:float ->
+  ?mem_mb:float ->
+  hosts:int ->
+  Splay_sim.Rng.t ->
+  t
+(** Million-host backend: no per-host records at all. Base delays come
+    from the {!Latency.t} model ([latency] defaults to
+    [Latency.synthetic ~seed:(a draw from the rng)]), every host shares
+    the same [bw] (default 10 Mbps, in bytes/second) and [proc_cost]
+    (default 0.1 ms), and the only per-host state is the pair of
+    link-busy clocks (two unboxed floats) plus one up/down bit — a few
+    words per host instead of a few hundred, which is what lets a single
+    simulated deployment reach 10^6 hosts. Hosts never jitter (delays are
+    the model's stable answers), and {!host} / {!hosts} raise
+    [Invalid_argument]: there are no records to hand out. *)
+
+(** Struct-of-arrays storage behind {!synthetic} testbeds. The network
+    send path indexes these arrays directly by host id — the compact
+    counterpart of the [host]-record fast path. *)
+module Compact : sig
+  type t = {
+    n : int;
+    lat : Latency.t;
+    up_bits : Bytes.t;  (** 1 byte per host; 0 = down *)
+    bw_up : float;  (** shared uplink bandwidth, bytes/second *)
+    bw_down : float;
+    up_busy : float array;  (** per-host uplink busy-until, unboxed *)
+    down_busy : float array;
+    proc_cost : float;  (** shared per-message processing cost, seconds *)
+    mem_mb : float;
+    c_rng : Splay_sim.Rng.t;  (** control-plane service-time stream *)
+  }
+end
+
+val compact : t -> Compact.t option
+(** The struct-of-arrays state when this is a {!synthetic} testbed. *)
+
+val latency : t -> Latency.t option
+(** The latency model this testbed routes pair delays through: the
+    {!Latency.matrix} over its topology for emulated (ModelNet) testbeds,
+    the configured model for {!synthetic} ones, [None] where delays are
+    derived from coordinates or constants (PlanetLab, Cluster). *)
+
+val host_up : t -> Addr.host_id -> bool
+
+val set_host_up : t -> Addr.host_id -> bool -> unit
+(** Up/down flag, uniform over record-backed and compact testbeds. *)
+
 val with_extra_host : t -> t * Addr.host_id
 (** Append one well-provisioned LAN-class host — where the trusted
     controller processes run. Returns the extended testbed and the new
     host's id (always the last index). *)
 
 val size : t -> int
+
 val host : t -> Addr.host_id -> host
 val hosts : t -> host array
+(** Raise [Invalid_argument] on {!synthetic} testbeds, which keep no
+    per-host records — use {!host_up}, {!base_delay} and {!compact}. *)
+
 val rng : t -> Splay_sim.Rng.t
 
 val base_delay : t -> Addr.host_id -> Addr.host_id -> float

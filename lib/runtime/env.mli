@@ -7,6 +7,16 @@
     instance creates, so the daemon can stop the whole instance at once
     (churn, FREE command, sandbox kill). *)
 
+type proc_slot
+(** One tracked process: an int-indexed slot in the instance's dense
+    process table. The slot records its own index, so a process leaving
+    (for any reason — the engine's exit hook fires [Env]'s untrack) is an
+    O(1) swap-remove with no dead-handle retention: a million instances
+    that each spawn a handful of short-lived fibers hold on to none of
+    them. (The previous representation — a cons list pruned every 32nd
+    spawn — never pruned instances with fewer than 32 spawns, which is
+    every instance in a million-node run.) *)
+
 type t = {
   net : Net.t;
   me : Addr.t;
@@ -15,8 +25,9 @@ type t = {
   sandbox : Sandbox.t;
   log : Log.t;
   env_rng : Splay_sim.Rng.t;
-  mutable procs : Splay_sim.Engine.proc list;
-  mutable procs_len : int; (* tracked length of [procs], for O(1) spawn *)
+  mutable procs : proc_slot array; (* dense prefix of length [procs_len] *)
+  mutable procs_len : int;
+  mutable proc_seq : int; (* spawn sequence; orders kills at [stop] *)
   mutable ports : Addr.t list;
   mutable loss_rate : float;
       (** proportion of this instance's outgoing packets dropped by the
@@ -24,10 +35,14 @@ type t = {
           deployment time *)
   mutable stopped : bool;
   mutable stop_hooks : (unit -> unit) list;
-  (* RPC plumbing (owned here so client and server share the endpoint) *)
-  rpc_pending : (int, (Codec.value, string) result -> unit) Hashtbl.t;
+  (* RPC plumbing (owned here so client and server share the endpoint).
+     Both tables materialize on first use: a pure server never allocates
+     the pending table, a pure client never allocates the handler table —
+     at million-node scale each empty-but-allocated Hashtbl would cost
+     ~26 words per node. Access through {!rpc_pending} / {!rpc_handlers}. *)
+  mutable rpc_pending_tbl : (int, (Codec.value, string) result -> unit) Hashtbl.t option;
   mutable rpc_next_rid : int;
-  rpc_handlers : (string, Codec.value list -> Codec.value) Hashtbl.t;
+  mutable rpc_handlers_tbl : (string, Codec.value list -> Codec.value) Hashtbl.t option;
       (** procedure name -> handler; {!Rpc.add_handler} replaces on
           re-registration (last registration wins) *)
   mutable rpc_bound : bool;
@@ -51,6 +66,21 @@ val rpc_rng : t -> Splay_sim.Rng.t
 (** The instance's RPC jitter stream, split from [env_rng] on first use —
     lazily, so instances that never draw jitter (the default policy)
     consume exactly the streams they did before this stream existed. *)
+
+val rpc_pending : t -> (int, (Codec.value, string) result -> unit) Hashtbl.t
+(** The outstanding-call table, materialized on first use. *)
+
+val rpc_pending_opt : t -> (int, (Codec.value, string) result -> unit) Hashtbl.t option
+(** The table if any call ever ran — reply dispatch uses this so a stray
+    reply to a node that never called costs no allocation. *)
+
+val rpc_handlers : t -> (string, Codec.value list -> Codec.value) Hashtbl.t
+(** The procedure table, materialized on first use. *)
+
+val rpc_handlers_opt : t -> (string, Codec.value list -> Codec.value) Hashtbl.t option
+
+val live_procs : t -> int
+(** Number of currently-tracked (live) processes of this instance. *)
 
 val thread : t -> ?name:string -> (unit -> unit) -> Splay_sim.Engine.proc
 (** [events.thread]: spawn a process owned by this instance. *)

@@ -22,6 +22,7 @@ let ping_options = { timeout = 5.0; retries = 0; backoff = 0.0; backoff_jitter =
    the outcome attached on finish; the serve side gets its own span so
    handler service time is separable from network time. *)
 let c_calls = Obs.counter "rpc.calls"
+let c_notifies = Obs.counter "rpc.notifies"
 let c_timeouts = Obs.counter "rpc.timeouts"
 let c_retries = Obs.counter "rpc.retries"
 let c_served = Obs.counter "rpc.served"
@@ -32,7 +33,8 @@ let h_bytes = Obs.histogram "rpc.request_bytes"
 (* The request envelope carries the caller's trace context ([Obs.null_ctx]
    when tracing is off): the serve span on the callee is created as its
    child, which is what stitches one logical request into a single causal
-   trace across nodes. *)
+   trace across nodes. A negative [rid] marks a one-way request
+   ({!notify}): the callee runs the handler but sends no reply. *)
 type Net.payload +=
   | Request of { rid : int; proc : string; args : Codec.value list; ctx : Obs.ctx }
   | Reply of { rid : int; result : (Codec.value, string) result }
@@ -47,7 +49,7 @@ let reply_size = function
 (* Last registration wins: [Hashtbl.replace] drops any previous binding
    for [name], so a handler can be re-registered (e.g. on reconfiguration)
    without leaking the old one or shadowing it non-deterministically. *)
-let add_handler env name h = Hashtbl.replace env.Env.rpc_handlers name h
+let add_handler env name h = Hashtbl.replace (Env.rpc_handlers env) name h
 
 let send_reply env ~dst rid result =
   try Sb_socket.send env ~dst ~size:(reply_size result) (Reply { rid; result })
@@ -72,7 +74,7 @@ let dispatch env ~src payload =
                else Obs.null_span
              in
              let result =
-               match Hashtbl.find_opt env.Env.rpc_handlers proc with
+               match Hashtbl.find_opt (Env.rpc_handlers env) proc with
                | None -> Error (Printf.sprintf "unknown procedure %S" proc)
                | Some h -> (
                    try Ok (h args) with
@@ -87,13 +89,18 @@ let dispatch env ~src payload =
                    [ ("outcome", match result with Ok _ -> "ok" | Error _ -> "error") ]
                  sp
              end;
-             send_reply env ~dst:src rid result))
+             if rid >= 0 then send_reply env ~dst:src rid result))
   | Reply { rid; result } -> (
-      match Hashtbl.find_opt env.Env.rpc_pending rid with
-      | None -> () (* reply after timeout: dropped, as with a late TCP answer *)
-      | Some resolve ->
-          Hashtbl.remove env.Env.rpc_pending rid;
-          resolve result)
+      (* [rpc_pending_opt]: a node that never issued a call has no table,
+         and a stray reply should not make it allocate one *)
+      match Env.rpc_pending_opt env with
+      | None -> ()
+      | Some pending -> (
+          match Hashtbl.find_opt pending rid with
+          | None -> () (* reply after timeout: dropped, as with a late TCP answer *)
+          | Some resolve ->
+              Hashtbl.remove pending rid;
+              resolve result))
   | _ -> () (* not RPC traffic; other layers may share the port *)
 
 let ensure_bound env =
@@ -123,27 +130,28 @@ let attempt env dst ~timeout ~size proc args =
   let rid = env.Env.rpc_next_rid in
   env.Env.rpc_next_rid <- rid + 1;
   let eng = Env.engine env in
+  let pending = Env.rpc_pending env in
   let outcome =
     Engine.suspend (fun resolve ->
-        Hashtbl.replace env.Env.rpc_pending rid (fun r -> resolve (Ok r));
+        Hashtbl.replace pending rid (fun r -> resolve (Ok r));
         (try Sb_socket.send env ~dst ~size (Request { rid; proc; args; ctx = Obs.current () })
          with Sb_socket.Network_error m ->
-           (match Hashtbl.find_opt env.Env.rpc_pending rid with
+           (match Hashtbl.find_opt pending rid with
            | Some r ->
-               Hashtbl.remove env.Env.rpc_pending rid;
+               Hashtbl.remove pending rid;
                r (Error ("net:" ^ m))
            | None -> ()));
         let timer =
           Engine.schedule eng ~delay:timeout (fun () ->
-              match Hashtbl.find_opt env.Env.rpc_pending rid with
+              match Hashtbl.find_opt pending rid with
               | Some r ->
-                  Hashtbl.remove env.Env.rpc_pending rid;
+                  Hashtbl.remove pending rid;
                   r (Error "timeout")
               | None -> ())
         in
         fun () ->
           Engine.cancel eng timer;
-          Hashtbl.remove env.Env.rpc_pending rid)
+          Hashtbl.remove pending rid)
   in
   match outcome with Ok v -> Ok v | Error m -> Error (decode_error m)
 
@@ -153,7 +161,7 @@ let outcome_label = function
   | Error (Remote _) -> "remote"
   | Error (Network _) -> "network"
 
-let a_call_opt env dst ?(options = default_options) proc args =
+let a_call_core env dst ~options proc args =
   ensure_bound env;
   let size = request_size proc args in
   let eng = Env.engine env in
@@ -220,24 +228,50 @@ let a_call_opt env dst ?(options = default_options) proc args =
   end;
   result
 
-let call_opt env dst ?options proc args =
-  match a_call_opt env dst ?options proc args with
+(* The [?timeout] shorthand and the [?options] policy compose: an explicit
+   timeout overrides the policy's, so [a_call ~timeout] keeps meaning what
+   it always did and a policy can still ride along for retries/backoff. *)
+let resolve ~base ?timeout ?options () =
+  match (timeout, options) with
+  | None, None -> base
+  | None, Some o -> o
+  | Some t, None -> { base with timeout = t }
+  | Some t, Some o -> { o with timeout = t }
+
+let with_timeout timeout = { default_options with timeout }
+
+let a_call env dst ?timeout ?options proc args =
+  a_call_core env dst ~options:(resolve ~base:default_options ?timeout ?options ()) proc args
+
+let call env dst ?timeout ?options proc args =
+  match a_call env dst ?timeout ?options proc args with
   | Ok v -> v
   | Error e -> raise (Rpc_error e)
 
-let ping_opt env ?(options = ping_options) dst =
-  match a_call_opt env dst ~options "__ping" [] with Ok _ -> true | Error _ -> false
+let ping env ?timeout ?options dst =
+  let options = resolve ~base:ping_options ?timeout ?options () in
+  match a_call_core env dst ~options "__ping" [] with Ok _ -> true | Error _ -> false
 
-(* Backward-compatible wrappers over the consolidated [options] API. *)
+(* One-way call: fire the request and return. No reply is expected (the
+   callee skips it for negative rids), so no pending-table entry, no
+   timer, and — decisively for large fan-outs — no fiber parked waiting.
+   A blocked [a_call] caller costs ~1.3 kB of stack until the reply; a
+   million-node flood with six outstanding forwards per node would hold
+   gigabytes in parked fibers. Delivery inherits exactly the network's
+   guarantees (loss, partitions, dead hosts): fire-and-forget. *)
+let notify env dst proc args =
+  ensure_bound env;
+  Obs.incr c_notifies;
+  let size = request_size proc args in
+  try Sb_socket.send env ~dst ~size (Request { rid = -1; proc; args; ctx = Obs.current () })
+  with Sb_socket.Network_error _ -> ()
 
-let a_call env dst ?(timeout = 120.0) proc args =
-  a_call_opt env dst ~options:{ default_options with timeout } proc args
+(* Deprecated aliases for the pre-unification names. *)
 
-let call env dst ?timeout proc args =
-  match a_call env dst ?timeout proc args with
-  | Ok v -> v
-  | Error e -> raise (Rpc_error e)
+let a_call_opt env dst ?options proc args = a_call env dst ?options proc args
 
-let ping env ?(timeout = 5.0) dst = ping_opt env ~options:{ ping_options with timeout } dst
+let call_opt env dst ?options proc args = call env dst ?options proc args
+
+let ping_opt env ?options dst = ping env ?options dst
 
 let calls_issued env = env.Env.rpc_next_rid

@@ -45,6 +45,10 @@ val ping_options : options
 (** [{ timeout = 5.0; retries = 0; backoff = 0.; backoff_jitter = 0. }] —
     liveness-probe policy. *)
 
+val with_timeout : float -> options
+(** [{ default_options with timeout }] — the one-field policy most call
+    sites want, without spelling out a record update. *)
+
 val server : Env.t -> (string * handler) list -> unit
 (** Start the RPC server on the instance's endpoint ([rpc.server(n.port)]).
     Also enables this instance to issue calls (replies share the socket).
@@ -55,37 +59,59 @@ val client : Env.t -> unit
 
 val add_handler : Env.t -> string -> handler -> unit
 
-val a_call_opt :
-  Env.t -> Addr.t -> ?options:options -> string -> Codec.value list -> (Codec.value, error) result
-(** The primary entry point: call under an explicit {!options} policy
-    (default {!default_options}) and report failure as a value. When
-    tracing is enabled, each logical call records one [rpc.call] span
+val a_call :
+  Env.t ->
+  Addr.t ->
+  ?timeout:float ->
+  ?options:options ->
+  string ->
+  Codec.value list ->
+  (Codec.value, error) result
+(** The primary entry point — [rpc.a_call(node, proc, args, timeout)]:
+    call the remote procedure and report failure as a value. The policy is
+    [?options] (default {!default_options}, i.e. the "standard 2 minutes"
+    the paper mentions tuning down for PlanetLab); [?timeout] is the
+    common-case shorthand and overrides [options.timeout] when both are
+    given, so existing [~timeout] call sites mean what they always did.
+
+    When tracing is enabled, each logical call records one [rpc.call] span
     carrying the procedure, source, destination, payload bytes, outcome
     and total attempt count; each retry additionally records a child
     [rpc.retry] span tagged with its attempt number and the backoff delay
-    it waited ([delay], seconds). The caller's trace
-    context travels in the request envelope, so the callee's [rpc.serve]
-    span — and everything the handler does, including nested calls — is a
-    child of this call's span across nodes. *)
+    it waited ([delay], seconds). The caller's trace context travels in
+    the request envelope, so the callee's [rpc.serve] span — and
+    everything the handler does, including nested calls — is a child of
+    this call's span across nodes. *)
 
-val call_opt : Env.t -> Addr.t -> ?options:options -> string -> Codec.value list -> Codec.value
-(** Like {!a_call_opt} but raises {!Rpc_error} on failure. *)
-
-val ping_opt : Env.t -> ?options:options -> Addr.t -> bool
-(** Liveness probe under an explicit policy (default {!ping_options}). *)
-
-val a_call :
-  Env.t -> Addr.t -> ?timeout:float -> string -> Codec.value list -> (Codec.value, error) result
-(** [rpc.a_call(node, proc, args, timeout)]: thin wrapper over
-    {!a_call_opt} with [{ default_options with timeout }]. Default timeout
-    120 s — the "standard 2 minutes" the paper mentions tuning down for
-    PlanetLab. *)
-
-val call : Env.t -> Addr.t -> ?timeout:float -> string -> Codec.value list -> Codec.value
+val call :
+  Env.t -> Addr.t -> ?timeout:float -> ?options:options -> string -> Codec.value list -> Codec.value
 (** [rpc.call]: like {!a_call} but raises {!Rpc_error} on failure. *)
 
-val ping : Env.t -> ?timeout:float -> Addr.t -> bool
-(** Liveness probe (default timeout 5 s); wrapper over {!ping_opt}. *)
+val ping : Env.t -> ?timeout:float -> ?options:options -> Addr.t -> bool
+(** Liveness probe; default policy {!ping_options} (5 s timeout). *)
+
+val notify : Env.t -> Addr.t -> string -> Codec.value list -> unit
+(** One-way call: send the request and return immediately. The handler
+    runs on the callee exactly as for {!a_call}, but no reply is sent and
+    nothing waits — no timer, no pending-table entry and, decisively for
+    very large fan-outs, no fiber parked on the answer. Delivery is
+    fire-and-forget with the network's guarantees only: a lost message,
+    a partition or a dead callee is silent. Use it where the protocol has
+    its own redundancy (gossip, heartbeats). *)
+
+val a_call_opt :
+  Env.t -> Addr.t -> ?options:options -> string -> Codec.value list -> (Codec.value, error) result
+[@@ocaml.deprecated "use a_call (its ?options parameter subsumes this)"]
+(** @deprecated Alias of {!a_call}, kept so pre-unification examples still
+    build. *)
+
+val call_opt : Env.t -> Addr.t -> ?options:options -> string -> Codec.value list -> Codec.value
+[@@ocaml.deprecated "use call (its ?options parameter subsumes this)"]
+(** @deprecated Alias of {!call}. *)
+
+val ping_opt : Env.t -> ?options:options -> Addr.t -> bool
+[@@ocaml.deprecated "use ping (its ?options parameter subsumes this)"]
+(** @deprecated Alias of {!ping}. *)
 
 val calls_issued : Env.t -> int
 (** Number of outgoing calls this instance has made (monitoring). *)

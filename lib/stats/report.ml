@@ -49,6 +49,23 @@ let cdf_table ~title ~xlabel curves =
 
 let percentile_header ps = List.map (fun p -> Printf.sprintf "p%g" p) ps
 
+(* Sink-based figure helpers: identical rendering whatever storage policy
+   (exact or sketch) collected the samples. *)
+
+let sink_pct_cells ?(decimals = 3) s ps =
+  if Sink.is_empty s then List.map (fun _ -> "-") ps
+  else List.map (fun p -> float_cell ~decimals (Sink.percentile s p)) ps
+
+let sink_cdf_table ~title ~xlabel sinks =
+  cdf_table ~title ~xlabel (List.map (fun (name, s) -> (name, Sink.cdf_curve s ())) sinks)
+
+let sink_summary ?(unit_label = "") name s =
+  if Sink.is_empty s then kv name "(no samples)"
+  else
+    kvf name "n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g%s" (Sink.count s) (Sink.mean s)
+      (Sink.quantile s 0.5) (Sink.quantile s 0.99) (Sink.max_value s)
+      (if unit_label = "" then "" else " " ^ unit_label)
+
 let bar v ~max ~width =
   let n =
     if max <= 0.0 then 0 else int_of_float (Float.of_int width *. v /. max +. 0.5)

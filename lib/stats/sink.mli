@@ -1,0 +1,82 @@
+(** Streaming statistics sink: one write-side interface, two storage
+    policies.
+
+    Experiments push samples into a sink and query count / moments /
+    quantiles at the end; which backend answers is the caller's choice at
+    creation time and invisible afterwards:
+
+    - {!exact} keeps every sample (a {!Dist} underneath). Quantiles are
+      exact order statistics; memory grows linearly with the stream.
+    - {!sketch} keeps a bounded reservoir plus exact running moments
+      (Welford) and exact min/max. Memory is O(capacity) regardless of
+      stream length; quantiles are approximate with rank error on the
+      order of 1/sqrt(capacity).
+
+    The sketch is what lets a million-node run record per-operation
+    latency without holding a million floats per metric: at the default
+    capacity a sink costs ~1k words no matter how many samples pass
+    through it. [count], [mean], [stddev], [min_value] and [max_value]
+    are exact on both backends — only interior quantiles are
+    approximated by the sketch.
+
+    Sketch determinism: reservoir replacement draws from a private
+    splitmix64 stream derived from [seed], so the same stream into the
+    same-seeded sketch yields the same quantile answers — sketch-backed
+    figures are as reproducible as exact ones. *)
+
+type t
+
+val exact : unit -> t
+(** Keep every sample; exact quantiles. *)
+
+val sketch : ?capacity:int -> seed:int -> unit -> t
+(** Bounded memory: a [capacity]-slot uniform reservoir (Vitter's
+    algorithm R, default capacity 1024) plus exact moments and min/max.
+    Raises [Invalid_argument] if [capacity < 2]. *)
+
+val name : t -> string
+(** ["exact"] or ["sketch"] — for report labels. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Number of samples offered (not retained) — exact on both backends. *)
+
+val is_empty : t -> bool
+
+val mean : t -> float
+(** Exact on both backends; 0 when empty. *)
+
+val stddev : t -> float
+(** Exact (population) on both backends; 0 with fewer than 2 samples. *)
+
+val min_value : t -> float
+
+val max_value : t -> float
+(** Exact on both backends. Raise [Invalid_argument] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [\[0,1\]]; linear interpolation between
+    order statistics (of all samples, or of the reservoir). [q = 0] and
+    [q = 1] return the exact min/max on both backends. Raises
+    [Invalid_argument] if empty or [q] out of range. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] = [quantile t (p /. 100.)]. *)
+
+val percentiles : t -> float list -> float list
+
+val cdf_curve : t -> ?steps:int -> unit -> (float * float) list
+(** Evenly spaced [(x, fraction <= x)] curve over the sample range, the
+    shape {!Report.cdf_table} prints. Empty list when empty. *)
+
+val merge : t -> t -> t
+(** A new sink summarizing both streams. Moments, min/max and count
+    merge exactly on every backend combination; exact+exact keeps every
+    sample, any combination involving a sketch yields a sketch whose
+    reservoir subsamples each side proportionally to its stream length. *)
+
+val to_dist : t -> Dist.t
+(** The retained samples as a {!Dist} — every sample for an exact sink,
+    the reservoir for a sketch — for handing to histogram/PDF helpers
+    that need raw data. *)

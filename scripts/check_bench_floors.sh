@@ -1,15 +1,18 @@
 #!/bin/sh
-# CI floor guard for the macro benchmark: fail if any workload in a
-# BENCH_macro.json dropped below its committed floor, or if a floored
-# workload is missing from the output entirely. Floors are deliberately
-# conservative (an order of magnitude under healthy numbers) — the guard
-# catches collapses, not noise.
+# CI guard for the benchmark baselines: fail if any workload in a fresh
+# BENCH_*.json dropped below its committed floor (ops/sec) or rose above
+# its committed ceiling (resident words per node), if a guarded workload
+# is missing from the output entirely, or if the metric a bound refers to
+# is missing from that workload's line — a silently-absent key must read
+# as a regression, not as a pass. Bounds are deliberately conservative
+# (an order of magnitude off the healthy numbers) — the guard catches
+# collapses, not noise.
 #
-# Usage: scripts/check_bench_floors.sh BENCH_macro.json BENCH_macro.floors.json
+# Usage: scripts/check_bench_floors.sh BENCH_x.json BENCH_x.floors.json
 set -eu
 
 if [ $# -ne 2 ]; then
-  echo "usage: $0 BENCH_macro.json BENCH_macro.floors.json" >&2
+  echo "usage: $0 BENCH.json BENCH.floors.json" >&2
   exit 2
 fi
 bench=$1
@@ -25,26 +28,50 @@ done
 # so a line-oriented awk pass is enough — no JSON parser dependency.
 awk -v FS='"' '
   FNR == NR {
-    if ($2 == "name" && match($0, /"floor_ops_per_sec": */)) {
-      floor[$4] = substr($0, RSTART + RLENGTH) + 0
+    if ($2 == "name") {
+      n = $4
+      guarded[n] = 1
+      if (match($0, /"floor_ops_per_sec": */))
+        floor[n] = substr($0, RSTART + RLENGTH) + 0
+      if (match($0, /"ceiling_words_per_node": */))
+        ceiling[n] = substr($0, RSTART + RLENGTH) + 0
     }
     next
   }
-  $2 == "name" && match($0, /"ops_per_sec": */) {
+  $2 == "name" && ($4 in guarded) {
     name = $4
-    rate = substr($0, RSTART + RLENGTH) + 0
+    seen[name] = 1
     if (name in floor) {
-      seen[name] = 1
-      if (rate < floor[name]) {
-        printf "FLOOR VIOLATION: %s ran at %.0f ops/s, floor is %.0f\n", name, rate, floor[name]
-        bad = 1
+      if (match($0, /"ops_per_sec": */)) {
+        rate = substr($0, RSTART + RLENGTH) + 0
+        if (rate < floor[name]) {
+          printf "FLOOR VIOLATION: %s ran at %.0f ops/s, floor is %.0f\n", name, rate, floor[name]
+          bad = 1
+        } else {
+          printf "floor ok:   %-18s %12.0f ops/s (floor %.0f)\n", name, rate, floor[name]
+        }
       } else {
-        printf "floor ok: %-18s %12.0f ops/s (floor %.0f)\n", name, rate, floor[name]
+        printf "FLOOR VIOLATION: %s has no ops_per_sec field in bench output\n", name
+        bad = 1
+      }
+    }
+    if (name in ceiling) {
+      if (match($0, /"words_per_node": */)) {
+        words = substr($0, RSTART + RLENGTH) + 0
+        if (words > ceiling[name]) {
+          printf "CEILING VIOLATION: %s uses %.1f words/node, ceiling is %.1f\n", name, words, ceiling[name]
+          bad = 1
+        } else {
+          printf "ceiling ok: %-18s %12.1f words/node (ceiling %.1f)\n", name, words, ceiling[name]
+        }
+      } else {
+        printf "CEILING VIOLATION: %s has no words_per_node field in bench output\n", name
+        bad = 1
       }
     }
   }
   END {
-    for (n in floor)
+    for (n in guarded)
       if (!(n in seen)) {
         printf "FLOOR VIOLATION: workload %s missing from bench output\n", n
         bad = 1

@@ -144,6 +144,62 @@ let test_chord_fingers_exact () =
         true
         (Float.of_int !exact /. Float.of_int !total > 0.98))
 
+(* Warm start: a ring built by [assemble] must route exactly like a
+   converged joined ring, with no periodics and no join traffic. *)
+let test_chord_assemble_routes_correctly () =
+  let n = 500 in
+  let config = { Apps.Chord.default_config with m = 16 } in
+  let md = 1 lsl 16 in
+  let eng = Engine.create ~seed:77 () in
+  let tb = Testbed.synthetic ~hosts:n (Engine.rng eng) in
+  let net = Net.create eng tb in
+  let spacing = md / n in
+  let ring =
+    Array.init n (fun i -> Apps.Node.make ~id:(i * spacing) ~addr:(Addr.make i 9000))
+  in
+  let nodes = Array.make n None in
+  for i = 0 to n - 1 do
+    let env = Env.create net ~me:ring.(i).Apps.Node.addr in
+    Apps.Chord.assemble ~config ~ring ~index:i ~register:(fun c -> nodes.(i) <- Some c) env
+  done;
+  let ids = Array.to_list (Array.map (fun nd -> nd.Apps.Node.id) ring) in
+  let rng = Rng.create 5 in
+  let checked = ref 0 in
+  ignore
+    (Env.thread
+       (match nodes.(0) with
+       | Some c -> Apps.Chord.node_env c
+       | None -> assert false)
+       ~name:"assemble-lookups"
+       (fun () ->
+         for _ = 1 to 100 do
+           let key = Rng.int rng md in
+           let origin = match nodes.(Rng.int rng n) with Some c -> c | None -> assert false in
+           match Apps.Chord.lookup origin key with
+           | Some (owner, hops) ->
+               incr checked;
+               Alcotest.(check int) "routes to the responsible node"
+                 (expected_responsible ids key ~modulus:md)
+                 owner.Apps.Node.id;
+               Alcotest.(check bool) "hop count is logarithmic-ish" true (hops <= 2 * 16)
+           | None -> Alcotest.fail "lookup failed on a failure-free assembled ring"
+         done));
+  ignore (Engine.run ~until:3600.0 eng);
+  Alcotest.(check int) "all lookups ran" 100 !checked;
+  (* structural spot checks: neighbours and first finger agree with the ring *)
+  (match nodes.(3) with
+  | Some c ->
+      Alcotest.(check (option int)) "successor is the next ring entry"
+        (Some ring.(4).Apps.Node.id)
+        (Option.map (fun nd -> nd.Apps.Node.id) (Apps.Chord.successor c));
+      Alcotest.(check (option int)) "predecessor is the previous ring entry"
+        (Some ring.(2).Apps.Node.id)
+        (Option.map (fun nd -> nd.Apps.Node.id) (Apps.Chord.predecessor c))
+  | None -> Alcotest.fail "node 3 not registered");
+  (* a joined ring keeps 3 periodics per node alive forever; an assembled
+     ring's queue must drain completely once the lookups finish *)
+  Alcotest.(check int) "assemble started no periodic processes" 0 (Engine.pending_events eng)
+
 (* {2 Chord (fault-tolerant)} *)
 
 let deploy_chord_ft ctl ~n ~config =
@@ -407,7 +463,7 @@ let test_epidemic_coverage () =
         (Controller.deploy ctl ~name:"epidemic"
            ~main:
              (Apps.Epidemic.app
-                ~config:{ Apps.Epidemic.fanout = 6; rpc_timeout = 5.0 }
+                ~config:{ Apps.Epidemic.fanout = 6; rpc_timeout = 5.0; oneway = false }
                 ~register:(fun c -> nodes := c :: !nodes))
            (Descriptor.make ~bootstrap:(Descriptor.Random_subset 12) n));
       Env.sleep 5.0;
@@ -428,6 +484,51 @@ let test_epidemic_coverage () =
           Alcotest.(check int) "no duplicate delivery" 1
             (List.length (List.filter (String.equal "rumor-1") (Apps.Epidemic.received c))))
         !nodes)
+
+(* One-way mode: same coverage as the RPC path, but every forward is a
+   single notify — no reply traffic, no parked caller fiber per target. *)
+let test_epidemic_oneway_coverage () =
+  let n = 300 in
+  let eng = Engine.create ~seed:91 () in
+  let tb = Testbed.synthetic ~hosts:n (Engine.rng eng) in
+  let net = Net.create eng tb in
+  let addrs = Array.init n (fun i -> Addr.make i 9000) in
+  let config = { Apps.Epidemic.fanout = 6; rpc_timeout = 5.0; oneway = true } in
+  let nodes = Array.make n None in
+  let env0 = ref None in
+  for i = 0 to n - 1 do
+    (* ring + three long chords: connected, sparse, fixed degree *)
+    let peers = List.map (fun s -> addrs.((i + s) mod n)) [ 1; 7; 29; 113 ] in
+    let env = Env.create net ~me:addrs.(i) ~nodes:peers in
+    if i = 0 then env0 := Some env;
+    Apps.Epidemic.app ~config ~register:(fun x -> nodes.(i) <- Some x) env
+  done;
+  (match (nodes.(0), !env0) with
+  | Some origin, Some env ->
+      ignore
+        (Env.thread env ~name:"rumor-origin" (fun () ->
+             Apps.Epidemic.broadcast origin "one-way"))
+  | _ -> Alcotest.fail "origin not registered");
+  ignore (Engine.run eng);
+  let covered =
+    Array.fold_left
+      (fun acc nd ->
+        match nd with
+        | Some x when Apps.Epidemic.has_received x "one-way" -> acc + 1
+        | _ -> acc)
+      0 nodes
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "one-way flood covers nearly everyone (%d/%d)" covered n)
+    true
+    (covered >= n - 3);
+  (* fire-and-forget really is one-way: every message is a request, so the
+     delivered count can't exceed nodes * fanout (no reply packets) *)
+  let delivered = Net.messages_sent net - Net.messages_dropped net in
+  Alcotest.(check bool)
+    (Printf.sprintf "no reply traffic (%d msgs <= %d)" delivered (n * config.fanout))
+    true
+    (delivered <= n * config.fanout)
 
 (* {2 Distribution trees} *)
 
@@ -842,6 +943,8 @@ let () =
           Alcotest.test_case "lookup correct" `Quick test_chord_lookup_correct;
           Alcotest.test_case "hops logarithmic" `Quick test_chord_hops_logarithmic;
           Alcotest.test_case "finger invariant" `Quick test_chord_fingers_exact;
+          Alcotest.test_case "assemble routes correctly" `Quick
+            test_chord_assemble_routes_correctly;
         ] );
       ( "chord_ft",
         [
@@ -856,7 +959,11 @@ let () =
           Alcotest.test_case "proximity tables" `Quick test_pastry_proximity_prefers_close_entries;
         ] );
       ("cyclon", [ Alcotest.test_case "mixes and stays connected" `Quick test_cyclon_mixes ]);
-      ("epidemic", [ Alcotest.test_case "coverage" `Quick test_epidemic_coverage ]);
+      ( "epidemic",
+        [
+          Alcotest.test_case "coverage" `Quick test_epidemic_coverage;
+          Alcotest.test_case "one-way coverage" `Quick test_epidemic_oneway_coverage;
+        ] );
       ("trees", [ Alcotest.test_case "structure and completion" `Quick test_trees_structure_and_completion ]);
       ( "scribe",
         [

@@ -335,7 +335,7 @@ let test_retries () =
             (Env.thread client (fun () ->
                  let t0 = Engine.now eng in
                  let r =
-                   Rpc.a_call_opt client server.Env.me
+                   Rpc.a_call client server.Env.me
                      ~options:{ Rpc.default_options with timeout = 1.0; retries = 2 }
                      "echo" []
                  in
@@ -365,7 +365,7 @@ let backoff_elapsed ~seed ~jitter =
               (Env.thread client (fun () ->
                    let t0 = Engine.now eng in
                    (match
-                      Rpc.a_call_opt client server.Env.me
+                      Rpc.a_call client server.Env.me
                         ~options:
                           { Rpc.timeout = 1.0; retries = 2; backoff = 0.5; backoff_jitter = jitter }
                         "echo" []

@@ -196,7 +196,7 @@ let test_epidemic_with_packet_loss () =
         (Controller.deploy ctl ~name:"epidemic"
            ~main:
              (Apps.Epidemic.app
-                ~config:{ Apps.Epidemic.fanout = 10; rpc_timeout = 3.0 }
+                ~config:{ Apps.Epidemic.fanout = 10; rpc_timeout = 3.0; oneway = false }
                 ~register:(fun c -> nodes := c :: !nodes))
            (Descriptor.make ~bootstrap:(Descriptor.Random_subset 15) 40));
       Env.sleep 5.0;

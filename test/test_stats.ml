@@ -178,9 +178,136 @@ let prop_summary_merge =
       && close (Summary.mean m) (Summary.mean s_all)
       && close (Summary.variance m) (Summary.variance s_all))
 
+(* {2 Sink — exact and sketch backends} *)
+
+let sink_feed s xs = List.iter (Sink.add s) xs
+
+(* Streams chosen to stress a reservoir: already sorted (late samples are
+   the extremes), reverse sorted, all-ties, and a spike mixture where a
+   rare huge value dominates the range. *)
+let adversarial_streams n =
+  [
+    ("sorted", List.init n Float.of_int);
+    ("reverse", List.init n (fun i -> Float.of_int (n - i)));
+    ("constant", List.init n (fun _ -> 42.0));
+    ("spike", List.init n (fun i -> if i mod 100 = 0 then 1e9 else 1.0));
+  ]
+
+let test_sink_exact_matches_dist () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  let s = Sink.exact () and d = feed xs in
+  sink_feed s xs;
+  Alcotest.(check int) "count" (Dist.count d) (Sink.count s);
+  Alcotest.(check (float 1e-9)) "mean" (Dist.mean d) (Sink.mean s);
+  Alcotest.(check (float 1e-9)) "stddev" (Dist.stddev d) (Sink.stddev s);
+  Alcotest.(check (float 1e-9)) "p50" (Dist.percentile d 50.0) (Sink.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p90" (Dist.percentile d 90.0) (Sink.percentile s 90.0)
+
+let test_sink_sketch_moments_exact () =
+  (* count / mean / min / max are tracked outside the reservoir, so they
+     must be exact on every stream no matter what got sampled away *)
+  List.iter
+    (fun (name, xs) ->
+      let e = Sink.exact () and k = Sink.sketch ~capacity:256 ~seed:7 () in
+      sink_feed e xs;
+      sink_feed k xs;
+      Alcotest.(check int) (name ^ " count") (Sink.count e) (Sink.count k);
+      Alcotest.(check (float 1e-6)) (name ^ " min") (Sink.min_value e) (Sink.min_value k);
+      Alcotest.(check (float 1e-6)) (name ^ " max") (Sink.max_value e) (Sink.max_value k);
+      let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a) in
+      Alcotest.(check bool) (name ^ " mean") true (close (Sink.mean e) (Sink.mean k)))
+    (adversarial_streams 5_000)
+
+let test_sink_sketch_rank_error () =
+  (* Interior quantiles of a capacity-c reservoir carry O(1/sqrt c) rank
+     error. Check each sketch answer against the exact quantiles at
+     q +/- tol — a rank-based bound that ties (the constant stream) and
+     spikes cannot fool the way a value-based bound could. *)
+  let cap = 1024 in
+  let tol = 4.0 /. Float.sqrt (Float.of_int cap) in
+  List.iter
+    (fun (name, xs) ->
+      let e = Sink.exact () and k = Sink.sketch ~capacity:cap ~seed:13 () in
+      sink_feed e xs;
+      sink_feed k xs;
+      List.iter
+        (fun q ->
+          let v = Sink.quantile k q in
+          let lo = Sink.quantile e (Float.max 0.0 (q -. tol)) in
+          let hi = Sink.quantile e (Float.min 1.0 (q +. tol)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s q=%.2f: %g within rank band [%g, %g]" name q v lo hi)
+            true
+            (v >= lo && v <= hi))
+        [ 0.1; 0.25; 0.5; 0.75; 0.9 ])
+    (adversarial_streams 20_000)
+
+let test_sink_sketch_endpoints_exact () =
+  let k = Sink.sketch ~capacity:64 ~seed:3 () in
+  sink_feed k (List.init 10_000 (fun i -> if i = 7777 then 1e9 else Float.of_int i));
+  Alcotest.(check (float 1e-9)) "q=0 is the true min" 0.0 (Sink.quantile k 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 is the true max" 1e9 (Sink.quantile k 1.0)
+
+let test_sink_sketch_deterministic () =
+  let mk () =
+    let k = Sink.sketch ~capacity:128 ~seed:99 () in
+    sink_feed k (List.init 10_000 (fun i -> Float.of_int ((i * 7919) mod 1000)));
+    k
+  in
+  let a = mk () and b = mk () in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "same seed, same q=%.2f" q)
+        (Sink.quantile a q) (Sink.quantile b q))
+    [ 0.1; 0.5; 0.9 ]
+
+let test_sink_merge () =
+  let xs = List.init 3_000 Float.of_int in
+  let ys = List.init 3_000 (fun i -> Float.of_int (10_000 + i)) in
+  (* exact + exact stays exact *)
+  let ea = Sink.exact () and eb = Sink.exact () in
+  sink_feed ea xs;
+  sink_feed eb ys;
+  let em = Sink.merge ea eb in
+  Alcotest.(check int) "exact merged count" 6_000 (Sink.count em);
+  Alcotest.(check (float 1e-9)) "exact merged max" 12_999.0 (Sink.max_value em);
+  (* sketch merge keeps the exact moments and a usable reservoir *)
+  let ka = Sink.sketch ~capacity:256 ~seed:1 () and kb = Sink.sketch ~capacity:256 ~seed:2 () in
+  sink_feed ka xs;
+  sink_feed kb ys;
+  let km = Sink.merge ka kb in
+  Alcotest.(check int) "sketch merged count" 6_000 (Sink.count km);
+  Alcotest.(check (float 1e-9)) "sketch merged min" 0.0 (Sink.min_value km);
+  Alcotest.(check (float 1e-9)) "sketch merged max" 12_999.0 (Sink.max_value km);
+  let expected_mean = (Sink.mean ea *. 0.5) +. (Sink.mean eb *. 0.5) in
+  Alcotest.(check (float 1e-6)) "sketch merged mean" expected_mean (Sink.mean km);
+  (* the merged median separates the two halves *)
+  let p50 = Sink.quantile km 0.5 in
+  Alcotest.(check bool) "merged median between the halves" true (p50 > 1_000.0 && p50 < 12_000.0)
+
+let prop_sink_quantiles_monotone_both_backends =
+  QCheck.Test.make ~name:"sink quantiles monotone and within [min,max] (both backends)"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_range (-1000.) 1000.))
+    (fun xs ->
+      List.for_all
+        (fun s ->
+          sink_feed s xs;
+          let qs = List.map (Sink.quantile s) [ 0.0; 0.1; 0.5; 0.9; 1.0 ] in
+          let rec mono = function a :: (b :: _ as r) -> a <= b && mono r | _ -> true in
+          mono qs
+          && List.for_all (fun v -> v >= Sink.min_value s && v <= Sink.max_value s) qs)
+        [ Sink.exact (); Sink.sketch ~capacity:32 ~seed:5 () ])
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_percentile_monotone; prop_cdf_bounds; prop_summary_merge ]
+    [
+      prop_percentile_monotone;
+      prop_cdf_bounds;
+      prop_summary_merge;
+      prop_sink_quantiles_monotone_both_backends;
+    ]
 
 let () =
   Alcotest.run "splay_stats"
@@ -210,6 +337,15 @@ let () =
         [
           Alcotest.test_case "cells" `Quick test_report_cells;
           Alcotest.test_case "bar" `Quick test_report_bar;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "exact matches dist" `Quick test_sink_exact_matches_dist;
+          Alcotest.test_case "sketch moments exact" `Quick test_sink_sketch_moments_exact;
+          Alcotest.test_case "sketch rank error" `Quick test_sink_sketch_rank_error;
+          Alcotest.test_case "sketch endpoints exact" `Quick test_sink_sketch_endpoints_exact;
+          Alcotest.test_case "sketch deterministic" `Quick test_sink_sketch_deterministic;
+          Alcotest.test_case "merge" `Quick test_sink_merge;
         ] );
       ("properties", qsuite);
     ]
