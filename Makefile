@@ -2,7 +2,7 @@ all:
 	dune build @all
 
 check:
-	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) check-smoke
+	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) bench-obs-smoke && $(MAKE) check-smoke
 
 test:
 	dune runtest
@@ -35,6 +35,17 @@ bench-scale-smoke:
 bench-baseline:
 	dune exec bench/main.exe -- micro macro --jobs 2
 
+# Metrics-plane smoke test: the macro workloads with a metrics dump
+# enabled end to end (exercising Obs_flags parsing, rollup capture/absorb
+# across 2 domains, and the JSONL writer), the obs-overhead floors —
+# the _obs twin rows must hold their budgeted rates — and a `splay top`
+# render of the dump.
+bench-obs-smoke:
+	dune exec bench/main.exe -- macro --jobs 2 --bench-macro-out=_build/BENCH_macro.obs-smoke.json --metrics-out=_build/metrics.obs-smoke.jsonl
+	scripts/check_bench_floors.sh _build/BENCH_macro.obs-smoke.json BENCH_macro.floors.json
+	dune exec bin/splay_cli.exe -- top _build/metrics.obs-smoke.jsonl | grep -q "percentile columns:"
+	@echo "bench-obs-smoke: OK"
+
 # Simulation-testing gates. check-smoke is the fast always-green CI gate;
 # check-fuzz is the broad fault-injection sweep over every suite (base
 # chord is *expected* to fail it — the || true keeps the target usable as
@@ -56,4 +67,4 @@ trace-demo:
 	  | tee /dev/stderr | grep -q "rpc\."
 	@echo "trace-demo: OK (critical path extracted)"
 
-.PHONY: all check test bench bench-smoke bench-scale-smoke bench-baseline trace-demo check-smoke check-fuzz
+.PHONY: all check test bench bench-smoke bench-scale-smoke bench-obs-smoke bench-baseline trace-demo check-smoke check-fuzz

@@ -111,7 +111,14 @@ let rpc_trial ~calls seed =
     failwith (Printf.sprintf "rpc_roundtrip: %d of %d calls completed" !ok calls);
   calls
 
-type row = { name : string; jobs : int; ops : int; seconds : float; rate : float }
+type row = {
+  name : string;
+  jobs : int;
+  ops : int;
+  seconds : float;
+  rate : float;
+  extras : (string * float) list; (* workload-specific numeric fields *)
+}
 
 let measure ~jobs name seeds trial =
   let t0 = Unix.gettimeofday () in
@@ -119,16 +126,45 @@ let measure ~jobs name seeds trial =
   let dt = Unix.gettimeofday () -. t0 in
   let rate = Float.of_int ops /. dt in
   Printf.printf "  %-18s jobs=%d %12.0f ops/s  (%d ops in %.3f s)\n%!" name jobs rate ops dt;
-  { name; jobs; ops; seconds = dt; rate }
+  { name; jobs; ops; seconds = dt; rate; extras = [] }
+
+(* Metrics-plane variants: the same workloads re-run with windowed rollups
+   enabled ([Obs.metrics_enabled], no trace plane). The committed baseline
+   then documents the metrics overhead — the `_obs` rate against its plain
+   twin is the ratio check_bench_floors.sh guards — and the rollup
+   histograms supply end-to-end RPC latency percentiles that the plain
+   rows (which only count ops) cannot see. Worker-domain rollups merge
+   through Pool's capture/absorb in trial order, so the percentiles are
+   jobs-independent. *)
+let h_rpc_latency = Obs.histogram "rpc.latency"
+
+let measure_obs ~jobs name seeds trial =
+  let saved = !Obs.metrics_enabled in
+  Obs.metrics_enabled := true;
+  Obs.Rollup.clear ();
+  Fun.protect
+    ~finally:(fun () -> Obs.metrics_enabled := saved)
+    (fun () ->
+      let row = measure ~jobs name seeds trial in
+      let q p = Obs.Rollup.quantile h_rpc_latency p in
+      let extras =
+        if Obs.Rollup.count h_rpc_latency = 0 then []
+        else [ ("p50_rpc_s", q 0.5); ("p99_rpc_s", q 0.99); ("p999_rpc_s", q 0.999) ]
+      in
+      { row with extras })
 
 let write_bench_json path rows =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"schema\": \"splay-bench-macro/1\",\n  \"workloads\": [\n";
   List.iteri
     (fun i r ->
+      let extras =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %.6f" k v) r.extras)
+      in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"jobs\": %d, \"ops\": %d, \"seconds\": %.6f, \"ops_per_sec\": %.0f}%s\n"
-        r.name r.jobs r.ops r.seconds r.rate
+        "    {\"name\": \"%s\", \"jobs\": %d, \"ops\": %d, \"seconds\": %.6f, \"ops_per_sec\": %.0f%s}%s\n"
+        r.name r.jobs r.ops r.seconds r.rate extras
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -153,7 +189,14 @@ let run () =
         let chord = measure ~jobs "chord_events" (seeds 100) (chord_trial ~n:n_chord ~per_node) in
         let epi = measure ~jobs "epidemic_events" (seeds 200) (epidemic_trial ~n:n_epidemic ~rumors) in
         let rpc = measure ~jobs "rpc_roundtrips" (seeds 300) (rpc_trial ~calls) in
-        [ chord; epi; rpc ])
+        let chord_o =
+          measure_obs ~jobs "chord_events_obs" (seeds 100) (chord_trial ~n:n_chord ~per_node)
+        in
+        let epi_o =
+          measure_obs ~jobs "epidemic_events_obs" (seeds 200) (epidemic_trial ~n:n_epidemic ~rumors)
+        in
+        let rpc_o = measure_obs ~jobs "rpc_roundtrips_obs" (seeds 300) (rpc_trial ~calls) in
+        [ chord; epi; rpc; chord_o; epi_o; rpc_o ])
       jobs_list
   in
   write_bench_json !Common.bench_macro_out rows

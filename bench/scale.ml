@@ -41,9 +41,27 @@ type row = {
 
 let ops_per_sec r = if r.seconds > 0.0 then Float.of_int r.ops /. r.seconds else 0.0
 
+(* Metrics-plane variants ([_obs] rows): the same single runs with
+   windowed rollups and per-host telemetry sampling enabled. The paired
+   rows put a number on the metrics overhead at scale — wall clock and
+   resident words against the plain twin — which is exactly what the
+   floors file guards. *)
+let h_link_wait = Obs.histogram "net.link_wait"
+let h_lookup = Obs.histogram "chord.lookup_s"
+
+let with_metrics ~obs f =
+  if not obs then f ()
+  else begin
+    let saved = !Obs.metrics_enabled in
+    Obs.metrics_enabled := true;
+    Obs.Rollup.clear ();
+    Fun.protect ~finally:(fun () -> Obs.metrics_enabled := saved) f
+  end
+
 (* ---------- epidemic flood ---------- *)
 
-let epidemic_run ~n ~seed =
+let epidemic_run ?(obs = false) ~n ~seed () =
+  with_metrics ~obs @@ fun () ->
   let engine = Engine.create ~seed () in
   let tb = Testbed.synthetic ~hosts:n (Engine.rng engine) in
   let net = Net.create engine tb in
@@ -59,16 +77,21 @@ let epidemic_run ~n ~seed =
   let config = { Apps.Epidemic.fanout = 6; rpc_timeout = 5.0; oneway = true } in
   let nodes = Array.make n None in
   let env0 = ref None in
+  let env_acc = ref [] in
   for i = 0 to n - 1 do
     let peers = Array.to_list (Array.map (fun s -> addrs.((i + s) mod n)) strides) in
     let env = Env.create net ~me:addrs.(i) ~nodes:peers in
     if i = 0 then env0 := Some env;
+    if obs then env_acc := env :: !env_acc;
     Apps.Epidemic.app ~config ~register:(fun x -> nodes.(i) <- Some x) env
   done;
+  let envs = if obs then Array.of_list (List.rev !env_acc) else [||] in
+  env_acc := [];
   let resident = live_words () - base in
   let origin = match nodes.(0) with Some x -> x | None -> assert false in
   let env0 = match !env0 with Some e -> e | None -> assert false in
   ignore (Env.thread env0 ~name:"rumor-origin" (fun () -> Apps.Epidemic.broadcast origin "r0"));
+  if obs then Telemetry.monitor engine (fun () -> Telemetry.sample_envs envs);
   let t0 = Unix.gettimeofday () in
   ignore (Engine.run engine);
   let wall = Unix.gettimeofday () -. t0 in
@@ -80,18 +103,27 @@ let epidemic_run ~n ~seed =
     nodes;
   let delivered = Net.messages_sent net - Net.messages_dropped net in
   {
-    name = Printf.sprintf "epidemic_%s" (Common.size_tag n);
+    name = Printf.sprintf "epidemic_%s%s" (Common.size_tag n) (if obs then "_obs" else "");
     nodes = n;
     ops = delivered;
     seconds = wall;
     resident_words = resident;
     words_per_node = Float.of_int resident /. Float.of_int n;
-    extras = [ ("coverage", Float.of_int !covered /. Float.of_int n) ];
+    extras =
+      ("coverage", Float.of_int !covered /. Float.of_int n)
+      ::
+      (if obs then
+         [
+           ("p50_link_wait_s", Obs.Rollup.quantile h_link_wait 0.5);
+           ("p99_link_wait_s", Obs.Rollup.quantile h_link_wait 0.99);
+         ]
+       else []);
   }
 
 (* ---------- chord lookups ---------- *)
 
-let chord_run ~n ~seed ~lookups =
+let chord_run ?(obs = false) ~n ~seed ~lookups () =
+  with_metrics ~obs @@ fun () ->
   let engine = Engine.create ~seed () in
   let tb = Testbed.synthetic ~hosts:n (Engine.rng engine) in
   let net = Net.create engine tb in
@@ -133,6 +165,7 @@ let chord_run ~n ~seed ~lookups =
              | Some (owner, h) ->
                  incr completed;
                  Sink.add lat (Engine.now engine -. t0);
+                 Obs.observe h_lookup (Engine.now engine -. t0);
                  Sink.add hops (Float.of_int h);
                  if owner.Apps.Node.id <> expected key then incr wrong
              | None -> ()
@@ -145,7 +178,7 @@ let chord_run ~n ~seed ~lookups =
     (Printf.sprintf "chord %d: all %d lookups correct" n !completed)
     (!wrong = 0 && !completed > 0);
   {
-    name = Printf.sprintf "chord_%s" (Common.size_tag n);
+    name = Printf.sprintf "chord_%s%s" (Common.size_tag n) (if obs then "_obs" else "");
     nodes = n;
     ops = !completed;
     seconds = wall;
@@ -157,7 +190,17 @@ let chord_run ~n ~seed ~lookups =
         ("p99_hops", if Sink.is_empty hops then 0.0 else Sink.quantile hops 0.99);
         ("p50_lookup_s", if Sink.is_empty lat then 0.0 else Sink.quantile lat 0.5);
         ("p99_lookup_s", if Sink.is_empty lat then 0.0 else Sink.quantile lat 0.99);
-      ];
+      ]
+      @ (* the rollup sees every lookup (the sketch subsamples), so the obs
+           rows carry exact-count log-bucket percentiles up to p999 *)
+      (if obs then
+         let rq p = Obs.Rollup.quantile h_lookup p in
+         [
+           ("ru_p50_lookup_s", rq 0.5);
+           ("ru_p99_lookup_s", rq 0.99);
+           ("ru_p999_lookup_s", rq 0.999);
+         ]
+       else []);
   }
 
 (* ---------- harness ---------- *)
@@ -200,9 +243,40 @@ let run () =
   Report.section "Scale — single-run node-count curve (one core)";
   let ep_sizes = Common.pick ~quick:[ 1_000; 10_000 ] ~full:[ 1_000; 10_000; 100_000; 1_000_000 ] in
   let ch_sizes = Common.pick ~quick:[ 1_000; 10_000 ] ~full:[ 1_000; 10_000; 100_000 ] in
+  (* metrics-plane twins: 10k everywhere (the guarded smoke size), plus
+     the full-scale flagships so the committed baseline records the
+     metrics overhead where it hurts most. A twin runs interleaved with
+     its plain row — plain, obs, plain, obs — keeping each variant's best
+     wall clock: consecutive million-node runs in one process see heap
+     and machine states that differ by tens of percent (far more than
+     the overhead being measured), and min-of-interleaved keeps a slow
+     slot from landing the penalty on either side of the ratio. *)
+  let ep_obs_sizes = Common.pick ~quick:[ 10_000 ] ~full:[ 10_000; 1_000_000 ] in
+  let ch_obs_sizes = Common.pick ~quick:[ 10_000 ] ~full:[ 10_000; 100_000 ] in
+  let min_row (a : row) b = if b.seconds < a.seconds then b else a in
+  let paired ~repeats plain obs =
+    let rec go i (bp, bo) =
+      if i >= repeats then [ bp; bo ] else go (i + 1) (min_row bp (plain ()), min_row bo (obs ()))
+    in
+    go 1 (plain (), obs ())
+  in
   let rows =
-    List.map (fun n -> epidemic_run ~n ~seed:11) ep_sizes
-    @ List.map (fun n -> chord_run ~n ~seed:23 ~lookups:(min 2_000 (n * 2))) ch_sizes
+    List.concat_map
+      (fun n ->
+        let plain () = epidemic_run ~n ~seed:11 () in
+        if List.mem n ep_obs_sizes then
+          paired
+            ~repeats:(if n >= 1_000_000 then 2 else 1)
+            plain
+            (fun () -> epidemic_run ~obs:true ~n ~seed:11 ())
+        else [ plain () ])
+      ep_sizes
+    @ List.concat_map
+        (fun n ->
+          let lookups = min 2_000 (n * 2) in
+          chord_run ~n ~seed:23 ~lookups ()
+          :: (if List.mem n ch_obs_sizes then [ chord_run ~obs:true ~n ~seed:23 ~lookups () ] else []))
+        ch_sizes
   in
   print_rows rows;
   List.iter

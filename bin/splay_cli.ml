@@ -36,10 +36,12 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace speedup seed descriptor_file obs_trace =
+let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace speedup seed descriptor_file obs_trace metrics_out metrics_window =
   (* Arm the observability layer before the platform exists so daemon
      boot and deployment are part of the trace. *)
   Obs_flags.trace_path := obs_trace;
+  Obs_flags.metrics_path := metrics_out;
+  Obs_flags.metrics_window := metrics_window;
   Obs_flags.arm ();
   let spec =
     match testbed with
@@ -116,6 +118,8 @@ let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace sp
       let dep = Controller.deploy ctl ~name:"cli-job" ~main descriptor in
       Printf.printf "deployed %d instances in %.2f virtual seconds\n%!"
         (Controller.live_count dep) (Engine.now eng -. t0);
+      (* splayctl-style job monitoring into the metrics plane *)
+      Controller.monitor dep;
       (* churn, if requested *)
       (match (churn_script, churn_trace) with
       | Some path, _ ->
@@ -198,9 +202,25 @@ let run_term =
             "Enable the deterministic observability layer and write its JSONL trace (engine, \
              RPC, network and controller spans plus metrics) to $(docv).")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable the metrics plane and write its windowed rollups (splay-metrics/1 JSONL) to \
+             $(docv); render with $(b,splay top) $(docv).")
+  in
+  let metrics_window =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "metrics-window" ] ~docv:"SECONDS"
+          ~doc:"Rollup window width in virtual seconds (default 10).")
+  in
   Term.(
     const run_cmd $ app_arg $ testbed $ hosts $ nodes $ duration $ lookups $ churn_script
-    $ churn_trace $ speedup $ seed $ descriptor $ obs_trace)
+    $ churn_trace $ speedup $ seed $ descriptor $ obs_trace $ metrics_out $ metrics_window)
 
 let run_cmd_info = Cmd.info "run" ~doc:"Deploy an application on a simulated testbed and measure it."
 
@@ -359,6 +379,54 @@ let profile_term =
 let profile_cmd_info =
   Cmd.info "profile" ~doc:"Print the expected population profile of a churn script."
 
+(* {1 splay top} *)
+
+let top_cmd metric k prom path =
+  let m =
+    try Metrics_analysis.load_file path
+    with Sys_error msg ->
+      Printf.eprintf "splay top: cannot read metrics dump: %s\n" msg;
+      exit 1
+  in
+  if m.Metrics_analysis.rows = [] then begin
+    Printf.eprintf "splay top: no metrics rows in %s (produce one with --metrics-out=FILE)\n" path;
+    exit 1
+  end;
+  if prom then print_string (Metrics_analysis.prometheus m)
+  else Metrics_analysis.print_top ?metric ~k m
+
+let top_term =
+  (* [string], not [file]: a missing path must be our clean exit-1 error,
+     not cmdliner's exit-124 conversion failure *)
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"METRICS.jsonl") in
+  let metric =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metric" ] ~docv:"NAME"
+          ~doc:
+            "Histogram whose per-window percentiles fill the p50/p99/p999 columns (default \
+             rpc.latency, else the first histogram in the dump).")
+  in
+  let k =
+    Arg.(value & opt int 5 & info [ "k" ] ~docv:"N" ~doc:"Status-note rows to print (default 5).")
+  in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "Emit the whole-run totals in Prometheus text exposition format instead of the \
+             per-window dashboard.")
+  in
+  Term.(const top_cmd $ metric $ k $ prom $ path)
+
+let top_cmd_info =
+  Cmd.info "top"
+    ~doc:
+      "Render a metrics-plane dump (splay run --metrics-out=FILE): per-window global rates and \
+       latency percentiles, cumulative summaries, and splayctl job-status rows."
+
 (* {1 splay trace ...} *)
 
 let write_out out data =
@@ -407,6 +475,13 @@ let trace_analyze critical root_name = function
           Printf.eprintf "splay trace: cannot read trace: %s\n" m;
           exit 1
       in
+      if t.Trace_analysis.spans = [] then begin
+        Printf.eprintf
+          "splay trace: no complete spans in %s (empty or metrics-only dump? analyze those with \
+           splay top)\n"
+          path;
+        exit 1
+      end;
       let root =
         match root_name with
         | None -> None
@@ -511,6 +586,7 @@ let () =
         Cmd.v run_cmd_info run_term;
         Cmd.v check_cmd_info check_term;
         Cmd.v profile_cmd_info profile_term;
+        Cmd.v top_cmd_info top_term;
         trace_cmds;
       ]
   in

@@ -31,6 +31,7 @@ module Pool = Splay_sim.Pool
 (* Observability: deterministic tracing + metrics across all layers *)
 module Obs = Splay_obs.Obs
 module Trace_analysis = Splay_obs.Trace_analysis
+module Metrics_analysis = Splay_obs.Metrics_analysis
 module Obs_flags = Splay_obs.Obs_flags
 
 (* Statistics and reporting *)
@@ -59,6 +60,7 @@ module Sb_socket = Splay_runtime.Sb_socket
 module Sb_stream = Splay_runtime.Sb_stream
 module Sb_fs = Splay_runtime.Sb_fs
 module Rpc = Splay_runtime.Rpc
+module Telemetry = Splay_runtime.Telemetry
 module Locks = Splay_runtime.Locks
 
 (* Controller side *)

@@ -77,7 +77,8 @@ let create ?(unseen_timeout = 3600.0) net ~host =
               | Some d ->
                   let now = Engine.now (Net.engine net) in
                   Obs.incr c_heartbeats;
-                  if !Obs.enabled then Obs.observe h_heartbeat_age (now -. d.dr_last_seen);
+                  if !Obs.enabled || !Obs.metrics_enabled then
+                    Obs.observe h_heartbeat_age (now -. d.dr_last_seen);
                   d.dr_last_seen <- now
               | None -> ())
           | _ -> failwith "heartbeat: bad arguments");
@@ -428,6 +429,122 @@ let live_envs dep =
     (live_members dep)
 
 let live_count dep = List.length (live_members dep)
+
+(* {1 Status — the splayctl view of a running job}
+
+   The paper's splayctl continuously shows, per job, which splayds are up,
+   how loaded they are and who is closest to its sandbox caps. The status
+   record is that row: computed on demand from the controller's own
+   membership and the daemons' instance tables (no extra RPC round — the
+   controller co-simulates with the daemons), and cheap enough to sample
+   every rollup window. *)
+
+type job_status = {
+  st_name : string;
+  st_members : int; (* ever deployed *)
+  st_live : int; (* started, not stopped, host up *)
+  st_hosts_up : int; (* distinct member hosts currently up *)
+  st_hosts_down : int;
+  st_fibers : int; (* live processes across live instances *)
+  st_inflight : int; (* outstanding RPC calls across live instances *)
+  st_mem_bytes : int; (* sandbox-accounted memory across live instances *)
+  st_worst : (Addr.t * int) list; (* hottest instances by memory, descending *)
+}
+
+let job_name dep =
+  match Hashtbl.find_opt dep.dep_ctl.c_specs dep.dep_job.j_id with
+  | Some spec -> spec.Daemon.js_name
+  | None -> string_of_int dep.dep_job.j_id
+
+let job_status ?(top = 3) dep =
+  let t = dep.dep_ctl in
+  let ms = members dep in
+  let hosts = List.sort_uniq compare (List.map (fun (d, _, _) -> Daemon.host d) ms) in
+  let up, down = List.partition (Net.host_up t.c_net) hosts in
+  let live = ref 0 and fibers = ref 0 and inflight = ref 0 and mem = ref 0 in
+  let per = ref [] in
+  List.iter
+    (fun ((d, a, _) as m) ->
+      if Net.host_up t.c_net (Daemon.host d) then
+        match member_instance m with
+        | Some i when Daemon.instance_started i && not (Env.is_stopped (Daemon.instance_env i)) ->
+            let env = Daemon.instance_env i in
+            incr live;
+            fibers := !fibers + Env.live_procs env;
+            inflight := !inflight + Telemetry.inflight_rpcs env;
+            let used = Sandbox.memory_used env.Env.sandbox in
+            mem := !mem + used;
+            per := (a, used) :: !per
+        | _ -> ())
+    ms;
+  let worst =
+    List.sort
+      (fun (a1, m1) (a2, m2) -> if m1 <> m2 then compare m2 m1 else compare a1 a2)
+      (List.rev !per)
+  in
+  let rec take n = function x :: tl when n > 0 -> x :: take (n - 1) tl | _ -> [] in
+  {
+    st_name = job_name dep;
+    st_members = List.length ms;
+    st_live = !live;
+    st_hosts_up = List.length up;
+    st_hosts_down = List.length down;
+    st_fibers = !fibers;
+    st_inflight = !inflight;
+    st_mem_bytes = !mem;
+    st_worst = take top worst;
+  }
+
+let worst_cell st =
+  String.concat " "
+    (List.map (fun (a, m) -> Printf.sprintf "%s:%d" (Addr.to_string a) m) st.st_worst)
+
+let deployments t =
+  let all = Hashtbl.fold (fun _ job acc -> { dep_ctl = t; dep_job = job } :: acc) t.c_jobs [] in
+  List.sort (fun a b -> compare a.dep_job.j_id b.dep_job.j_id) all
+
+let print_status t =
+  Printf.printf "  %-12s %8s %6s %9s %11s %8s %10s %10s  %s\n" "job" "members" "live"
+    "hosts-up" "hosts-down" "fibers" "inflight" "mem-bytes" "worst";
+  List.iter
+    (fun dep ->
+      let st = job_status dep in
+      Printf.printf "  %-12s %8d %6d %9d %11d %8d %10d %10d  %s\n" st.st_name st.st_members
+        st.st_live st.st_hosts_up st.st_hosts_down st.st_fibers st.st_inflight st.st_mem_bytes
+        (worst_cell st))
+    (deployments t)
+
+(* Periodic status sampling into the metrics plane: per-job [ctl.job_status]
+   note rows (the splayd status report of the paper, one row per window)
+   plus the per-host telemetry histograms over the job's live instances.
+   Runs on the controller's env, so it dies with the controller at
+   shutdown; between samples it costs nothing. *)
+let monitor ?interval ?(top = 3) dep =
+  let interval = match interval with Some i -> i | None -> Obs.Rollup.window () in
+  let name = job_name dep in
+  let g_live = Obs.gauge (Printf.sprintf "ctl.job.%s.live" name) in
+  let g_hosts_down = Obs.gauge (Printf.sprintf "ctl.job.%s.hosts_down" name) in
+  ignore
+    (Env.periodic dep.dep_ctl.c_env interval (fun () ->
+         let st = job_status ~top dep in
+         Obs.gauge_set g_live (Float.of_int st.st_live);
+         Obs.gauge_set g_hosts_down (Float.of_int st.st_hosts_down);
+         Telemetry.sample_envs (Array.of_list (live_envs dep));
+         Telemetry.sample_engine (Net.engine dep.dep_ctl.c_net);
+         if !Obs.metrics_enabled then
+           Obs.Rollup.note "ctl.job_status"
+             ~attrs:
+               [
+                 ("job", name);
+                 ("members", string_of_int st.st_members);
+                 ("live", string_of_int st.st_live);
+                 ("hosts_up", string_of_int st.st_hosts_up);
+                 ("hosts_down", string_of_int st.st_hosts_down);
+                 ("fibers", string_of_int st.st_fibers);
+                 ("inflight", string_of_int st.st_inflight);
+                 ("mem_bytes", string_of_int st.st_mem_bytes);
+                 ("worst", worst_cell st);
+               ]))
 
 let add_node dep =
   let t = dep.dep_ctl and job = dep.dep_job in

@@ -118,6 +118,44 @@ val live_members : deployment -> (Daemon.t * Addr.t * int) list
 val live_envs : deployment -> Env.t list
 val live_count : deployment -> int
 
+(** {1 Job status — the splayctl monitoring view}
+
+    The paper's splayctl continuously reports, per job, which splayds are
+    up, their load and their resource consumption against the sandbox
+    caps. {!job_status} computes that row on demand; {!monitor} samples
+    it (plus {!Splay_runtime.Telemetry} host histograms over the job's
+    live instances) into the metrics plane every rollup window, emitting
+    one [ctl.job_status] note row per sample. *)
+
+type job_status = {
+  st_name : string;
+  st_members : int;  (** instances ever started *)
+  st_live : int;  (** started, not stopped, host up *)
+  st_hosts_up : int;  (** distinct member hosts currently up *)
+  st_hosts_down : int;
+  st_fibers : int;  (** live processes across live instances *)
+  st_inflight : int;  (** outstanding RPC calls across live instances *)
+  st_mem_bytes : int;  (** sandbox-accounted memory across live instances *)
+  st_worst : (Addr.t * int) list;  (** hottest instances by memory, descending *)
+}
+
+val job_status : ?top:int -> deployment -> job_status
+(** Current status; [top] bounds {!job_status.st_worst} (default 3). *)
+
+val job_name : deployment -> string
+
+val deployments : t -> deployment list
+(** Every job this controller runs, in deployment order. *)
+
+val print_status : t -> unit
+(** One status line per job on stdout. *)
+
+val monitor : ?interval:float -> ?top:int -> deployment -> unit
+(** Start the periodic status sampler on the controller's env (default
+    interval: the rollup window width). It stops when the controller's
+    env stops. Sampling is observable only while an {!Splay_obs.Obs}
+    plane is enabled. *)
+
 val add_node : deployment -> Addr.t option
 (** Churn join: register + start one more instance on a random alive
     daemon, bootstrapped per the descriptor against current live members.

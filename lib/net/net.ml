@@ -121,7 +121,8 @@ let send_compact t c ?(size = 256) ?loss ~src ~dst payload =
       Array.unsafe_set down_busy dh (start_down +. tx_down);
       let deliver_at = start_down +. tx_down +. c.Testbed.Compact.proc_cost in
       let deliver_at = if t.extra_delay > 0.0 then deliver_at +. t.extra_delay else deliver_at in
-      if traced then Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
+      if traced || !Obs.metrics_enabled then
+        Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
       let mctx = if traced then Obs.current () else Obs.null_ctx in
       ignore
         (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
@@ -166,7 +167,8 @@ let send_classic t ?(size = 256) ?loss ~src ~dst payload =
       (* delay-burst nemesis: a flat add-on past the bandwidth queues, so
          it slows delivery without occupying the links *)
       let deliver_at = if t.extra_delay > 0.0 then deliver_at +. t.extra_delay else deliver_at in
-      if traced then Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
+      if traced || !Obs.metrics_enabled then
+        Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
       (* The sender's trace context travels with the message (the
          wire-level counterpart of the RPC envelope's ctx field): delivery
          runs under it, so receiver-side spans join the sender's causal

@@ -1,0 +1,60 @@
+(** Offline analysis of metrics-plane dumps — the consumer behind
+    [splay top].
+
+    Loads a [splay-metrics/1] JSONL file ({!Obs.dump_metrics}): the header
+    supplies the window width, every other line is a windowed rollup row
+    ([w >= 0]), a whole-run cumulative row ([w = -1]) or a status note.
+    Rows keep their raw field lists, so files written by a newer {!Obs}
+    with extra fields still load.
+
+    A multi-trial dump carries each trial's windows spliced in trial
+    order, so one (window, metric) pair may appear several times; the
+    aggregations here merge them — counters add, gauges keep the last
+    value, histograms add [n]/[sum], merge [min]/[max] and combine
+    quantiles as an [n]-weighted mean (exact for a single row). *)
+
+type row = {
+  r_metric : string;
+  r_kind : string;  (** ["counter"], ["gauge"], ["hist"] or ["note"] *)
+  r_w : int;  (** window index; [-1] = whole-run cumulative *)
+  r_fields : (string * string) list;  (** raw fields, in file order *)
+}
+
+type t = {
+  window : float;  (** window width in virtual seconds *)
+  rows : row list;  (** in file order *)
+  windows : int list;  (** distinct [w >= 0], ascending *)
+}
+
+val field : row -> string -> string option
+val float_field : row -> string -> float option
+val int_field : row -> string -> int option
+
+val load : string -> t
+(** Parse a metrics dump from a string. Malformed lines are skipped. *)
+
+val load_file : string -> t
+(** {!load} on a file's contents. Raises [Sys_error] as [open_in] does. *)
+
+val rows_of : t -> w:int -> string -> row list
+(** Non-note rows of one metric in one window (several for multi-trial
+    dumps); [w = -1] selects the cumulative rows. *)
+
+val metrics_of_kind : t -> string -> string list
+(** Sorted distinct metric names of the given kind with windowed rows. *)
+
+val render : ?metric:string -> ?k:int -> t -> string
+(** The [splay top] dashboard: one line per window (t0, global msgs/s,
+    rpc/s, events/s, drops/s rates, and p50/p99/p999 of [metric] —
+    default [rpc.latency], falling back to the first histogram present),
+    then cumulative histogram summaries and the last [k] (default 5)
+    status-note rows. Missing cells render as ["-"]. *)
+
+val print_top : ?metric:string -> ?k:int -> t -> unit
+(** Print {!render} on stdout. *)
+
+val prometheus : t -> string
+(** Prometheus text exposition of the whole-run cumulative rows: metric
+    names prefixed [splay_] with non-alphanumerics mangled to [_];
+    counters and gauges as their totals / last values, histograms as
+    summaries (quantile labels plus [_sum]/[_count]). *)

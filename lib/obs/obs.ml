@@ -9,6 +9,87 @@ module Report = Splay_stats.Report
    share a mutable word. *)
 let enabled = ref false
 
+(* Second plane: windowed metrics rollups. Independent of [enabled] — a
+   million-node run can keep bounded-memory percentile telemetry without
+   paying for (or storing) a trace. Same toggling discipline as [enabled]:
+   flip only outside parallel sections. *)
+let metrics_enabled = ref false
+
+(* Trace-buffer bound (records, 0 = unlimited). A config knob like the
+   flags above, not per-domain state: every captured trial gets the same
+   budget. Records past the cap are counted, not stored, so a traced
+   100k-node run degrades gracefully instead of growing without bound. *)
+let trace_cap = ref 0
+let set_trace_cap n = trace_cap := max 0 n
+
+(* Rollup window width in virtual seconds; applies to every domain. *)
+let rollup_window = ref 10.0
+
+(* {1 Rollup bucket scheme}
+
+   HDR-style log-linear buckets: 8 linear sub-buckets per power of two,
+   so any positive sample lands in a bucket whose bounds are within
+   1/16th of each other — a fixed ~6% worst-case relative error on
+   reported quantiles, from a fixed 513-slot table (~4 KB per touched
+   histogram per window) no matter how many samples stream through.
+   frexp gives the octave exactly; exponents outside [-19, 44]
+   (≈ 9.5e-7 .. 1.8e13 — far beyond any virtual duration, byte count or
+   queue depth we record) clamp to the end buckets. Bucket 0 is reserved
+   for zero/negative samples, which simulated same-instant waits produce
+   in bulk. *)
+
+let sub_buckets = 8
+let e_min = -19
+let e_max = 44
+let n_buckets = 1 + ((e_max - e_min + 1) * sub_buckets)
+
+(* Exactly frexp's octave and sub-bucket, read straight from the IEEE 754
+   fields (no tuple allocation on the hot path): for a normal double,
+   frexp's e is the raw exponent - 1022, and the linear sub-bucket — the
+   first [log2 sub_buckets] bits of frexp's fraction past 0.5 — is the
+   mantissa's top three bits. Subnormals read e = -1022 and clamp below
+   [e_min] like frexp's would. *)
+let bucket_index v =
+  if v <= 0.0 then 0
+  else begin
+    let bits = Int64.to_int (Int64.bits_of_float v) in
+    let e = ((bits lsr 52) land 0x7ff) - 1022 in
+    if e < e_min then 1
+    else if e > e_max then n_buckets - 1
+    else 1 + ((e - e_min) * sub_buckets) + ((bits lsr 49) land 0x7)
+  end
+
+(* Midpoint of a bucket's bounds: the representative a quantile reports. *)
+let bucket_mid i =
+  if i = 0 then 0.0
+  else begin
+    let k = i - 1 in
+    let e = (k / sub_buckets) + e_min and j = k mod sub_buckets in
+    let lo = Float.ldexp (0.5 +. (Float.of_int j /. Float.of_int (2 * sub_buckets))) e in
+    let hi = Float.ldexp (0.5 +. (Float.of_int (j + 1) /. Float.of_int (2 * sub_buckets))) e in
+    0.5 *. (lo +. hi)
+  end
+
+(* q-quantile by cumulative walk; the exact min/max clamp the end buckets
+   so p0/p100 are exact and a one-sample histogram reports that sample's
+   bucket, never a bound outside the observed range. *)
+let bucket_quantile ~n ~bmin ~bmax buckets q =
+  if n = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. Float.of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    let i = ref 0 and cum = ref 0 in
+    let len = Array.length buckets in
+    while !cum < rank && !i < len do
+      cum := !cum + buckets.(!i);
+      incr i
+    done;
+    let v = bucket_mid (!i - 1) in
+    if v < bmin then bmin else if v > bmax then bmax else v
+  end
+
 (* {1 Trace context}
 
    The ambient (trace, span) position in the causal DAG. [cur] holds an
@@ -51,23 +132,90 @@ let register kind name =
 
 let registered () = Mutex.protect reg_mu (fun () -> !reg_all)
 
+(* Scalar float aggregates (in both the cumulative cells and the window
+   cells below) live in a flat float array: a mutable float field in a
+   mixed int/float record boxes on every store, and [observe] /
+   [wobserve_at] run once per simulated message at million-node scale —
+   unboxed slots keep the metrics fast path allocation-free. *)
+let f_sum = 0
+
+let f_min = 1
+let f_max = 2 (* histogram max / gauge high-water *)
+let f_last = 3 (* gauge last value *)
+
 type cell = {
   mutable cl_n : int; (* counter value / histogram count *)
-  mutable cl_sum : float;
-  mutable cl_min : float;
-  mutable cl_max : float; (* histogram max / gauge high-water *)
-  mutable cl_last : float; (* gauge last value *)
+  cf : float array; (* sum / min / max / last, unboxed *)
 }
 
-let fresh_cell () =
-  { cl_n = 0; cl_sum = 0.0; cl_min = infinity; cl_max = neg_infinity; cl_last = 0.0 }
+let cl_sum c = c.cf.(f_sum)
+let cl_min c = c.cf.(f_min)
+let cl_max c = c.cf.(f_max)
+let cl_last c = c.cf.(f_last)
+let fresh_cell () = { cl_n = 0; cf = [| 0.0; infinity; neg_infinity; 0.0 |] }
 
 let blank_cell c =
   c.cl_n <- 0;
-  c.cl_sum <- 0.0;
-  c.cl_min <- infinity;
-  c.cl_max <- neg_infinity;
-  c.cl_last <- 0.0
+  c.cf.(f_sum) <- 0.0;
+  c.cf.(f_min) <- infinity;
+  c.cf.(f_max) <- neg_infinity;
+  c.cf.(f_last) <- 0.0
+
+(* {1 Rollup state}
+
+   A window cell is one metric's aggregate over one virtual-time window:
+   count (counter value / histogram count), sum/min/max, gauge last, and
+   the log-linear bucket table — allocated lazily, so counters and gauges
+   never pay for 513 slots. The ring holds the [ring_width] most recent
+   windows; advancing past a window renders its touched cells to the
+   domain's rollup buffer (one JSON line per metric) and recycles the
+   slot. Memory is therefore O(metrics × ring_width + rendered rows),
+   independent of run length only in the cell tables — the rendered rows
+   grow one line per touched metric per window, which at a 10-second
+   window is ~5 orders of magnitude lighter than a trace. *)
+
+type wcell = {
+  mutable w_n : int;
+  wf : float array; (* sum / min / max / last, unboxed *)
+  mutable w_gauge : bool; (* gauge touched this window *)
+  mutable w_buckets : int array; (* [||] until the first histogram sample *)
+}
+
+let w_sum w = w.wf.(f_sum)
+let w_min w = w.wf.(f_min)
+let w_max w = w.wf.(f_max)
+let w_last w = w.wf.(f_last)
+let fresh_wcell () = { w_n = 0; wf = [| 0.0; infinity; neg_infinity; 0.0 |]; w_gauge = false; w_buckets = [||] }
+
+let blank_wcell w =
+  w.w_n <- 0;
+  w.wf.(f_sum) <- 0.0;
+  w.wf.(f_min) <- infinity;
+  w.wf.(f_max) <- neg_infinity;
+  w.wf.(f_last) <- 0.0;
+  w.w_gauge <- false;
+  if Array.length w.w_buckets > 0 then Array.fill w.w_buckets 0 n_buckets 0
+
+(* [i] is [bucket_index v], computed once by callers feeding the same
+   sample to both the window and the cumulative cell. *)
+let wobserve_at w v i =
+  w.w_n <- w.w_n + 1;
+  let wf = w.wf in
+  wf.(f_sum) <- wf.(f_sum) +. v;
+  if v < wf.(f_min) then wf.(f_min) <- v;
+  if v > wf.(f_max) then wf.(f_max) <- v;
+  if Array.length w.w_buckets = 0 then w.w_buckets <- Array.make n_buckets 0;
+  w.w_buckets.(i) <- w.w_buckets.(i) + 1
+
+let ring_width = 4
+
+type ru = {
+  ru_mbuf : Buffer.t; (* rendered rows of windows already evicted *)
+  ru_slots : wcell array array; (* ring_width slots, each indexed by handle id *)
+  ru_wids : int array; (* window id held by each slot, -1 = empty *)
+  mutable ru_cur : int; (* newest window id, -1 before the first sample *)
+  mutable ru_cum : wcell array; (* run-cumulative histogram buckets, by handle id *)
+}
 
 (* {1 Domain-local state}
 
@@ -85,6 +233,9 @@ type state = {
   mutable spans_started : int;
   mutable cur : ctx;
   mutable cells : cell array;
+  mutable ru : ru option; (* rollup plane, allocated on first metrics sample *)
+  mutable trace_records : int; (* trace records written (cap accounting) *)
+  mutable trace_dropped : int; (* trace records refused past the cap *)
 }
 
 let new_state () =
@@ -96,6 +247,9 @@ let new_state () =
     spans_started = 0;
     cur = null_ctx;
     cells = [||];
+    ru = None;
+    trace_records = 0;
+    trace_dropped = 0;
   }
 
 let dls : state Domain.DLS.key = Domain.DLS.new_key new_state
@@ -212,6 +366,168 @@ let add_time_value b v =
 
 let add_time s b = add_time_value b (s.clock ())
 
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+(* {1 Rollup rendering}
+
+   One JSON line per touched metric per window, written when a window is
+   evicted from the ring (and for still-open windows at dump time):
+
+     {"m":NAME,"kind":"counter","w":K,"t0":…,"t1":…,"n":N,"rate":R}
+     {"m":NAME,"kind":"gauge","w":K,"t0":…,"t1":…,"last":…,"max":…}
+     {"m":NAME,"kind":"hist","w":K,…,"n":…,"sum":…,"min":…,"max":…,
+      "p50":…,"p90":…,"p99":…,"p999":…}
+
+   [w] is the window index (floor(t / width)); cumulative whole-run rows
+   use w = -1 and omit t0/t1. Metrics within a window are sorted by name
+   (ties broken by registration id) so bytes never depend on hash or
+   registration order. *)
+
+let add_rollup_field b key v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b key;
+  Buffer.add_string b "\":";
+  Buffer.add_string b v
+
+let add_row b ~name ~kind ~wid fields =
+  Buffer.add_string b "{\"m\":";
+  add_json_string b name;
+  Buffer.add_string b ",\"kind\":\"";
+  Buffer.add_string b kind;
+  Buffer.add_string b "\",\"w\":";
+  Buffer.add_string b (string_of_int wid);
+  if wid >= 0 then begin
+    let width = !rollup_window in
+    Buffer.add_string b ",\"t0\":";
+    add_time_value b (Float.of_int wid *. width);
+    Buffer.add_string b ",\"t1\":";
+    add_time_value b (Float.of_int (wid + 1) *. width)
+  end;
+  List.iter (fun (k, v) -> add_rollup_field b k v) fields;
+  Buffer.add_string b "}\n"
+
+let hist_fields ~with_quantiles (w : wcell) =
+  let base =
+    [
+      ("n", string_of_int w.w_n);
+      ("sum", fmt_float (w_sum w));
+      ("min", fmt_float (w_min w));
+      ("max", fmt_float (w_max w));
+    ]
+  in
+  if not with_quantiles || Array.length w.w_buckets = 0 then base
+  else
+    let q p = fmt_float (bucket_quantile ~n:w.w_n ~bmin:(w_min w) ~bmax:(w_max w) w.w_buckets p) in
+    base @ [ ("p50", q 0.5); ("p90", q 0.9); ("p99", q 0.99); ("p999", q 0.999) ]
+
+let wcell_row b (h : handle) ~wid (w : wcell) =
+  match h.h_kind with
+  | Counter ->
+      add_row b ~name:h.h_metric ~kind:"counter" ~wid
+        [ ("n", string_of_int w.w_n); ("rate", fmt_float (Float.of_int w.w_n /. !rollup_window)) ]
+  | Gauge ->
+      add_row b ~name:h.h_metric ~kind:"gauge" ~wid
+        [ ("last", fmt_float (w_last w)); ("max", fmt_float (w_max w)) ]
+  | Hist -> add_row b ~name:h.h_metric ~kind:"hist" ~wid (hist_fields ~with_quantiles:true w)
+
+let wcell_touched (h : handle) (w : wcell) =
+  match h.h_kind with Counter | Hist -> w.w_n <> 0 | Gauge -> w.w_gauge
+
+let render_slot b r slot =
+  let wid = r.ru_wids.(slot) in
+  let cells = r.ru_slots.(slot) in
+  let all = registered () in
+  let touched = ref [] in
+  Array.iteri
+    (fun i w -> if i < Array.length all && wcell_touched all.(i) w then touched := (all.(i), w) :: !touched)
+    cells;
+  let touched =
+    List.sort
+      (fun ((a : handle), _) (b, _) ->
+        let c = String.compare a.h_metric b.h_metric in
+        if c <> 0 then c else compare a.h_id b.h_id)
+      !touched
+  in
+  List.iter (fun (h, w) -> wcell_row b h ~wid w) touched
+
+let evict r slot =
+  if r.ru_wids.(slot) >= 0 then begin
+    render_slot r.ru_mbuf r slot;
+    Array.iter blank_wcell r.ru_slots.(slot);
+    r.ru_wids.(slot) <- -1
+  end
+
+(* Occupied slots in increasing window order — eviction and dump order. *)
+let slots_in_order r =
+  let occ = ref [] in
+  for sl = 0 to ring_width - 1 do
+    if r.ru_wids.(sl) >= 0 then occ := sl :: !occ
+  done;
+  List.sort (fun a b -> compare r.ru_wids.(a) r.ru_wids.(b)) !occ
+
+(* Move the ring forward to [wid] (> ru_cur), evicting displaced windows
+   oldest-first. The per-state clock is monotone, so this walks forward
+   one window at a time in the steady state; an idle gap wider than the
+   ring flushes everything in order and jumps. *)
+let ru_advance r wid =
+  if wid - r.ru_cur < ring_width && r.ru_cur >= 0 then
+    for w = r.ru_cur + 1 to wid do
+      evict r (w mod ring_width)
+    done
+  else List.iter (fun sl -> evict r sl) (slots_in_order r);
+  r.ru_cur <- wid;
+  r.ru_wids.(wid mod ring_width) <- wid
+
+let get_ru s =
+  match s.ru with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          ru_mbuf = Buffer.create 1024;
+          ru_slots = Array.init ring_width (fun _ -> [||]);
+          ru_wids = Array.make ring_width (-1);
+          ru_cur = -1;
+          ru_cum = [||];
+        }
+      in
+      s.ru <- Some r;
+      r
+
+let grow_wcells arr (h : handle) =
+  let have = Array.length arr in
+  let total = max (Array.length (registered ())) (h.h_id + 1) in
+  Array.init total (fun i -> if i < have then arr.(i) else fresh_wcell ())
+
+(* The current window's cell for [h], advancing the ring first. A clock
+   reading behind the newest window (a fresh engine installed its clock on
+   a state that already rolled forward) clamps to the newest window rather
+   than corrupting an already-rendered one. *)
+let ru_slot_cell s r (h : handle) =
+  let wid0 = int_of_float (s.clock () /. !rollup_window) in
+  let wid = if wid0 < r.ru_cur then r.ru_cur else wid0 in
+  if wid > r.ru_cur then ru_advance r wid;
+  let slot = r.ru_cur mod ring_width in
+  if h.h_id >= Array.length r.ru_slots.(slot) then
+    r.ru_slots.(slot) <- grow_wcells r.ru_slots.(slot) h;
+  r.ru_slots.(slot).(h.h_id)
+
+let ru_wcell s (h : handle) = ru_slot_cell s (get_ru s) h
+
+let ru_cum_wcell r (h : handle) =
+  if h.h_id >= Array.length r.ru_cum then r.ru_cum <- grow_wcells r.ru_cum h;
+  r.ru_cum.(h.h_id)
+
+(* Everything the rollup plane has produced: already-evicted rows, then
+   the still-open ring windows in increasing order. Non-destructive. *)
+let ru_rows r =
+  let b = Buffer.create (Buffer.length r.ru_mbuf + 512) in
+  Buffer.add_buffer b r.ru_mbuf;
+  List.iter (fun sl -> render_slot b r sl) (slots_in_order r);
+  Buffer.contents b
+
 let span ?(attrs = []) ?parent name =
   if not !enabled then null_span
   else begin
@@ -228,19 +544,27 @@ let span ?(attrs = []) ?parent name =
     let sid = s.next_span in
     s.next_span <- sid + 1;
     s.spans_started <- s.spans_started + 1;
-    let buf = s.buf in
-    Buffer.add_string buf "{\"t\":";
-    add_time s buf;
-    Buffer.add_string buf ",\"ev\":\"B\",\"sid\":";
-    Buffer.add_string buf (string_of_int sid);
-    Buffer.add_string buf ",\"tid\":";
-    Buffer.add_string buf (string_of_int tid);
-    Buffer.add_string buf ",\"pid\":";
-    Buffer.add_string buf (string_of_int parent.sid);
-    Buffer.add_string buf ",\"name\":";
-    add_json_string buf name;
-    add_attrs buf attrs;
-    Buffer.add_string buf "}\n";
+    (* Past the cap the record is counted and skipped, but ids, counters
+       and context advance exactly as before — the stored prefix stays
+       byte-identical to an uncapped run. *)
+    if !trace_cap > 0 && s.trace_records >= !trace_cap then
+      s.trace_dropped <- s.trace_dropped + 1
+    else begin
+      s.trace_records <- s.trace_records + 1;
+      let buf = s.buf in
+      Buffer.add_string buf "{\"t\":";
+      add_time s buf;
+      Buffer.add_string buf ",\"ev\":\"B\",\"sid\":";
+      Buffer.add_string buf (string_of_int sid);
+      Buffer.add_string buf ",\"tid\":";
+      Buffer.add_string buf (string_of_int tid);
+      Buffer.add_string buf ",\"pid\":";
+      Buffer.add_string buf (string_of_int parent.sid);
+      Buffer.add_string buf ",\"name\":";
+      add_json_string buf name;
+      add_attrs buf attrs;
+      Buffer.add_string buf "}\n"
+    end;
     let sp = { sp_ctx = { tid; sid }; sp_prev = s.cur } in
     s.cur <- sp.sp_ctx;
     sp
@@ -249,30 +573,40 @@ let span ?(attrs = []) ?parent name =
 let finish ?(attrs = []) sp =
   if sp.sp_ctx.sid <> 0 && !enabled then begin
     let s = st () in
-    let buf = s.buf in
-    Buffer.add_string buf "{\"t\":";
-    add_time s buf;
-    Buffer.add_string buf ",\"ev\":\"E\",\"sid\":";
-    Buffer.add_string buf (string_of_int sp.sp_ctx.sid);
-    add_attrs buf attrs;
-    Buffer.add_string buf "}\n";
+    if !trace_cap > 0 && s.trace_records >= !trace_cap then
+      s.trace_dropped <- s.trace_dropped + 1
+    else begin
+      s.trace_records <- s.trace_records + 1;
+      let buf = s.buf in
+      Buffer.add_string buf "{\"t\":";
+      add_time s buf;
+      Buffer.add_string buf ",\"ev\":\"E\",\"sid\":";
+      Buffer.add_string buf (string_of_int sp.sp_ctx.sid);
+      add_attrs buf attrs;
+      Buffer.add_string buf "}\n"
+    end;
     s.cur <- sp.sp_prev
   end
 
 let event ?(attrs = []) name =
   if !enabled then begin
     let s = st () in
-    let buf = s.buf in
-    Buffer.add_string buf "{\"t\":";
-    add_time s buf;
-    Buffer.add_string buf ",\"ev\":\"P\",\"tid\":";
-    Buffer.add_string buf (string_of_int s.cur.tid);
-    Buffer.add_string buf ",\"pid\":";
-    Buffer.add_string buf (string_of_int s.cur.sid);
-    Buffer.add_string buf ",\"name\":";
-    add_json_string buf name;
-    add_attrs buf attrs;
-    Buffer.add_string buf "}\n"
+    if !trace_cap > 0 && s.trace_records >= !trace_cap then
+      s.trace_dropped <- s.trace_dropped + 1
+    else begin
+      s.trace_records <- s.trace_records + 1;
+      let buf = s.buf in
+      Buffer.add_string buf "{\"t\":";
+      add_time s buf;
+      Buffer.add_string buf ",\"ev\":\"P\",\"tid\":";
+      Buffer.add_string buf (string_of_int s.cur.tid);
+      Buffer.add_string buf ",\"pid\":";
+      Buffer.add_string buf (string_of_int s.cur.sid);
+      Buffer.add_string buf ",\"name\":";
+      add_json_string buf name;
+      add_attrs buf attrs;
+      Buffer.add_string buf "}\n"
+    end
   end
 
 let with_span ?attrs name f =
@@ -289,52 +623,73 @@ let with_span ?attrs name f =
   end
 
 let span_count () = (st ()).spans_started
+let trace_dropped () = (st ()).trace_dropped
 
-(* {1 Metrics} *)
+(* {1 Metrics}
+
+   The cumulative cells fire under either plane; with [metrics_enabled]
+   each sample additionally lands in the current virtual-time window (and,
+   for histograms, the run-cumulative bucket table). With both planes off
+   a site costs two flag loads and nothing else. *)
 
 let counter name = register Counter name
 let gauge name = register Gauge name
 let histogram name = register Hist name
 
-let incr c =
-  if !enabled then begin
-    let cl = cell_of (st ()) c in
-    cl.cl_n <- cl.cl_n + 1
-  end
-
 let add c n =
-  if !enabled then begin
-    let cl = cell_of (st ()) c in
-    cl.cl_n <- cl.cl_n + n
+  if !enabled || !metrics_enabled then begin
+    let s = st () in
+    let cl = cell_of s c in
+    cl.cl_n <- cl.cl_n + n;
+    if !metrics_enabled then begin
+      let w = ru_wcell s c in
+      w.w_n <- w.w_n + n
+    end
   end
 
+let incr c = add c 1
 let counter_value c = (cell_of (st ()) c).cl_n
 
 let gauge_set g v =
-  if !enabled then begin
-    let cl = cell_of (st ()) g in
-    cl.cl_last <- v;
-    if v > cl.cl_max then cl.cl_max <- v
+  if !enabled || !metrics_enabled then begin
+    let s = st () in
+    let cl = cell_of s g in
+    cl.cf.(f_last) <- v;
+    if v > cl.cf.(f_max) then cl.cf.(f_max) <- v;
+    if !metrics_enabled then begin
+      let w = ru_wcell s g in
+      w.wf.(f_last) <- v;
+      w.w_gauge <- true;
+      if v > w.wf.(f_max) then w.wf.(f_max) <- v
+    end
   end
 
-let gauge_value g = (cell_of (st ()) g).cl_last
-let gauge_max g = (cell_of (st ()) g).cl_max
+let gauge_value g = cl_last (cell_of (st ()) g)
+let gauge_max g = cl_max (cell_of (st ()) g)
 
 let observe h v =
-  if !enabled then begin
-    let cl = cell_of (st ()) h in
+  if !enabled || !metrics_enabled then begin
+    let s = st () in
+    let cl = cell_of s h in
     cl.cl_n <- cl.cl_n + 1;
-    cl.cl_sum <- cl.cl_sum +. v;
-    if v < cl.cl_min then cl.cl_min <- v;
-    if v > cl.cl_max then cl.cl_max <- v
+    let cf = cl.cf in
+    cf.(f_sum) <- cf.(f_sum) +. v;
+    if v < cf.(f_min) then cf.(f_min) <- v;
+    if v > cf.(f_max) then cf.(f_max) <- v;
+    if !metrics_enabled then begin
+      let r = get_ru s in
+      let i = bucket_index v in
+      wobserve_at (ru_slot_cell s r h) v i;
+      wobserve_at (ru_cum_wcell r h) v i
+    end
   end
 
 let histogram_count h = (cell_of (st ()) h).cl_n
-let histogram_sum h = (cell_of (st ()) h).cl_sum
+let histogram_sum h = cl_sum (cell_of (st ()) h)
 
 let histogram_mean h =
   let cl = cell_of (st ()) h in
-  if cl.cl_n = 0 then 0.0 else cl.cl_sum /. Float.of_int cl.cl_n
+  if cl.cl_n = 0 then 0.0 else (cl_sum cl) /. Float.of_int cl.cl_n
 
 let reset () =
   let s = st () in
@@ -343,6 +698,9 @@ let reset () =
   s.next_trace <- 1;
   s.cur <- null_ctx;
   s.spans_started <- 0;
+  s.trace_records <- 0;
+  s.trace_dropped <- 0;
+  s.ru <- None;
   Array.iter blank_cell s.cells
 
 (* {1 Capture / absorb}
@@ -359,12 +717,16 @@ type snapshot = {
   snap_trace : string;
   snap_spans : int;
   snap_cells : (handle * cell) list;
+  snap_rows : string; (* trial's rollup rows, fully rendered, windows in order *)
+  snap_cum : (handle * wcell) list; (* trial's run-cumulative histogram buckets *)
+  snap_dropped : int; (* trace records refused at the trial's cap *)
 }
 
-let empty_snapshot = { snap_trace = ""; snap_spans = 0; snap_cells = [] }
+let empty_snapshot =
+  { snap_trace = ""; snap_spans = 0; snap_cells = []; snap_rows = ""; snap_cum = []; snap_dropped = 0 }
 
 let capture ?(ids_base = 0) f =
-  if not !enabled then (f (), empty_snapshot)
+  if not (!enabled || !metrics_enabled) then (f (), empty_snapshot)
   else begin
     let saved = st () in
     let fresh = new_state () in
@@ -377,17 +739,43 @@ let capture ?(ids_base = 0) f =
         restore ();
         let all = registered () in
         let cells = Array.to_list (Array.mapi (fun i c -> (all.(i), c)) fresh.cells) in
-        (v, { snap_trace = Buffer.contents fresh.buf; snap_spans = fresh.spans_started; snap_cells = cells })
+        (* Rollup rows are rendered per trial: a trial's window sequence is
+           self-contained, so the merged dump is the trials' rows spliced in
+           trial-index order — a pure function of the trial list. *)
+        let rows, cum =
+          match fresh.ru with
+          | None -> ("", [])
+          | Some r ->
+              let cum = ref [] in
+              Array.iteri
+                (fun i w ->
+                  if i < Array.length all && w.w_n <> 0 then cum := (all.(i), w) :: !cum)
+                r.ru_cum;
+              (ru_rows r, List.rev !cum)
+        in
+        ( v,
+          {
+            snap_trace = Buffer.contents fresh.buf;
+            snap_spans = fresh.spans_started;
+            snap_cells = cells;
+            snap_rows = rows;
+            snap_cum = cum;
+            snap_dropped = fresh.trace_dropped;
+          } )
     | exception e ->
         restore ();
         raise e
   end
 
 let absorb snap =
-  if snap.snap_trace <> "" || snap.snap_spans <> 0 || snap.snap_cells <> [] then begin
+  if
+    snap.snap_trace <> "" || snap.snap_spans <> 0 || snap.snap_cells <> []
+    || snap.snap_rows <> "" || snap.snap_cum <> [] || snap.snap_dropped <> 0
+  then begin
     let s = st () in
     Buffer.add_string s.buf snap.snap_trace;
     s.spans_started <- s.spans_started + snap.snap_spans;
+    s.trace_dropped <- s.trace_dropped + snap.snap_dropped;
     List.iter
       (fun (h, c) ->
         let dst = cell_of s h in
@@ -395,15 +783,33 @@ let absorb snap =
         | Counter -> dst.cl_n <- dst.cl_n + c.cl_n
         | Hist ->
             dst.cl_n <- dst.cl_n + c.cl_n;
-            dst.cl_sum <- dst.cl_sum +. c.cl_sum;
-            if c.cl_min < dst.cl_min then dst.cl_min <- c.cl_min;
-            if c.cl_max > dst.cl_max then dst.cl_max <- c.cl_max
+            dst.cf.(f_sum) <- dst.cf.(f_sum) +. cl_sum c;
+            if cl_min c < cl_min dst then dst.cf.(f_min) <- cl_min c;
+            if cl_max c > cl_max dst then dst.cf.(f_max) <- cl_max c
         | Gauge ->
-            if c.cl_max > neg_infinity then begin
-              dst.cl_last <- c.cl_last;
-              if c.cl_max > dst.cl_max then dst.cl_max <- c.cl_max
+            if cl_max c > neg_infinity then begin
+              dst.cf.(f_last) <- cl_last c;
+              if cl_max c > cl_max dst then dst.cf.(f_max) <- cl_max c
             end)
-      snap.snap_cells
+      snap.snap_cells;
+    if snap.snap_rows <> "" || snap.snap_cum <> [] then begin
+      let r = get_ru s in
+      Buffer.add_string r.ru_mbuf snap.snap_rows;
+      List.iter
+        (fun (h, (w : wcell)) ->
+          let dst = ru_cum_wcell r h in
+          dst.w_n <- dst.w_n + w.w_n;
+          dst.wf.(f_sum) <- dst.wf.(f_sum) +. w.wf.(f_sum);
+          if w.wf.(f_min) < dst.wf.(f_min) then dst.wf.(f_min) <- w.wf.(f_min);
+          if w.wf.(f_max) > dst.wf.(f_max) then dst.wf.(f_max) <- w.wf.(f_max);
+          if Array.length w.w_buckets > 0 then begin
+            if Array.length dst.w_buckets = 0 then dst.w_buckets <- Array.make n_buckets 0;
+            for i = 0 to n_buckets - 1 do
+              dst.w_buckets.(i) <- dst.w_buckets.(i) + w.w_buckets.(i)
+            done
+          end)
+        snap.snap_cum
+    end
   end
 
 (* {1 Output} *)
@@ -414,10 +820,6 @@ let json_string s =
   let b = Buffer.create (String.length s + 2) in
   add_json_string b s;
   Buffer.contents b
-
-let fmt_float v =
-  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
-  else Printf.sprintf "%.6f" v
 
 let touched_metrics () =
   let s = st () in
@@ -430,7 +832,7 @@ let touched_metrics () =
         let live =
           match h.h_kind with
           | Counter | Hist -> c.cl_n <> 0
-          | Gauge -> c.cl_max > neg_infinity
+          | Gauge -> (cl_max c) > neg_infinity
         in
         if live then acc := (h, c) :: !acc
       end)
@@ -446,11 +848,11 @@ let metrics_jsonl () =
             Printf.sprintf "{\"metric\":%S,\"type\":\"counter\",\"value\":%d}" h.h_metric c.cl_n
         | Gauge ->
             Printf.sprintf "{\"metric\":%S,\"type\":\"gauge\",\"value\":%s,\"max\":%s}" h.h_metric
-              (fmt_float c.cl_last) (fmt_float c.cl_max)
+              (fmt_float (cl_last c)) (fmt_float (cl_max c))
         | Hist ->
             Printf.sprintf
               "{\"metric\":%S,\"type\":\"hist\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}"
-              h.h_metric c.cl_n (fmt_float c.cl_sum) (fmt_float c.cl_min) (fmt_float c.cl_max))
+              h.h_metric c.cl_n (fmt_float (cl_sum c)) (fmt_float (cl_min c)) (fmt_float (cl_max c)))
       (touched_metrics ())
   in
   String.concat "" (List.map (fun l -> l ^ "\n") lines)
@@ -466,6 +868,103 @@ let dump_jsonl ~path () =
       Buffer.output_buffer oc (st ()).buf;
       output_string oc (metrics_jsonl ()))
 
+(* {1 Metrics-plane dump}
+
+   Header line, the windowed rows (evicted first, then the still-open ring
+   in window order), then one cumulative whole-run row per touched metric
+   with [w = -1]. Cumulative counter and gauge rows read the plain cells —
+   which capture/absorb already merge — so they agree with {!metrics_jsonl};
+   cumulative histogram quantiles come from the run-cumulative bucket
+   tables, fed sample-by-sample alongside the windows. *)
+
+let metrics_plane_jsonl () =
+  let s = st () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"splay-metrics/1\",\"window\":";
+  Buffer.add_string b (fmt_float !rollup_window);
+  Buffer.add_string b "}\n";
+  (match s.ru with Some r -> Buffer.add_string b (ru_rows r) | None -> ());
+  List.iter
+    (fun ((h : handle), c) ->
+      match h.h_kind with
+      | Counter -> add_row b ~name:h.h_metric ~kind:"counter" ~wid:(-1) [ ("n", string_of_int c.cl_n) ]
+      | Gauge ->
+          add_row b ~name:h.h_metric ~kind:"gauge" ~wid:(-1)
+            [ ("last", fmt_float (cl_last c)); ("max", fmt_float (cl_max c)) ]
+      | Hist ->
+          let cum =
+            match s.ru with
+            | Some r when h.h_id < Array.length r.ru_cum -> Some r.ru_cum.(h.h_id)
+            | _ -> None
+          in
+          let fields =
+            match cum with
+            | Some w when w.w_n > 0 -> hist_fields ~with_quantiles:true w
+            | _ ->
+                [
+                  ("n", string_of_int c.cl_n);
+                  ("sum", fmt_float (cl_sum c));
+                  ("min", fmt_float (cl_min c));
+                  ("max", fmt_float (cl_max c));
+                ]
+          in
+          add_row b ~name:h.h_metric ~kind:"hist" ~wid:(-1) fields)
+    (touched_metrics ());
+  Buffer.contents b
+
+let dump_metrics ~path () =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (metrics_plane_jsonl ()))
+
+(* {1 Rollup — public face of the windowed plane} *)
+
+module Rollup = struct
+  let set_window w = if w > 0.0 && Float.is_finite w then rollup_window := w
+  let window () = !rollup_window
+
+  let clear () =
+    let s = st () in
+    s.ru <- None
+
+  let quantile (h : handle) q =
+    let s = st () in
+    match s.ru with
+    | None -> 0.0
+    | Some r ->
+        if h.h_id >= Array.length r.ru_cum then 0.0
+        else
+          let w = r.ru_cum.(h.h_id) in
+          if w.w_n = 0 then 0.0
+          else bucket_quantile ~n:w.w_n ~bmin:(w_min w) ~bmax:(w_max w) w.w_buckets q
+
+  let count (h : handle) =
+    let s = st () in
+    match s.ru with
+    | None -> 0
+    | Some r -> if h.h_id >= Array.length r.ru_cum then 0 else r.ru_cum.(h.h_id).w_n
+
+  let note ?(attrs = []) name =
+    if !metrics_enabled then begin
+      let s = st () in
+      let r = get_ru s in
+      let t = s.clock () in
+      let wid0 = int_of_float (t /. !rollup_window) in
+      let wid = if wid0 < r.ru_cur then r.ru_cur else wid0 in
+      if wid > r.ru_cur then ru_advance r wid;
+      let b = r.ru_mbuf in
+      Buffer.add_string b "{\"m\":";
+      add_json_string b name;
+      Buffer.add_string b ",\"kind\":\"note\",\"w\":";
+      Buffer.add_string b (string_of_int r.ru_cur);
+      Buffer.add_string b ",\"t\":";
+      add_time_value b t;
+      add_attrs b attrs;
+      Buffer.add_string b "}\n"
+    end
+
+  let rows () = match (st ()).ru with None -> "" | Some r -> ru_rows r
+end
+
 let report () =
   Report.section "Observability summary (Splay_obs)";
   let touched = touched_metrics () in
@@ -478,7 +977,7 @@ let report () =
   if gs <> [] then
     Report.table ~header:[ "gauge"; "value"; "max" ]
       (List.map
-         (fun ((h : handle), c) -> [ h.h_metric; fmt_float c.cl_last; fmt_float c.cl_max ])
+         (fun ((h : handle), c) -> [ h.h_metric; fmt_float (cl_last c); fmt_float (cl_max c) ])
          gs);
   let hs = of_kind Hist in
   if hs <> [] then
@@ -489,9 +988,9 @@ let report () =
            [
              h.h_metric;
              string_of_int c.cl_n;
-             Report.float_cell ~decimals:6 (c.cl_sum /. Float.of_int c.cl_n);
-             Report.float_cell ~decimals:6 c.cl_min;
-             Report.float_cell ~decimals:6 c.cl_max;
+             Report.float_cell ~decimals:6 ((cl_sum c) /. Float.of_int c.cl_n);
+             Report.float_cell ~decimals:6 (cl_min c);
+             Report.float_cell ~decimals:6 (cl_max c);
            ])
          hs);
   Report.kvf "trace spans" "%d" (span_count ())

@@ -34,10 +34,31 @@
     domain. *)
 
 val enabled : bool ref
-(** Master switch, off by default. Check it once per site before building
-    attribute lists; the recording primitives also check it. Toggle it
-    only outside parallel sections (before spawning worker domains): the
-    flag itself is process-global. *)
+(** Master switch for the {e trace} plane, off by default. Check it once
+    per site before building attribute lists; the recording primitives
+    also check it. Toggle it only outside parallel sections (before
+    spawning worker domains): the flag itself is process-global. *)
+
+val metrics_enabled : bool ref
+(** Master switch for the {e metrics} plane (windowed rollups), off by
+    default and independent of {!enabled}: a million-node run can keep
+    bounded-memory percentile telemetry with tracing off. With it on,
+    every counter/gauge/histogram sample also lands in the current
+    virtual-time window (see {!Rollup}) and, for histograms, a
+    run-cumulative log-bucket table. Spans stay trace-only. Same toggling
+    discipline as {!enabled}. *)
+
+val set_trace_cap : int -> unit
+(** Bound the trace buffer to at most [n] records per recording state
+    (each captured trial gets its own budget); [0] (the default) means
+    unlimited. Records past the cap are counted in {!trace_dropped}
+    instead of stored; span ids, context and {!span_count} advance
+    exactly as without the cap, so the stored prefix is byte-identical
+    to an uncapped run's. *)
+
+val trace_dropped : unit -> int
+(** Trace records refused at the cap since the last {!reset} (absorbed
+    snapshots included). *)
 
 val set_clock : (unit -> float) -> unit
 (** Install the virtual-clock source. {!Splay_sim.Engine.create} calls
@@ -174,6 +195,51 @@ val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 val histogram_mean : histogram -> float
 
+(** {1 Rollup — time-windowed metrics on the virtual clock}
+
+    With {!metrics_enabled} on, every sample is aggregated into the
+    window [w = floor(t / window)] of a small ring; advancing past a
+    window renders one compact JSON line per touched metric (counters
+    gain a windowed rate, gauges a windowed last/max, histograms
+    count/sum/min/max plus p50/p90/p99/p999 from HDR-style log-linear
+    buckets — 8 sub-buckets per octave, ≤ ~6% relative error, O(1)
+    memory per histogram). Histograms additionally keep run-cumulative
+    buckets, so whole-run quantiles are available at any point
+    ({!Rollup.quantile}). Domain-local like the rest of the recording
+    state and merged through {!capture}/{!absorb} in trial order, so
+    multi-domain dumps are byte-identical to single-domain ones. *)
+
+module Rollup : sig
+  val set_window : float -> unit
+  (** Window width in virtual seconds (default 10.0; non-positive values
+      are ignored). Set before arming the metrics plane — the width is
+      baked into already-rendered rows. *)
+
+  val window : unit -> float
+
+  val clear : unit -> unit
+  (** Drop the calling domain's rollup state (rendered rows, ring,
+      cumulative buckets). Use between back-to-back runs whose windows
+      must not bleed into each other; plain metric cells are untouched. *)
+
+  val quantile : histogram -> float -> float
+  (** Run-cumulative q-quantile from the log-bucket table (0.0 when the
+      histogram has no samples or the metrics plane never ran). Within
+      ~6% relative error; exact min/max clamp the extremes. *)
+
+  val count : histogram -> int
+  (** Samples in the run-cumulative bucket table. *)
+
+  val note : ?attrs:(string * string) list -> string -> unit
+  (** Append a free-form row ([{"m":…,"kind":"note","w":…,"t":…,…attrs}])
+      at the current virtual instant — controller status sampling uses
+      this for per-job top-host rows. No-op unless {!metrics_enabled}. *)
+
+  val rows : unit -> string
+  (** Everything the windowed plane has rendered so far (evicted windows
+      first, then still-open ones in window order). Non-destructive. *)
+end
+
 (** {1 Output} *)
 
 val trace_jsonl : unit -> string
@@ -192,6 +258,15 @@ val metrics_jsonl : unit -> string
 
 val dump_jsonl : path:string -> unit -> unit
 (** Write {!trace_jsonl} followed by {!metrics_jsonl} to [path]. *)
+
+val metrics_plane_jsonl : unit -> string
+(** The metrics-plane dump: a [{"schema":"splay-metrics/1","window":…}]
+    header, the windowed rollup rows ({!Rollup.rows}), then one
+    cumulative whole-run row per touched metric with [w:-1].
+    {!Metrics_analysis} and [splay top] consume this format. *)
+
+val dump_metrics : path:string -> unit -> unit
+(** Write {!metrics_plane_jsonl} to [path]. *)
 
 val report : unit -> unit
 (** Render a summary of all touched metrics as {!Splay_stats.Report}

@@ -1,12 +1,19 @@
 let summary = ref false
 let trace_path : string option ref = ref None
 let critical_path = ref false
+let metrics_path : string option ref = ref None
+let metrics_window : float option ref = ref None
+let obs_trace_cap : int option ref = ref None
 
 let with_prefix prefix a =
   let np = String.length prefix in
   if String.length a > np && String.sub a 0 np = prefix then
     Some (String.sub a np (String.length a - np))
   else None
+
+let bad flag what v =
+  Printf.eprintf "error: %s expects %s, got %S\n" flag what v;
+  exit 2
 
 let parse_arg a =
   if a = "--obs" then begin
@@ -22,18 +29,41 @@ let parse_arg a =
     | Some path ->
         trace_path := Some path;
         true
-    | None -> false
+    | None -> (
+        match with_prefix "--metrics-out=" a with
+        | Some path ->
+            metrics_path := Some path;
+            true
+        | None -> (
+            match with_prefix "--metrics-window=" a with
+            | Some v ->
+                (match float_of_string_opt v with
+                | Some w when w > 0.0 && Float.is_finite w -> metrics_window := Some w
+                | _ -> bad "--metrics-window" "a positive number of virtual seconds" v);
+                true
+            | None -> (
+                match with_prefix "--obs-trace-cap=" a with
+                | Some v ->
+                    (match int_of_string_opt v with
+                    | Some n when n >= 0 -> obs_trace_cap := Some n
+                    | _ -> bad "--obs-trace-cap" "a non-negative record count" v);
+                    true
+                | None -> false)))
 
-let active () = !summary || !trace_path <> None
+let trace_active () = !summary || !trace_path <> None
+let active () = trace_active () || !metrics_path <> None
 
 let arm () =
   if active () then begin
     Obs.reset ();
-    Obs.enabled := true
+    (match !metrics_window with Some w -> Obs.Rollup.set_window w | None -> ());
+    (match !obs_trace_cap with Some n -> Obs.set_trace_cap n | None -> ());
+    Obs.enabled := trace_active ();
+    Obs.metrics_enabled := !metrics_path <> None
   end
 
 let finish () =
-  if not !Obs.enabled then true
+  if not (!Obs.enabled || !Obs.metrics_enabled) then true
   else begin
     let ok =
       match !trace_path with
@@ -50,8 +80,29 @@ let finish () =
               Printf.eprintf "  obs: trace dump failed: %s\n" e;
               false)
     in
+    let ok =
+      match !metrics_path with
+      | None -> ok
+      | Some path -> (
+          match Obs.dump_metrics ~path () with
+          | () ->
+              Printf.printf "  obs: wrote metrics rollups to %s (window %gs)\n" path
+                (Obs.Rollup.window ());
+              ok
+          | exception Sys_error e ->
+              Printf.eprintf "  obs: metrics dump failed: %s\n" e;
+              false)
+    in
+    let dropped = Obs.trace_dropped () in
+    if dropped > 0 then
+      Printf.eprintf
+        "  obs: warning: trace buffer capped, %d record%s dropped (raise --obs-trace-cap or lower the workload)\n"
+        dropped
+        (if dropped = 1 then "" else "s");
     if !summary then Obs.report ();
     Obs.enabled := false;
+    Obs.metrics_enabled := false;
+    Obs.set_trace_cap 0;
     Obs.reset ();
     ok
   end

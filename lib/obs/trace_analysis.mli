@@ -41,6 +41,23 @@ type t = {
   logs : int;  (** [ev:"L"] records seen (collected node logs) *)
 }
 
+(** {1 Line parser}
+
+    The writers emit flat one-line JSON objects whose values are strings
+    or numbers — no nesting, no arrays. The hand-rolled parser for exactly
+    that shape is shared with {!Metrics_analysis}. *)
+
+exception Bad_line of string
+
+val parse_line : string -> (string * string) list
+(** Key/value pairs of one record, in field order; string values are
+    unescaped, numeric values kept as raw text. Raises {!Bad_line} on
+    malformed input. *)
+
+val field : (string * string) list -> string -> string option
+val int_field : (string * string) list -> string -> int option
+val float_field : (string * string) list -> string -> float option
+
 val load : string -> t
 (** Parse a JSONL trace from a string, one record per line. *)
 

@@ -82,13 +82,13 @@ let dispatch env ~src payload =
                    | e -> Error (Printexc.to_string e))
              in
              Obs.incr c_served;
-             if !Obs.enabled then begin
+             if !Obs.enabled || !Obs.metrics_enabled then
                Obs.observe h_serve_time (Engine.now eng -. t0);
+             if !Obs.enabled then
                Obs.finish
                  ~attrs:
                    [ ("outcome", match result with Ok _ -> "ok" | Error _ -> "error") ]
-                 sp
-             end;
+                 sp;
              if rid >= 0 then send_reply env ~dst:src rid result))
   | Reply { rid; result } -> (
       (* [rpc_pending_opt]: a node that never issued a call has no table,
@@ -219,13 +219,14 @@ let a_call_core env dst ~options proc args =
   let result, attempts = go 0 ~waited:0.0 in
   Obs.incr c_calls;
   (match result with Error Timeout -> Obs.incr c_timeouts | _ -> ());
-  if !Obs.enabled then begin
+  if !Obs.enabled || !Obs.metrics_enabled then begin
     Obs.observe h_latency (Engine.now eng -. t0);
-    Obs.observe h_bytes (Float.of_int size);
+    Obs.observe h_bytes (Float.of_int size)
+  end;
+  if !Obs.enabled then
     Obs.finish
       ~attrs:[ ("outcome", outcome_label result); ("attempts", string_of_int attempts) ]
-      sp
-  end;
+      sp;
   result
 
 (* The [?timeout] shorthand and the [?options] policy compose: an explicit

@@ -212,7 +212,7 @@ let[@inline] note_depth t =
   let depth = queue_depth t in
   if depth > t.max_queue_depth then begin
     t.max_queue_depth <- depth;
-    if !Obs.enabled then Obs.gauge_set g_queue_depth (Float.of_int depth)
+    if !Obs.enabled || !Obs.metrics_enabled then Obs.gauge_set g_queue_depth (Float.of_int depth)
   end
 
 let set_perturbation ?(tie_shuffle = true) ?(max_extra_delay = 0.0) t =
@@ -362,7 +362,12 @@ let step t =
       Obs.incr c_events;
       Obs.observe h_event_wait (t.now.v -. ev.sched);
       Obs.set_current ev.ctx
-    end;
+    end
+    else if !Obs.metrics_enabled then
+      (* metrics-only: windowed event rate, but no wait histogram — [sched]
+         is only stamped (and timer records never recycled) when tracing,
+         and that licence is what keeps this path allocation-lean *)
+      Obs.incr c_events;
     ev.fn ();
     true
   end

@@ -26,6 +26,12 @@ done
 
 # Both files keep one workload per line ({"name": ..., "ops_per_sec": ...}),
 # so a line-oriented awk pass is enough — no JSON parser dependency.
+#
+# Besides absolute bounds, a workload may carry a relative one:
+#   "ceiling_slowdown": R, "baseline": "other_workload"
+# fails if baseline_rate / this_rate > R (jobs=1 rows only — multi-domain
+# rates are too noisy for a ratio gate). This is how the metrics-plane
+# `_obs` twins are held within a bounded overhead of their plain rows.
 awk -v FS='"' '
   FNR == NR {
     if ($2 == "name") {
@@ -35,8 +41,25 @@ awk -v FS='"' '
         floor[n] = substr($0, RSTART + RLENGTH) + 0
       if (match($0, /"ceiling_words_per_node": */))
         ceiling[n] = substr($0, RSTART + RLENGTH) + 0
+      if (match($0, /"ceiling_slowdown": */))
+        slow[n] = substr($0, RSTART + RLENGTH) + 0
+      if (match($0, /"baseline": *"[^"]*"/)) {
+        s = substr($0, RSTART, RLENGTH)
+        sub(/^"baseline": *"/, "", s)
+        sub(/"$/, "", s)
+        base[n] = s
+      }
     }
     next
+  }
+  $2 == "name" {
+    # jobs=1 rate of every workload (rows without a jobs field are
+    # single-domain scale rows), for the END-phase ratio checks
+    j = 1
+    if (match($0, /"jobs": */))
+      j = substr($0, RSTART + RLENGTH) + 0
+    if (j == 1 && match($0, /"ops_per_sec": */))
+      rate1[$4] = substr($0, RSTART + RLENGTH) + 0
   }
   $2 == "name" && ($4 in guarded) {
     name = $4
@@ -76,6 +99,22 @@ awk -v FS='"' '
         printf "FLOOR VIOLATION: workload %s missing from bench output\n", n
         bad = 1
       }
+    for (n in slow) {
+      if (!(n in rate1) || !(base[n] in rate1)) {
+        printf "SLOWDOWN VIOLATION: %s or its baseline %s has no jobs=1 ops_per_sec row\n", n, base[n]
+        bad = 1
+      } else {
+        ratio = 999
+        if (rate1[n] > 0)
+          ratio = rate1[base[n]] / rate1[n]
+        if (ratio > slow[n]) {
+          printf "SLOWDOWN VIOLATION: %s runs %.2fx slower than %s, ceiling is %.2fx\n", n, ratio, base[n], slow[n]
+          bad = 1
+        } else {
+          printf "slowdown ok: %-17s %11.2fx vs %s (ceiling %.2fx)\n", n, ratio, base[n], slow[n]
+        }
+      }
+    }
     exit bad
   }
 ' "$floors" "$bench"

@@ -347,6 +347,75 @@ let test_push_blacklist () =
             (Sandbox.blacklisted env.Env.sandbox 99))
         (Controller.live_envs dep))
 
+(* {2 Job status and monitoring} *)
+
+module Obs = Splay_obs.Obs
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_job_status () =
+  with_platform (fun _ net ctl _ ->
+      let dep = Controller.deploy ctl ~name:"statusy" ~main:noop_app (Descriptor.make 6) in
+      let st = Controller.job_status dep in
+      Alcotest.(check string) "job name" "statusy" st.Controller.st_name;
+      Alcotest.(check int) "members" 6 st.Controller.st_members;
+      Alcotest.(check int) "all live" 6 st.Controller.st_live;
+      Alcotest.(check int) "no hosts down" 0 st.Controller.st_hosts_down;
+      Alcotest.(check bool) "hosts up counted" true (st.Controller.st_hosts_up >= 1);
+      Alcotest.(check bool) "worst list bounded by top" true
+        (List.length st.Controller.st_worst <= 3);
+      let wide = Controller.job_status ~top:100 dep in
+      Alcotest.(check int) "top widens to every live instance" 6
+        (List.length wide.Controller.st_worst);
+      (* a crashed instance leaves the live count, not the history *)
+      let _, victim, _ = List.hd (Controller.live_members dep) in
+      Controller.crash_node dep victim;
+      let st = Controller.job_status dep in
+      Alcotest.(check int) "live after crash" 5 st.Controller.st_live;
+      Alcotest.(check int) "members history intact" 6 st.Controller.st_members;
+      (* a downed member host moves to the hosts-down column and its
+         instances out of the live count *)
+      let _, a, _ = List.hd (Controller.live_members dep) in
+      Net.set_host_up net a.Addr.host false;
+      let st = Controller.job_status dep in
+      Alcotest.(check bool) "host counted down" true (st.Controller.st_hosts_down >= 1);
+      Alcotest.(check bool) "its instances not live" true (st.Controller.st_live < 5);
+      Net.set_host_up net a.Addr.host true;
+      Alcotest.(check int) "restart restores the view" 5
+        (Controller.job_status dep).Controller.st_live)
+
+let test_monitor_emits_status_notes () =
+  Obs.metrics_enabled := true;
+  Obs.reset ();
+  Obs.Rollup.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Rollup.clear ();
+      Obs.reset ();
+      Obs.metrics_enabled := false)
+    (fun () ->
+      with_platform (fun _ _ ctl _ ->
+          let dep = Controller.deploy ctl ~name:"watched" ~main:noop_app (Descriptor.make 4) in
+          Controller.monitor dep;
+          (* three rollup windows' worth of sampling *)
+          Env.sleep 35.0;
+          Controller.undeploy dep);
+      let dump = Obs.metrics_plane_jsonl () in
+      Alcotest.(check bool) "ctl.job_status notes in the dump" true
+        (contains dump "\"m\":\"ctl.job_status\"");
+      Alcotest.(check bool) "notes carry the job name" true
+        (contains dump "\"job\":\"watched\"");
+      Alcotest.(check bool) "notes carry the live count" true (contains dump "\"live\":\"4\"");
+      Alcotest.(check bool) "per-job live gauge sampled" true
+        (contains dump "ctl.job.watched.live");
+      Alcotest.(check bool) "telemetry histograms sampled" true
+        (contains dump "\"m\":\"host.mem_bytes\"");
+      Alcotest.(check bool) "engine gauge sampled" true
+        (contains dump "\"m\":\"engine.pending_events\""))
+
 let () =
   Alcotest.run "splay_ctl"
     [
@@ -380,5 +449,8 @@ let () =
           Alcotest.test_case "lossy deployment" `Quick test_lossy_deployment;
           Alcotest.test_case "stop and restart" `Quick test_stop_and_restart_node;
           Alcotest.test_case "two jobs coexist" `Quick test_two_jobs_coexist;
+          Alcotest.test_case "job status" `Quick test_job_status;
+          Alcotest.test_case "monitor emits status notes" `Quick
+            test_monitor_emits_status_notes;
         ] );
     ]

@@ -326,6 +326,65 @@ let test_testbed_synthetic_end_to_end () =
   | [ (0, 5, t) ] -> Alcotest.(check bool) "delivered after positive delay" true (t > 0.0)
   | _ -> Alcotest.fail "expected exactly one delivery"
 
+let test_latency_of_fn () =
+  (* wrap replayed measurement data: the model answers exactly what the
+     function says and carries the given identity *)
+  let grid a b = 0.001 *. Float.of_int (abs (a - b) mod 50) in
+  let l = Latency.of_fn ~name:"grid" ~seed:5 grid in
+  Alcotest.(check string) "name" "grid" (Latency.name l);
+  Alcotest.(check int) "seed" 5 (Latency.seed l);
+  for i = 0 to 100 do
+    let a = i * 37 and b = i * 91 in
+    Alcotest.(check (float 0.0)) "delay is the function's answer" (grid a b)
+      (Latency.delay l a b)
+  done;
+  let l0 = Latency.of_fn ~name:"flat" (fun _ _ -> 0.01) in
+  Alcotest.(check int) "seed defaults to 0" 0 (Latency.seed l0);
+  (* an of_fn model drives a synthetic testbed like any other backend *)
+  let eng = Engine.create ~seed:41 () in
+  let tb = Testbed.synthetic ~latency:l ~hosts:1_000 (Engine.rng eng) in
+  Alcotest.(check (float 1e-12)) "testbed answers through the fn" (grid 3 903)
+    (Testbed.base_delay tb 3 903)
+
+let test_synthetic_down_up_at_scale () =
+  (* host down/up on the compact struct-of-arrays testbed, at a size where
+     per-host records would be prohibitive: sends to (or from) a down host
+     drop silently, restart resumes delivery, and the one-bit state never
+     materialises host records *)
+  let n = 50_000 in
+  let eng = Engine.create ~seed:34 () in
+  let tb = Testbed.synthetic ~hosts:n (Engine.rng eng) in
+  let net = Net.create eng tb in
+  let last = n - 1 in
+  let got = ref 0 in
+  Net.bind net (Addr.make last 9) (fun ~src:_ _ -> incr got);
+  Testbed.set_host_up tb last false;
+  Alcotest.(check bool) "down visible through the testbed" false (Testbed.host_up tb last);
+  Alcotest.(check bool) "down visible through the net" false (Net.host_up net last);
+  Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make last 9) (Probe 1);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "nothing delivered while down" 0 !got;
+  Net.set_host_up net last true;
+  Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make last 9) (Probe 2);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "delivery resumes after restart" 1 !got;
+  (* a down *sender* drops too *)
+  Net.set_host_up net 0 false;
+  Net.send net ~src:(Addr.make 0 1) ~dst:(Addr.make last 9) (Probe 3);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "dead sender drops" 1 !got;
+  Net.set_host_up net 0 true;
+  (* independence: downing one host leaves a spot-check of others up *)
+  Testbed.set_host_up tb 777 false;
+  List.iter
+    (fun h -> Alcotest.(check bool) "other hosts unaffected" true (Testbed.host_up tb h))
+    [ 0; 776; 778; last ];
+  Testbed.set_host_up tb 777 true;
+  (* still no per-host records behind any of this *)
+  match Testbed.host tb 777 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "synthetic testbed unexpectedly materialised host records"
+
 let latency_qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_latency_symmetric_deterministic; prop_latency_uniform_range ]
@@ -363,8 +422,10 @@ let () =
           Alcotest.test_case "constant and intra-host" `Quick test_latency_constant_and_intra;
           Alcotest.test_case "class weights" `Quick test_latency_classes_weights;
           Alcotest.test_case "matrix = topology" `Quick test_latency_matrix_equals_topology;
+          Alcotest.test_case "of_fn" `Quick test_latency_of_fn;
           Alcotest.test_case "synthetic testbed end to end" `Quick
             test_testbed_synthetic_end_to_end;
+          Alcotest.test_case "synthetic down/up at scale" `Quick test_synthetic_down_up_at_scale;
         ]
         @ latency_qsuite );
     ]

@@ -159,6 +159,203 @@ let test_golden_after_untraced_run () =
       (read_file (golden_metrics ()) = metrics)
   end
 
+(* {2 Metrics plane: windowed rollups} *)
+
+module Ma = Splay_obs.Metrics_analysis
+
+(* Arm only the metrics plane (tracing stays off unless [trace]), with a
+   clean rollup ring, restoring the all-off default afterwards. *)
+let with_metrics ?(trace = false) f =
+  Obs.reset ();
+  Obs.Rollup.clear ();
+  Obs.enabled := trace;
+  Obs.metrics_enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.enabled := false;
+      Obs.metrics_enabled := false;
+      Obs.Rollup.clear ();
+      Obs.reset ())
+    f
+
+let test_rollup_quantile_accuracy () =
+  with_metrics (fun () ->
+      let h = Obs.histogram "test.ru.acc" in
+      (* uniform 0.001 .. 10.0: known quantiles across 14 octaves *)
+      for i = 1 to 10_000 do
+        Obs.observe h (Float.of_int i /. 1000.0)
+      done;
+      Alcotest.(check int) "every sample in the cumulative table" 10_000 (Obs.Rollup.count h);
+      let check_q q expect =
+        let v = Obs.Rollup.quantile h q in
+        Alcotest.(check bool)
+          (Printf.sprintf "p%g = %.4f within 7%% of %.4f" (q *. 100.0) v expect)
+          true
+          (Float.abs (v -. expect) <= 0.07 *. expect)
+      in
+      check_q 0.5 5.0;
+      check_q 0.9 9.0;
+      check_q 0.99 9.9;
+      check_q 0.999 9.99;
+      check_q 0.0 0.001;
+      (* the top bucket's midpoint overshoots the observed range, so the
+         exact max clamps it: q1 is exact *)
+      Alcotest.(check (float 1e-9)) "q1 is the exact max" 10.0 (Obs.Rollup.quantile h 1.0))
+
+let test_rollup_zero_bucket () =
+  with_metrics (fun () ->
+      let h = Obs.histogram "test.ru.zero" in
+      (* zero and negative samples (same-instant waits) share bucket 0 and
+         must not corrupt the log-bucket table *)
+      Obs.observe h 0.0;
+      Obs.observe h (-3.0);
+      Obs.observe h 0.0;
+      Alcotest.(check int) "counted" 3 (Obs.Rollup.count h);
+      (* bucket 0's representative is 0.0; the exact min survives in the
+         rendered row's "min" field, not in the quantiles *)
+      Alcotest.(check (float 1e-9)) "bucket-0 median" 0.0 (Obs.Rollup.quantile h 0.5);
+      Alcotest.(check (float 1e-9)) "q1 stays in the zero bucket" 0.0 (Obs.Rollup.quantile h 1.0);
+      let dump = Obs.metrics_plane_jsonl () in
+      Alcotest.(check bool) "exact min rendered on the cumulative row" true
+        (contains dump "\"min\":-3"))
+
+let test_rollup_capture_merge () =
+  with_metrics (fun () ->
+      let h = Obs.histogram "test.ru.merge" in
+      (* two captured trials observing disjoint halves of one distribution:
+         the absorbed cumulative table must behave like the union *)
+      let (), s1 =
+        Obs.capture ~ids_base:(1 lsl 24) (fun () ->
+            for i = 1 to 1000 do
+              Obs.observe h (Float.of_int i /. 1000.0)
+            done)
+      in
+      let (), s2 =
+        Obs.capture ~ids_base:(2 lsl 24) (fun () ->
+            for i = 1001 to 2000 do
+              Obs.observe h (Float.of_int i /. 1000.0)
+            done)
+      in
+      Alcotest.(check int) "nothing recorded here before absorb" 0 (Obs.Rollup.count h);
+      Obs.absorb s1;
+      Obs.absorb s2;
+      Alcotest.(check int) "merged cumulative count" 2000 (Obs.Rollup.count h);
+      let v = Obs.Rollup.quantile h 0.5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "merged median %.4f within 7%% of 1.0" v)
+        true
+        (Float.abs (v -. 1.0) <= 0.07))
+
+let test_rollup_window_rotation () =
+  with_metrics (fun () ->
+      (* drive the ring off a fake clock; any test needing the engine's
+         clock re-installs it via Engine.create *)
+      let t = ref 1.0 in
+      Obs.set_clock (fun () -> !t);
+      let c = Obs.counter "test.ru.ticks" in
+      let h = Obs.histogram "test.ru.lat" in
+      Obs.incr c;
+      Obs.observe h 0.010;
+      t := 25.0;
+      Obs.incr c;
+      t := 47.0;
+      (* w4 displaces w0 from the 4-slot ring: w0 is rendered, not lost *)
+      Obs.observe h 0.020;
+      let rows = Obs.Rollup.rows () in
+      List.iter
+        (fun w ->
+          Alcotest.(check bool) (Printf.sprintf "window %d rendered" w) true
+            (contains rows (Printf.sprintf "\"w\":%d" w)))
+        [ 0; 2; 4 ];
+      Alcotest.(check bool) "no phantom window" false (contains rows "\"w\":1");
+      (* a clock reading behind the newest window clamps into it instead of
+         corrupting an already-rendered one *)
+      t := 3.0;
+      Obs.incr c;
+      Alcotest.(check bool) "w0 not re-opened" false
+        (contains (Obs.Rollup.rows ()) "\"w\":0,\"n\":2");
+      let dump = Obs.metrics_plane_jsonl () in
+      Alcotest.(check bool) "schema header" true
+        (contains dump "\"schema\":\"splay-metrics/1\"");
+      Alcotest.(check bool) "cumulative rows carry w:-1" true (contains dump "\"w\":-1");
+      (* the three counter increments all survived the rotation *)
+      let m = Ma.load dump in
+      let total =
+        List.fold_left
+          (fun acc w ->
+            List.fold_left
+              (fun acc r -> acc + Option.value ~default:0 (Ma.int_field r "n"))
+              acc
+              (Ma.rows_of m ~w "test.ru.ticks"))
+          0 m.Ma.windows
+      in
+      Alcotest.(check int) "windowed counts add up across rotation" 3 total;
+      Obs.set_clock (fun () -> 0.0))
+
+(* {2 Metrics plane: golden dump and dashboard} *)
+
+(* The seed-7 chord deployment again, this time through the metrics plane
+   only: the JSONL dump and the [splay top] dashboard rendered from it are
+   pinned byte-for-byte, same regeneration story as the golden trace. *)
+let golden_metricsplane () = golden_file "chord_seed7.metricsplane.jsonl"
+let golden_top () = golden_file "chord_seed7.top.txt"
+
+let test_golden_metrics_plane () =
+  let dump =
+    with_metrics (fun () ->
+        ignore (run_chord_deployment ~seed:7);
+        Obs.metrics_plane_jsonl ())
+  in
+  let top = Ma.render (Ma.load dump) in
+  match Sys.getenv_opt "SPLAY_GOLDEN_DIR" with
+  | Some dir ->
+      write_file (Filename.concat dir "chord_seed7.metricsplane.jsonl") dump;
+      write_file (Filename.concat dir "chord_seed7.top.txt") top;
+      Printf.printf "regenerated metrics-plane golden files under %s\n" dir
+  | None ->
+      Alcotest.(check bool) "dump mentions rpc.latency" true (contains dump "rpc.latency");
+      Alcotest.(check bool) "golden metrics-plane dump is byte-identical" true
+        (read_file (golden_metricsplane ()) = dump);
+      Alcotest.(check bool) "golden splay-top render is byte-identical" true
+        (read_file (golden_top ()) = top)
+
+let test_metrics_only_no_spans () =
+  let dump, spans, trace =
+    with_metrics (fun () ->
+        ignore (run_chord_deployment ~seed:7);
+        (Obs.metrics_plane_jsonl (), Obs.span_count (), Obs.trace_jsonl ()))
+  in
+  Alcotest.(check int) "no spans started" 0 spans;
+  Alcotest.(check string) "trace empty" "" trace;
+  Alcotest.(check bool) "histogram rows recorded" true (contains dump "\"kind\":\"hist\"")
+
+(* {2 Trace cap} *)
+
+(* Capping the trace must drop the *suffix* only: the stored prefix stays
+   byte-identical to the uncapped golden trace (ids and context advance as
+   if nothing were dropped), and every refused record is counted. *)
+let test_trace_cap () =
+  let cap = 100 in
+  let capped, dropped =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_trace_cap 0)
+      (fun () ->
+        Obs.set_trace_cap cap;
+        with_obs (fun () ->
+            ignore (run_chord_deployment ~seed:7);
+            (Obs.trace_jsonl (), Obs.trace_dropped ())))
+  in
+  if Sys.getenv_opt "SPLAY_GOLDEN_DIR" = None then begin
+    let golden = read_file (golden_trace ()) in
+    let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' golden) in
+    let total = List.length lines in
+    Alcotest.(check bool) (Printf.sprintf "cap %d below the %d-record trace" cap total) true
+      (total > cap);
+    let prefix = String.concat "\n" (List.filteri (fun i _ -> i < cap) lines) ^ "\n" in
+    Alcotest.(check string) "stored prefix byte-identical to the uncapped trace" prefix capped;
+    Alcotest.(check int) "every record past the cap counted" (total - cap) dropped
+  end
+
 (* {2 Timestamp formatter} *)
 
 (* The trace writer renders the clock by fixed-point integer emission;
@@ -528,6 +725,16 @@ let () =
           Alcotest.test_case "time format matches printf" `Quick test_time_format_matches_printf;
           Alcotest.test_case "cross-node linkage" `Quick test_cross_node_linkage;
           Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+        ] );
+      ( "rollup",
+        [
+          Alcotest.test_case "quantile accuracy" `Quick test_rollup_quantile_accuracy;
+          Alcotest.test_case "zero bucket" `Quick test_rollup_zero_bucket;
+          Alcotest.test_case "capture merge" `Quick test_rollup_capture_merge;
+          Alcotest.test_case "window rotation" `Quick test_rollup_window_rotation;
+          Alcotest.test_case "golden metrics plane" `Quick test_golden_metrics_plane;
+          Alcotest.test_case "metrics-only records no spans" `Quick test_metrics_only_no_spans;
+          Alcotest.test_case "trace cap" `Quick test_trace_cap;
         ] );
       ( "rpc",
         [

@@ -54,6 +54,33 @@ let test_obs_merge_deterministic () =
   Alcotest.(check string) "merged trace identical" t1 t4;
   Alcotest.(check string) "merged metrics identical" m1 m4
 
+(* The metrics plane under fan-out: with windowed rollups armed, the
+   merged [splay-metrics/1] dump must be a pure function of the trial
+   list — byte-identical whether the trials ran on 1, 2 or 4 domains. *)
+let metrics_output jobs =
+  Obs.metrics_enabled := true;
+  Obs.reset ();
+  Obs.Rollup.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Rollup.clear ();
+      Obs.reset ();
+      Obs.metrics_enabled := false)
+    (fun () ->
+      let rs = Pool.map ~jobs trial seeds in
+      (rs, Obs.metrics_plane_jsonl ()))
+
+let test_metrics_plane_merge_deterministic () =
+  let r1, m1 = metrics_output 1 in
+  let _, m2 = metrics_output 2 in
+  let r4, m4 = metrics_output 4 in
+  Alcotest.(check (list string)) "results identical" r1 r4;
+  Alcotest.(check bool) "dump carries the schema header" true
+    (String.length m1 > 0
+    && String.sub m1 0 (min 32 (String.length m1)) = "{\"schema\":\"splay-metrics/1\",\"win");
+  Alcotest.(check string) "jobs=2 dump byte-identical" m1 m2;
+  Alcotest.(check string) "jobs=4 dump byte-identical" m1 m4
+
 let test_exception_propagates () =
   let f x = if x = 2 then failwith "trial boom" else x * 10 in
   (match Pool.map ~jobs:3 f [ 0; 1; 2; 3 ] with
@@ -79,6 +106,8 @@ let () =
         [
           Alcotest.test_case "results deterministic" `Quick test_results_deterministic;
           Alcotest.test_case "obs merge deterministic" `Quick test_obs_merge_deterministic;
+          Alcotest.test_case "metrics plane merge deterministic" `Quick
+            test_metrics_plane_merge_deterministic;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
           Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
           Alcotest.test_case "mapi" `Quick test_mapi;
