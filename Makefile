@@ -2,7 +2,7 @@ all:
 	dune build @all
 
 check:
-	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) bench-obs-smoke && $(MAKE) check-smoke
+	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) bench-obs-smoke && $(MAKE) bench-par-smoke && $(MAKE) check-smoke
 
 test:
 	dune runtest
@@ -46,6 +46,17 @@ bench-obs-smoke:
 	dune exec bin/splay_cli.exe -- top _build/metrics.obs-smoke.jsonl | grep -q "percentile columns:"
 	@echo "bench-obs-smoke: OK"
 
+# Parallel-engine smoke test: the 100k-node epidemic flood, sequential
+# vs one deployment over 4 partitions on the windowed parallel engine.
+# The floors are core-count-aware: a >= 4-core machine must show the
+# real >= 2x speedup, a 1-core container only the no-collapse bound on
+# windowing overhead (the par row's workers field says which machine CI
+# actually was). Same untracked-output story as bench-smoke.
+bench-par-smoke:
+	dune exec bench/main.exe -- par --domains 4 --bench-par-out=_build/BENCH_par.smoke.json
+	scripts/check_bench_floors.sh _build/BENCH_par.smoke.json BENCH_par.floors.json
+	@echo "bench-par-smoke: OK"
+
 # Simulation-testing gates. check-smoke is the fast always-green CI gate;
 # check-fuzz is the broad fault-injection sweep over every suite (base
 # chord is *expected* to fail it — the || true keeps the target usable as
@@ -67,4 +78,4 @@ trace-demo:
 	  | tee /dev/stderr | grep -q "rpc\."
 	@echo "trace-demo: OK (critical path extracted)"
 
-.PHONY: all check test bench bench-smoke bench-scale-smoke bench-obs-smoke bench-baseline trace-demo check-smoke check-fuzz
+.PHONY: all check test bench bench-smoke bench-scale-smoke bench-obs-smoke bench-par-smoke bench-baseline trace-demo check-smoke check-fuzz

@@ -21,6 +21,12 @@ let jobs = ref 1
 
 let par_map f xs = Pool.map ~jobs:!jobs f xs
 
+(* Partition/worker-domain count for the parallel single-run engine
+   (--domains N). Unlike --jobs, changing this changes the schedule —
+   a parallel run is a pure function of (seed, domains), byte-identical
+   only across different *worker* counts for the same partitioning. *)
+let domains = ref 4
+
 (* Where the micro workload section writes its machine-readable baseline
    (--bench-out=PATH). bench-smoke points this at an untracked path so
    routine `make check` runs never dirty the committed BENCH_engine.json. *)
@@ -33,6 +39,10 @@ let bench_macro_out = ref "BENCH_macro.json"
 (* Where the scale workload section writes its node-count curve
    (--bench-scale-out=PATH); same smoke-test redirection story. *)
 let bench_scale_out = ref "BENCH_scale.json"
+
+(* Where the parallel-engine section writes its sequential-vs-parallel
+   pair (--bench-par-out=PATH); same smoke-test redirection story. *)
+let bench_par_out = ref "BENCH_par.json"
 
 (* Observability: --obs / --obs-trace=FILE / --critical-path, parsed and
    acted on by the shared Obs_flags helper (same flags as splay_cli). *)

@@ -31,6 +31,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("micro", "Micro    framework hot paths (Bechamel)", Micro.run);
     ("macro", "Macro    message-plane workloads (Chord, epidemic, RPC)", Macro.run);
     ("scale", "Scale    single-run node-count curve (epidemic flood, Chord lookups)", Scale.run);
+    ("par", "Par      parallel single-run engine vs sequential (100k epidemic)", Par_bench.run);
   ]
 
 let aliases = [ ("fig6b", "fig6a"); ("fig6", "fig6a"); ("fig7", "fig7a"); ("loc", "tab-loc") ]
@@ -74,23 +75,33 @@ let () =
     | "--jobs" :: n :: rest ->
         Common.jobs := jobs_of_string "--jobs" n;
         scan_flags rest
-    | ("--bench-out" | "--bench-macro-out" | "--bench-scale-out") :: _ ->
+    | [ "--domains" ] -> ignore (jobs_of_string "--domains" "" : int)
+    | "--domains" :: n :: rest ->
+        Common.domains := jobs_of_string "--domains" n;
+        scan_flags rest
+    | ("--bench-out" | "--bench-macro-out" | "--bench-scale-out" | "--bench-par-out") :: _ ->
         Printf.eprintf
-          "output flags take inline values: --bench-out=PATH / --bench-macro-out=PATH / --bench-scale-out=PATH\n";
+          "output flags take inline values: --bench-out=PATH / --bench-macro-out=PATH / --bench-scale-out=PATH / --bench-par-out=PATH\n";
         exit 2
     | a :: rest ->
         (match value_of ~pfx:"--jobs=" a with
         | Some v -> Common.jobs := jobs_of_string "--jobs" v
         | None -> (
-            match value_of ~pfx:"--bench-out=" a with
-            | Some v -> Common.bench_out := out_path ~flag:"--bench-out" v
+            match value_of ~pfx:"--domains=" a with
+            | Some v -> Common.domains := jobs_of_string "--domains" v
             | None -> (
-                match value_of ~pfx:"--bench-macro-out=" a with
-                | Some v -> Common.bench_macro_out := out_path ~flag:"--bench-macro-out" v
+                match value_of ~pfx:"--bench-out=" a with
+                | Some v -> Common.bench_out := out_path ~flag:"--bench-out" v
                 | None -> (
-                    match value_of ~pfx:"--bench-scale-out=" a with
-                    | Some v -> Common.bench_scale_out := out_path ~flag:"--bench-scale-out" v
-                    | None -> ()))));
+                    match value_of ~pfx:"--bench-macro-out=" a with
+                    | Some v -> Common.bench_macro_out := out_path ~flag:"--bench-macro-out" v
+                    | None -> (
+                        match value_of ~pfx:"--bench-scale-out=" a with
+                        | Some v -> Common.bench_scale_out := out_path ~flag:"--bench-scale-out" v
+                        | None -> (
+                            match value_of ~pfx:"--bench-par-out=" a with
+                            | Some v -> Common.bench_par_out := out_path ~flag:"--bench-par-out" v
+                            | None -> ()))))));
         scan_flags rest
   in
   scan_flags args;
@@ -98,7 +109,7 @@ let () =
   let selected =
     let rec keep = function
       | [] -> []
-      | "--jobs" :: _ :: rest -> keep rest
+      | ("--jobs" | "--domains") :: _ :: rest -> keep rest
       | a :: rest ->
           if String.length a >= 2 && String.sub a 0 2 = "--" then keep rest
           else

@@ -1,0 +1,46 @@
+(* Parallel single-run engine: the speedup pair the CI floor guards.
+
+   One workload, measured twice: the 100k-node epidemic flood as a plain
+   sequential run, then as ONE deployment over --domains partitions on
+   the windowed parallel engine. Always 100k nodes, quick or full — the
+   floor is meaningless on a toy population. Best-of-2 wall clocks (the
+   runs are deterministic; reruns differ only by machine noise).
+
+   The par row's extras carry everything check_bench_floors.sh needs to
+   judge the machine honestly: [domains] (what was asked), [workers]
+   (what the core count actually granted — Dpool clamps), and
+   [speedup_x] (par rate / seq rate). The floor requires
+   speedup_x >= max(floor_speedup_x_min, floor_speedup_x_per_worker *
+   workers): on a >= 4-core box that demands the real >= 2x at
+   --domains 4; on a 1-core CI container (workers = 1, where parallel
+   speedup is physically impossible) it degrades to a no-collapse bound
+   on the windowing overhead. *)
+
+open Splay
+
+let best2 f =
+  let a = f () in
+  let b = f () in
+  if b.Scale.seconds < a.Scale.seconds then b else a
+
+let run () =
+  Report.section "Parallel engine — sequential vs windowed-parallel (epidemic, 100k nodes)";
+  let n = 100_000 in
+  let domains = !Common.domains in
+  let seq = best2 (fun () -> Scale.epidemic_run ~n ~seed:11 ()) in
+  let par = best2 (fun () -> Scale.epidemic_par_run ~domains ~parts:domains ~n ~seed:11 ()) in
+  let speedup = Scale.ops_per_sec par /. Scale.ops_per_sec seq in
+  let par = { par with Scale.extras = par.Scale.extras @ [ ("speedup_x", speedup) ] } in
+  Scale.print_rows [ seq; par ];
+  List.iter
+    (fun (r : Scale.row) ->
+      match List.assoc_opt "coverage" r.Scale.extras with
+      | Some c ->
+          Common.shape_check
+            (Printf.sprintf "%s: flood covers the graph (%.1f%%)" r.Scale.name (100.0 *. c))
+            (c > 0.9)
+      | None -> ())
+    [ seq; par ];
+  Report.kv "speedup_x" (Printf.sprintf "%.2f" speedup);
+  Scale.write_json !Common.bench_par_out [ seq; par ];
+  Report.kv "baseline written" !Common.bench_par_out

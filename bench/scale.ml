@@ -120,6 +120,62 @@ let epidemic_run ?(obs = false) ~n ~seed () =
        else []);
   }
 
+(* ---------- epidemic flood, parallel engine ---------- *)
+
+(* The same flood as {!epidemic_run}, but as ONE deployment spread over
+   [parts] engine partitions (Fabric) and executed on up to [domains]
+   worker domains. Plain rows only: the run itself is deterministic in
+   (seed, parts), but bench-side telemetry sampling would read host
+   state across partitions mid-window, so the metrics twins stay
+   sequential. Extras record what the speedup floor needs: the partition
+   count, how many workers the machine actually granted, and the window
+   count (virtual span / lookahead — the barrier overhead driver). *)
+let epidemic_par_run ~domains ~parts ~n ~seed () =
+  let fab = Fabric.create ~seed ~hosts:n ~parts () in
+  let graph_rng = Rng.split (Engine.rng (Fabric.engine fab 0)) in
+  let base = live_words () in
+  let addrs = Array.init n (fun i -> Addr.make i 9000) in
+  let degree = 8 in
+  let strides = Array.init degree (fun _ -> 1 + Rng.int graph_rng (max 1 (n - 1))) in
+  let config = { Apps.Epidemic.fanout = 6; rpc_timeout = 5.0; oneway = true } in
+  let nodes = Array.make n None in
+  let env0 = ref None in
+  for i = 0 to n - 1 do
+    let peers = Array.to_list (Array.map (fun s -> addrs.((i + s) mod n)) strides) in
+    let env = Env.create (Fabric.net_of_host fab i) ~me:addrs.(i) ~nodes:peers in
+    if i = 0 then env0 := Some env;
+    Apps.Epidemic.app ~config ~register:(fun x -> nodes.(i) <- Some x) env
+  done;
+  let resident = live_words () - base in
+  let origin = match nodes.(0) with Some x -> x | None -> assert false in
+  let env0 = match !env0 with Some e -> e | None -> assert false in
+  ignore (Env.thread env0 ~name:"rumor-origin" (fun () -> Apps.Epidemic.broadcast origin "r0"));
+  let t0 = Unix.gettimeofday () in
+  let info = Fabric.run ~domains fab in
+  let wall = Unix.gettimeofday () -. t0 in
+  let covered = ref 0 in
+  Array.iter
+    (function
+      | Some x when Apps.Epidemic.has_received x "r0" -> incr covered
+      | _ -> ())
+    nodes;
+  let delivered = Fabric.messages_sent fab - Fabric.messages_dropped fab in
+  {
+    name = Printf.sprintf "epidemic_par_%s" (Common.size_tag n);
+    nodes = n;
+    ops = delivered;
+    seconds = wall;
+    resident_words = resident;
+    words_per_node = Float.of_int resident /. Float.of_int n;
+    extras =
+      [
+        ("coverage", Float.of_int !covered /. Float.of_int n);
+        ("domains", Float.of_int domains);
+        ("workers", Float.of_int (Dpool.effective (min domains parts)));
+        ("windows", Float.of_int info.Par.windows);
+      ];
+  }
+
 (* ---------- chord lookups ---------- *)
 
 let chord_run ?(obs = false) ~n ~seed ~lookups () =
@@ -271,6 +327,12 @@ let run () =
             (fun () -> epidemic_run ~obs:true ~n ~seed:11 ())
         else [ plain () ])
       ep_sizes
+    @ (* parallel-engine twins of the epidemic rows: same workload, same
+         seed, one deployment over [domains] partitions *)
+    List.map
+      (fun n ->
+        epidemic_par_run ~domains:!Common.domains ~parts:!Common.domains ~n ~seed:11 ())
+      (Common.pick ~quick:[ 10_000 ] ~full:[ 10_000; 100_000 ])
     @ List.concat_map
         (fun n ->
           let lookups = min 2_000 (n * 2) in

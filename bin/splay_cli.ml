@@ -36,7 +36,52 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace speedup seed descriptor_file obs_trace metrics_out metrics_window =
+(* `splay run --domains N` (N > 1): one deployment partitioned across N
+   event-loop domains on the conservative windowed parallel engine
+   (Fabric/Par). Only the epidemic application runs in this mode today —
+   it is the single-run workload the parallel engine was built for; the
+   daemon/controller stack stays on the sequential engine. The run goes
+   to quiescence (an epidemic flood terminates by itself), so --duration
+   is not consulted. *)
+let run_parallel ~nodes ~seed ~domains =
+  let parts = domains in
+  let fab = Fabric.create ~seed ~hosts:nodes ~parts () in
+  let graph_rng = Rng.split (Engine.rng (Fabric.engine fab 0)) in
+  let addrs = Array.init nodes (fun i -> Addr.make i 9000) in
+  let degree = 8 in
+  let strides = Array.init degree (fun _ -> 1 + Rng.int graph_rng (max 1 (nodes - 1))) in
+  let config = { Apps.Epidemic.fanout = 6; rpc_timeout = 5.0; oneway = true } in
+  let insts = Array.make nodes None in
+  let env0 = ref None in
+  for i = 0 to nodes - 1 do
+    let peers = Array.to_list (Array.map (fun s -> addrs.((i + s) mod nodes)) strides) in
+    let env = Env.create (Fabric.net_of_host fab i) ~me:addrs.(i) ~nodes:peers in
+    if i = 0 then env0 := Some env;
+    Apps.Epidemic.app ~config ~register:(fun x -> insts.(i) <- Some x) env
+  done;
+  Printf.printf "deploying %d x epidemic across %d partitions (lookahead %.4f s)...\n%!" nodes
+    parts (Fabric.lookahead fab);
+  let origin = match insts.(0) with Some x -> x | None -> assert false in
+  let env0 = match !env0 with Some e -> e | None -> assert false in
+  ignore (Env.thread env0 ~name:"rumor-origin" (fun () -> Apps.Epidemic.broadcast origin "r0"));
+  let t0 = Unix.gettimeofday () in
+  let info = Fabric.run ~domains fab in
+  let wall = Unix.gettimeofday () -. t0 in
+  let covered = ref 0 in
+  Array.iter
+    (function Some x when Apps.Epidemic.has_received x "r0" -> incr covered | _ -> ())
+    insts;
+  Printf.printf "parallel run: %d windows on %d worker domains (%d requested), %.2f s wall\n"
+    info.Par.windows
+    (Dpool.effective (min domains parts))
+    domains wall;
+  Printf.printf "coverage: %d/%d nodes received the rumor (%.1f%%)\n" !covered nodes
+    (100.0 *. Float.of_int !covered /. Float.of_int nodes);
+  Printf.printf "network: %d messages, %d MB, %d dropped\n" (Fabric.messages_sent fab)
+    (Fabric.bytes_sent fab / 1024 / 1024)
+    (Fabric.messages_dropped fab)
+
+let run_sequential app testbed hosts nodes duration lookups churn_script churn_trace speedup seed descriptor_file obs_trace metrics_out metrics_window =
   (* Arm the observability layer before the platform exists so daemon
      boot and deployment are part of the trace. *)
   Obs_flags.trace_path := obs_trace;
@@ -164,6 +209,39 @@ let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace sp
         (Engine.schedule eng ~delay:0.0 (fun () -> Env.stop (Controller.env ctl))));
   if not (Obs_flags.finish ()) then exit 1
 
+let run_cmd app testbed hosts nodes duration lookups churn_script churn_trace speedup seed
+    descriptor_file obs_trace metrics_out metrics_window domains =
+  if domains < 1 then begin
+    Printf.eprintf "splay run: --domains expects a positive integer, got %d\n" domains;
+    exit 2
+  end;
+  if domains = 1 then
+    run_sequential app testbed hosts nodes duration lookups churn_script churn_trace speedup seed
+      descriptor_file obs_trace metrics_out metrics_window
+  else begin
+    (match app with
+    | Epidemic -> ()
+    | _ ->
+        Printf.eprintf
+          "splay run: --domains N > 1 currently supports only --app epidemic (single-run \
+           parallel mode)\n";
+        exit 2);
+    if churn_script <> None || churn_trace <> None || descriptor_file <> None then begin
+      Printf.eprintf
+        "splay run: --domains N > 1 does not support --churn-script, --churn-trace or \
+         --descriptor (churn and the controller stack run on the sequential engine)\n";
+      exit 2
+    end;
+    (* Arm the planes before Fabric.create: partition engines bind their
+       clocks to the per-partition recorder states at creation. *)
+    Obs_flags.trace_path := obs_trace;
+    Obs_flags.metrics_path := metrics_out;
+    Obs_flags.metrics_window := metrics_window;
+    Obs_flags.arm ();
+    run_parallel ~nodes ~seed ~domains;
+    if not (Obs_flags.finish ()) then exit 1
+  end
+
 let run_term =
   let app_arg =
     Arg.(value & opt app_conv Pastry & info [ "app"; "a" ] ~docv:"APP" ~doc:"Application to deploy.")
@@ -218,9 +296,19 @@ let run_term =
       & info [ "metrics-window" ] ~docv:"SECONDS"
           ~doc:"Rollup window width in virtual seconds (default 10).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Partition the run across $(docv) event-loop domains on the conservative windowed \
+             parallel engine (currently $(b,--app epidemic) only). $(docv) fixes the schedule; \
+             worker domains are clamped to the machine's core count.")
+  in
   Term.(
     const run_cmd $ app_arg $ testbed $ hosts $ nodes $ duration $ lookups $ churn_script
-    $ churn_trace $ speedup $ seed $ descriptor $ obs_trace $ metrics_out $ metrics_window)
+    $ churn_trace $ speedup $ seed $ descriptor $ obs_trace $ metrics_out $ metrics_window
+    $ domains)
 
 let run_cmd_info = Cmd.info "run" ~doc:"Deploy an application on a simulated testbed and measure it."
 
@@ -579,6 +667,35 @@ let () =
     then Array.concat [ [| a.(0); a.(1); "analyze" |]; Array.sub a 2 (Array.length a - 2) ]
     else a
   in
+  (* Bare, empty or non-positive --jobs/--domains values exit 2 with a
+     one-line error instead of cmdliner's conversion dump — silently
+     falling back to a default would run a different schedule than the
+     caller asked for (same strictness as the bench harness's output
+     flags). *)
+  (let bad ctx got =
+     Printf.eprintf "splay: %s expects a positive integer, got %s\n" ctx got;
+     exit 2
+   in
+   let check ctx = function
+     | None -> bad ctx "nothing"
+     | Some s -> (
+         match int_of_string_opt s with
+         | Some n when n >= 1 -> ()
+         | _ -> bad ctx (Printf.sprintf "%S" s))
+   in
+   let n = Array.length argv in
+   Array.iteri
+     (fun i a ->
+       match a with
+       | "--jobs" | "--domains" -> check a (if i + 1 < n then Some argv.(i + 1) else None)
+       | _ ->
+           List.iter
+             (fun pfx ->
+               let lp = String.length pfx in
+               if String.length a >= lp && String.sub a 0 lp = pfx then
+                 check (String.sub a 0 (lp - 1)) (Some (String.sub a lp (String.length a - lp))))
+             [ "--jobs="; "--domains=" ])
+     argv);
   let root =
     Cmd.group
       (Cmd.info "splay" ~version:"1.0" ~doc:"SPLAY for OCaml — deploy and evaluate distributed systems.")

@@ -27,6 +27,8 @@ module Eheap = Splay_sim.Eheap
 module Ivar = Splay_sim.Ivar
 module Channel = Splay_sim.Channel
 module Pool = Splay_sim.Pool
+module Dpool = Splay_sim.Dpool
+module Par = Splay_sim.Par
 
 (* Observability: deterministic tracing + metrics across all layers *)
 module Obs = Splay_obs.Obs
@@ -47,6 +49,7 @@ module Topology = Splay_net.Topology
 module Latency = Splay_net.Latency
 module Testbed = Splay_net.Testbed
 module Net = Splay_net.Net
+module Fabric = Splay_net.Fabric
 
 (* Application libraries *)
 module Misc = Splay_runtime.Misc

@@ -10,7 +10,7 @@ type rtt_dist =
 type impl =
   | Synthetic of { seed64 : int64; dist : rtt_dist; intra_host : float }
   | Matrix of { topo : Topology.t; stub_of : Addr.host_id -> Topology.router }
-  | Fn of (Addr.host_id -> Addr.host_id -> float)
+  | Fn of { fn : Addr.host_id -> Addr.host_id -> float; fn_min_rtt : float option }
 
 type t = { name : string; seed : int; impl : impl }
 
@@ -135,7 +135,11 @@ let synthetic ?(dist = transit_stub_classes) ?(intra_host = 0.000_05) ~seed () =
 
 let matrix topo ~stub_of = { name = "matrix"; seed = 0; impl = Matrix { topo; stub_of } }
 
-let of_fn ~name ?(seed = 0) f = { name; seed; impl = Fn f }
+let of_fn ~name ?(seed = 0) ?min_rtt f =
+  (match min_rtt with
+  | Some r when r <= 0.0 -> invalid_arg "Latency.of_fn: min_rtt must be positive"
+  | _ -> ());
+  { name; seed; impl = Fn { fn = f; fn_min_rtt = min_rtt } }
 
 let delay t a b =
   match t.impl with
@@ -143,4 +147,45 @@ let delay t a b =
       if a = b then intra_host else 0.5 *. rtt_of_u dist (pair_u seed64 a b)
   | Matrix { topo; stub_of } ->
       (Topology.delay [@ocaml.warning "-3"]) topo (stub_of a) (stub_of b)
-  | Fn f -> f a b
+  | Fn { fn; _ } -> fn a b
+
+(* {2 Lookahead} *)
+
+(* Hard lower bound on the RTT the distribution can emit between two
+   DISTINCT hosts ([intra_host] is excluded on purpose: a host never
+   crosses a partition boundary to talk to itself). Lognormal has no
+   positive bound — its quantile goes to 0 with u — so it yields [None]
+   and cannot drive the conservative parallel engine. *)
+let dist_min_rtt = function
+  | Constant rtt -> Some rtt
+  | Uniform { lo; _ } -> Some lo
+  | Lognormal _ -> None
+  | Classes classes ->
+      (* zero-weight classes are unreachable: [pick] returns class [i]
+         only when the cumulative weight strictly exceeds the target,
+         and the last class only when target >= the preceding sum *)
+      let m = ref infinity in
+      Array.iter (fun (w, rtt) -> if w > 0.0 && rtt < !m then m := rtt) classes;
+      if !m = infinity then None else Some !m
+
+let min_rtt t =
+  match t.impl with
+  | Synthetic { dist; _ } -> dist_min_rtt dist
+  | Matrix { topo; _ } ->
+      (* Two distinct hosts can share a stub router, so the intra-stub
+         hop is always reachable; the scan catches topologies where some
+         router pair is even cheaper. Router counts are small (hundreds),
+         and this runs once at partitioning time, not on the hot path. *)
+      let d = (Topology.delay [@ocaml.warning "-3"]) topo in
+      let n = Topology.router_count topo in
+      let m = ref (Topology.intra_stub_delay topo) in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          let one_way = d a b in
+          if one_way < !m then m := one_way
+        done
+      done;
+      if !m <= 0.0 then None else Some (2.0 *. !m)
+  | Fn { fn_min_rtt; _ } -> fn_min_rtt
+
+let lookahead t = Option.map (fun rtt -> 0.5 *. rtt) (min_rtt t)

@@ -70,6 +70,31 @@ val matrix : Topology.t -> stub_of:(Addr.host_id -> Topology.router) -> t
 
 (** {1 Escape hatch} *)
 
-val of_fn : name:string -> ?seed:int -> (Addr.host_id -> Addr.host_id -> float) -> t
+val of_fn :
+  name:string -> ?seed:int -> ?min_rtt:float -> (Addr.host_id -> Addr.host_id -> float) -> t
 (** Wrap an arbitrary delay function (tests, replayed measurement data).
-    The function must be symmetric and deterministic. *)
+    The function must be symmetric and deterministic. [min_rtt], if
+    given, promises that [2 * f a b >= min_rtt] for all distinct [a],
+    [b] (must be positive); without it the wrapped model answers
+    [min_rtt t = None] and cannot drive the parallel engine — {!Fabric}
+    will refuse it with an error naming this argument. *)
+
+(** {1 Lookahead for the parallel engine} *)
+
+val min_rtt : t -> float option
+(** Hard lower bound on the round-trip time between two {e distinct}
+    hosts, or [None] when the model cannot promise one. This is what the
+    conservative parallel engine turns into lookahead: within a time
+    window shorter than the minimum one-way delay, partitions cannot
+    affect each other. Per backend: {!synthetic} answers the
+    distribution's infimum ([Constant] → the RTT, [Uniform] → [lo],
+    [Classes] → cheapest positively-weighted class) and [None] for
+    [Lognormal], whose quantile has no positive lower bound; {!matrix}
+    answers twice the cheapest one-way router-pair delay (at most the
+    intra-stub delay, since two hosts can share a stub router); {!of_fn}
+    answers its [?min_rtt] argument verbatim. [intra_host] delays are
+    excluded — a host talking to itself never crosses partitions. *)
+
+val lookahead : t -> float option
+(** [min_rtt t / 2]: the minimum one-way cross-host delay, i.e. the safe
+    window width for conservative parallel simulation. *)

@@ -21,6 +21,26 @@ module AddrTbl = Hashtbl.Make (struct
   let hash = Addr.hash
 end)
 
+(* Cross-partition escape hatch for the parallel engine: when a remote
+   hook is installed and the destination host is not local, the send
+   path stops after the sender-side half of the store-and-forward model
+   (uplink queue + propagation) and hands the message to [r_route] —
+   Fabric posts it into a Par mailbox, and the receiving partition
+   finishes the job with [deliver_remote] (downlink queue + processing +
+   liveness checks against ITS copy of the host state). *)
+type remote = {
+  r_local : Addr.host_id -> bool;
+  r_route :
+    src:Addr.t ->
+    dst:Addr.t ->
+    size:int ->
+    arrival:float ->
+    up_wait:float ->
+    ctx:Obs.ctx ->
+    payload ->
+    unit;
+}
+
 type t = {
   eng : Engine.t;
   tb : Testbed.t;
@@ -32,6 +52,7 @@ type t = {
   mutable loss : float;
   mutable extra_delay : float;
   mutable partition : (Addr.host_id -> int) option;
+  mutable remote : remote option;
   mutable n_sent : int;
   mutable n_bytes : int;
   mutable n_dropped : int;
@@ -47,6 +68,7 @@ let create eng tb =
     loss = 0.0;
     extra_delay = 0.0;
     partition = None;
+    remote = None;
     n_sent = 0;
     n_bytes = 0;
     n_dropped = 0;
@@ -115,23 +137,32 @@ let send_compact t c ?(size = 256) ?loss ~src ~dst payload =
       Array.unsafe_set up_busy sh (start_up +. tx_up);
       let propagation = Latency.delay c.Testbed.Compact.lat sh dh in
       let arrival = start_up +. tx_up +. propagation in
-      let tx_down = sz /. c.Testbed.Compact.bw_down in
-      let down_busy = c.Testbed.Compact.down_busy in
-      let start_down = Float.max arrival (Array.unsafe_get down_busy dh) in
-      Array.unsafe_set down_busy dh (start_down +. tx_down);
-      let deliver_at = start_down +. tx_down +. c.Testbed.Compact.proc_cost in
-      let deliver_at = if t.extra_delay > 0.0 then deliver_at +. t.extra_delay else deliver_at in
-      if traced || !Obs.metrics_enabled then
-        Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
-      let mctx = if traced then Obs.current () else Obs.null_ctx in
-      ignore
-        (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
-             if traced then Obs.set_current mctx;
-             if Bytes.unsafe_get c.Testbed.Compact.up_bits dh = '\000' then count_drop t
-             else
-               match AddrTbl.find_opt t.handlers dst with
-               | None -> count_drop t
-               | Some h -> h ~src payload))
+      match t.remote with
+      | Some r when not (r.r_local dh) ->
+          (* sender-side half done; the destination partition applies its
+             own downlink/processing model when the mailbox drains *)
+          let mctx = if traced then Obs.current () else Obs.null_ctx in
+          r.r_route ~src ~dst ~size ~arrival ~up_wait:(start_up -. now) ~ctx:mctx payload
+      | _ ->
+          let tx_down = sz /. c.Testbed.Compact.bw_down in
+          let down_busy = c.Testbed.Compact.down_busy in
+          let start_down = Float.max arrival (Array.unsafe_get down_busy dh) in
+          Array.unsafe_set down_busy dh (start_down +. tx_down);
+          let deliver_at = start_down +. tx_down +. c.Testbed.Compact.proc_cost in
+          let deliver_at =
+            if t.extra_delay > 0.0 then deliver_at +. t.extra_delay else deliver_at
+          in
+          if traced || !Obs.metrics_enabled then
+            Obs.observe h_link_wait ((start_up -. now) +. (start_down -. arrival));
+          let mctx = if traced then Obs.current () else Obs.null_ctx in
+          ignore
+            (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
+                 if traced then Obs.set_current mctx;
+                 if Bytes.unsafe_get c.Testbed.Compact.up_bits dh = '\000' then count_drop t
+                 else
+                   match AddrTbl.find_opt t.handlers dst with
+                   | None -> count_drop t
+                   | Some h -> h ~src payload))
     end
   end
 
@@ -191,6 +222,39 @@ let send t ?size ?loss ~src ~dst payload =
   match t.cmp with
   | Some c -> send_compact t c ?size ?loss ~src ~dst payload
   | None -> send_classic t ?size ?loss ~src ~dst payload
+
+let set_remote t ~local ~route =
+  if t.cmp = None then invalid_arg "Net.set_remote: synthetic (compact) testbed required";
+  t.remote <- Some { r_local = local; r_route = route }
+
+(* Receiver-side half of a routed send: runs on the destination
+   partition's engine at the message's arrival time. Mirrors the tail of
+   [send_compact] — downlink queueing against THIS net's busy array,
+   processing cost, then liveness/handler checks at delivery. *)
+let deliver_remote t ?(size = 256) ~src ~dst ~up_wait ~ctx payload =
+  match t.cmp with
+  | None -> invalid_arg "Net.deliver_remote: synthetic (compact) testbed required"
+  | Some c ->
+      let dh = dst.Addr.host in
+      let arrival = Engine.now t.eng in
+      let sz = Float.of_int size in
+      let tx_down = sz /. c.Testbed.Compact.bw_down in
+      let down_busy = c.Testbed.Compact.down_busy in
+      let start_down = Float.max arrival (Array.unsafe_get down_busy dh) in
+      Array.unsafe_set down_busy dh (start_down +. tx_down);
+      let deliver_at = start_down +. tx_down +. c.Testbed.Compact.proc_cost in
+      let deliver_at = if t.extra_delay > 0.0 then deliver_at +. t.extra_delay else deliver_at in
+      let traced = !Obs.enabled in
+      if traced || !Obs.metrics_enabled then
+        Obs.observe h_link_wait (up_wait +. (start_down -. arrival));
+      ignore
+        (Engine.schedule_at t.eng ~at:deliver_at (fun () ->
+             if traced then Obs.set_current ctx;
+             if Bytes.unsafe_get c.Testbed.Compact.up_bits dh = '\000' then count_drop t
+             else
+               match AddrTbl.find_opt t.handlers dst with
+               | None -> count_drop t
+               | Some h -> h ~src payload))
 
 let messages_sent t = t.n_sent
 let bytes_sent t = t.n_bytes

@@ -71,3 +71,50 @@ val messages_sent : t -> int
 val bytes_sent : t -> int
 val messages_dropped : t -> int
 (** Counters over the lifetime of the network (monitoring). *)
+
+(** {1 Cross-partition routing — the parallel engine's hook}
+
+    Under {!Fabric}, each partition owns a [Net.t] over its own copy of
+    the (synthetic) testbed state. A send whose destination host lives
+    on another partition runs only the sender-side half of the
+    store-and-forward model here — uplink queueing and propagation — and
+    is handed to [route]; the destination partition completes it with
+    {!deliver_remote} against its own downlink/liveness state. Plain
+    single-engine nets never touch any of this. *)
+
+val set_remote :
+  t ->
+  local:(Addr.host_id -> bool) ->
+  route:
+    (src:Addr.t ->
+    dst:Addr.t ->
+    size:int ->
+    arrival:float ->
+    up_wait:float ->
+    ctx:Splay_obs.Obs.ctx ->
+    payload ->
+    unit) ->
+  unit
+(** Install the hook. [local] says whether a destination host is served
+    by this net; [route] receives each non-local message after the
+    sender-side model ran: [arrival] is the absolute time the last byte
+    reaches the destination's downlink (uplink wait + transmission +
+    propagation — at least the latency model's lookahead in the future),
+    [up_wait] the uplink queueing already incurred (for the link-wait
+    histogram), [ctx] the sender's trace context. Requires a synthetic
+    (compact) testbed. *)
+
+val deliver_remote :
+  t ->
+  ?size:int ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  up_wait:float ->
+  ctx:Splay_obs.Obs.ctx ->
+  payload ->
+  unit
+(** Receiver-side completion of a routed message; call it on the
+    destination partition's net at the message's [arrival] time (Fabric
+    does this from a {!Splay_sim.Par} mailbox). Applies downlink
+    queueing, processing cost, then the usual liveness/handler checks at
+    delivery. *)

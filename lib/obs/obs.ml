@@ -725,43 +725,60 @@ type snapshot = {
 let empty_snapshot =
   { snap_trace = ""; snap_spans = 0; snap_cells = []; snap_rows = ""; snap_cum = []; snap_dropped = 0 }
 
+(* The recording-state lifecycle behind [capture], exposed separately
+   for clients whose unit of isolation is not a function call: the
+   parallel engine (Par) keeps one state per PARTITION alive across many
+   windows, installing it on whichever domain executes the partition
+   next, and snapshots once at the end of the whole run. *)
+
+type rec_state = state
+
+let state_create ?(ids_base = 0) () =
+  let fresh = new_state () in
+  fresh.next_span <- ids_base + 1;
+  fresh.next_trace <- ids_base + 1;
+  fresh
+
+let state_install fresh =
+  let saved = st () in
+  Domain.DLS.set dls fresh;
+  saved
+
+let state_snapshot fresh =
+  let all = registered () in
+  let cells = Array.to_list (Array.mapi (fun i c -> (all.(i), c)) fresh.cells) in
+  (* Rollup rows are rendered per trial: a trial's window sequence is
+     self-contained, so the merged dump is the trials' rows spliced in
+     trial-index order — a pure function of the trial list. *)
+  let rows, cum =
+    match fresh.ru with
+    | None -> ("", [])
+    | Some r ->
+        let cum = ref [] in
+        Array.iteri
+          (fun i w -> if i < Array.length all && w.w_n <> 0 then cum := (all.(i), w) :: !cum)
+          r.ru_cum;
+        (ru_rows r, List.rev !cum)
+  in
+  {
+    snap_trace = Buffer.contents fresh.buf;
+    snap_spans = fresh.spans_started;
+    snap_cells = cells;
+    snap_rows = rows;
+    snap_cum = cum;
+    snap_dropped = fresh.trace_dropped;
+  }
+
 let capture ?(ids_base = 0) f =
   if not (!enabled || !metrics_enabled) then (f (), empty_snapshot)
   else begin
-    let saved = st () in
-    let fresh = new_state () in
-    fresh.next_span <- ids_base + 1;
-    fresh.next_trace <- ids_base + 1;
-    Domain.DLS.set dls fresh;
+    let fresh = state_create ~ids_base () in
+    let saved = state_install fresh in
     let restore () = Domain.DLS.set dls saved in
     match f () with
     | v ->
         restore ();
-        let all = registered () in
-        let cells = Array.to_list (Array.mapi (fun i c -> (all.(i), c)) fresh.cells) in
-        (* Rollup rows are rendered per trial: a trial's window sequence is
-           self-contained, so the merged dump is the trials' rows spliced in
-           trial-index order — a pure function of the trial list. *)
-        let rows, cum =
-          match fresh.ru with
-          | None -> ("", [])
-          | Some r ->
-              let cum = ref [] in
-              Array.iteri
-                (fun i w ->
-                  if i < Array.length all && w.w_n <> 0 then cum := (all.(i), w) :: !cum)
-                r.ru_cum;
-              (ru_rows r, List.rev !cum)
-        in
-        ( v,
-          {
-            snap_trace = Buffer.contents fresh.buf;
-            snap_spans = fresh.spans_started;
-            snap_cells = cells;
-            snap_rows = rows;
-            snap_cum = cum;
-            snap_dropped = fresh.trace_dropped;
-          } )
+        (v, state_snapshot fresh)
     | exception e ->
         restore ();
         raise e

@@ -99,6 +99,35 @@ val absorb : snapshot -> unit
     gauges (last absorbed wins) and for trace record order — absorb in
     trial-index order. *)
 
+(** {2 Long-lived recording states}
+
+    {!capture} brackets one function call; the parallel engine
+    ({!Splay_sim.Par}) needs the same isolation with a different
+    lifetime: one state per {e partition}, kept alive across many time
+    windows, installed on whichever domain executes the partition next,
+    and snapshotted once when the whole run ends. These are the pieces
+    {!capture} is built from. *)
+
+type rec_state
+(** A private recording state (trace buffer, id allocators, metric
+    cells), not yet attached to any domain. Mutable: install it on at
+    most one domain at a time. *)
+
+val state_create : ?ids_base:int -> unit -> rec_state
+(** Fresh state with span/trace numbering starting at [ids_base + 1]
+    (default 0 — give each concurrent state a distinct base, as
+    {!capture} does per trial). *)
+
+val state_install : rec_state -> rec_state
+(** Make the given state the calling domain's current recording state
+    and return the previously installed one (re-install that when done
+    — the bracket discipline of {!capture}, split in two). *)
+
+val state_snapshot : rec_state -> snapshot
+(** Render everything the state recorded as an inert {!snapshot} for
+    {!absorb}. Call it once, after the state's last window, with the
+    state no longer installed anywhere. *)
+
 (** {1 Trace context}
 
     Causality across tasks and nodes. A context names a position in the

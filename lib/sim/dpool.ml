@@ -1,0 +1,146 @@
+(* Persistent worker-domain pool.
+
+   PR 6's macro bench showed jobs=2 *slower* than jobs=1 on every
+   workload. Profiling narrowed it to two compounding costs: a fresh
+   [Domain.spawn]/[Domain.join] pair per batch (~1ms each, against
+   sub-100ms trial batches), and — decisive on small boxes — running
+   more domains than the machine has cores, which serializes every
+   minor-GC stop-the-world rendezvous across oversubscribed domains.
+
+   Two fixes live here:
+   - [effective] clamps the requested parallelism to
+     [Domain.recommended_domain_count ()], so a 1-core container runs
+     jobs=2 on the plain sequential path instead of thrashing two
+     domains on one core;
+   - worker domains are spawned once and parked on a condition
+     variable between batches (parked domains do not delay the GC), so
+     batch N+1 pays no spawn cost.
+
+   Submission protocol: [run ~workers job] wakes the parked workers and
+   runs [job] on the calling domain too. Every participant executes the
+   same [job] closure concurrently, so [job] must partition its own
+   work (the callers here all loop on a shared [Atomic] cursor); extra
+   participants simply find the cursor exhausted. [run] returns only
+   after every participant finished the batch, which also gives the
+   caller a happens-before edge on everything the workers wrote. *)
+
+let cap_override = ref None
+
+let set_cap n = cap_override := n
+
+let hw_cap () =
+  match !cap_override with
+  | Some n -> if n < 1 then 1 else n
+  | None ->
+      let n = Domain.recommended_domain_count () in
+      if n < 1 then 1 else n
+
+let effective workers =
+  let cap = hw_cap () in
+  if workers < 1 then 1 else if workers > cap then cap else workers
+
+(* One in-flight batch. [b_left] counts worker domains (not the caller)
+   still inside [b_job]; the caller waits for it to hit 0. *)
+type batch = { b_job : unit -> unit; mutable b_left : int }
+
+let mu = Mutex.create ()
+let work_cv = Condition.create () (* workers: a new batch (or shutdown) *)
+let done_cv = Condition.create () (* caller: batch finished *)
+let current : batch option ref = ref None
+let generation = ref 0
+let shutting_down = ref false
+let workers : unit Domain.t list ref = ref []
+let pool_size = ref 0
+
+(* First exception raised by any participant of the current batch; the
+   pool itself must never die, so workers trap everything. *)
+let batch_exn : (exn * Printexc.raw_backtrace) option ref = ref None
+
+let record_exn e bt =
+  Mutex.lock mu;
+  if !batch_exn = None then batch_exn := Some (e, bt);
+  Mutex.unlock mu
+
+(* [gen0] is the generation at spawn time: a worker added after earlier
+   batches ran must wait for the *next* batch, not chase a generation
+   whose [current] is already gone. *)
+let worker_loop gen0 () =
+  let last_gen = ref gen0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock mu;
+    while (not !shutting_down) && !generation = !last_gen do
+      Condition.wait work_cv mu
+    done;
+    if !shutting_down then begin
+      Mutex.unlock mu;
+      running := false
+    end
+    else begin
+      last_gen := !generation;
+      let b = Option.get !current in
+      Mutex.unlock mu;
+      (try b.b_job ()
+       with e -> record_exn e (Printexc.get_raw_backtrace ()));
+      Mutex.lock mu;
+      b.b_left <- b.b_left - 1;
+      if b.b_left = 0 then Condition.broadcast done_cv;
+      Mutex.unlock mu
+    end
+  done
+
+(* The runtime requires every domain to have terminated before the
+   program exits, so the first spawn registers a shutdown hook that
+   unparks and joins the pool. *)
+let shutdown () =
+  Mutex.lock mu;
+  shutting_down := true;
+  Condition.broadcast work_cv;
+  Mutex.unlock mu;
+  List.iter Domain.join !workers;
+  workers := [];
+  pool_size := 0;
+  shutting_down := false
+
+let ensure_helpers n =
+  if !pool_size = 0 && n > 0 then Stdlib.at_exit shutdown;
+  while !pool_size < n do
+    (* only batch submitters mutate [generation], and they call this
+       before incrementing it, so the read is race-free here *)
+    workers := Domain.spawn (worker_loop !generation) :: !workers;
+    incr pool_size
+  done
+
+let run ~workers:requested job =
+  let w = effective requested in
+  if w <= 1 then job ()
+  else begin
+    ensure_helpers (w - 1);
+    (* Every parked worker participates, even if the pool grew beyond
+       [w - 1] in an earlier batch: cursor-driven jobs are indifferent
+       to extra hands. *)
+    let b = { b_job = job; b_left = !pool_size } in
+    Mutex.lock mu;
+    batch_exn := None;
+    current := Some b;
+    incr generation;
+    Condition.broadcast work_cv;
+    Mutex.unlock mu;
+    let mine =
+      try
+        job ();
+        None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock mu;
+    while b.b_left > 0 do
+      Condition.wait done_cv mu
+    done;
+    current := None;
+    let theirs = !batch_exn in
+    batch_exn := None;
+    Mutex.unlock mu;
+    match (theirs, mine) with
+    | Some (e, bt), _ | None, Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None, None -> ()
+  end

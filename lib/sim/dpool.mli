@@ -1,0 +1,34 @@
+(** Persistent worker-domain pool.
+
+    Shared executor behind {!Pool} (trial fan-out) and {!Par} (the
+    parallel single-run engine). Worker domains are spawned once, parked
+    on a condition variable between batches — parked domains do not
+    delay the stop-the-world GC — and joined by an [at_exit] hook.
+
+    Parallelism is always clamped to the machine: requesting more
+    workers than [Domain.recommended_domain_count ()] oversubscribes the
+    cores and serializes every minor-GC rendezvous, which is exactly the
+    jobs=2 regression this module exists to kill. *)
+
+val effective : int -> int
+(** [effective w] is the number of participants a [run ~workers:w] batch
+    will actually use: [w] clamped to [1 .. recommended_domain_count]
+    (or to the {!set_cap} override). *)
+
+val set_cap : int option -> unit
+(** Test hook: override the hardware core count used by {!effective}.
+    [set_cap (Some 4)] forces real worker domains even on a 1-core box
+    (slow but correct — determinism tests use this); [set_cap None]
+    restores the hardware value. Not for production code. *)
+
+val run : workers:int -> (unit -> unit) -> unit
+(** [run ~workers job] executes [job] concurrently on
+    [effective workers] participants: the calling domain plus parked
+    pool workers (spawned on demand, reused across batches). Every
+    participant runs the {e same} [job] closure, so [job] must partition
+    its own work, e.g. by looping on a shared [Atomic] cursor; extra
+    participants finding no work is fine. Returns once all participants
+    finished, which establishes a happens-before edge on everything they
+    wrote. If any participant raises, the first exception recorded is
+    re-raised after the batch settles. With [effective workers <= 1]
+    this is exactly [job ()] on the calling domain. *)

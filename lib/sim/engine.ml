@@ -416,6 +416,24 @@ let run ?until t =
       if t.now.v < limit then t.now.v <- limit);
   stats t
 
+(* [next_at] / [run_to]: the window primitives the parallel engine (Par)
+   drives partitions with. Unlike [run ~until], [run_to] treats [stop] as
+   exclusive and never advances the clock into the unexecuted region —
+   a later window (or an absorbed cross-partition message at exactly
+   [stop]) continues seamlessly from wherever this partition halted. *)
+
+let next_at t =
+  drain_dead_head t;
+  if t.ring_len > 0 then t.now.v else Eheap.min_at t.queue
+
+let run_to t ~stop =
+  let continue_run = ref true in
+  while !continue_run do
+    drain_dead_head t;
+    let at = if t.ring_len > 0 then t.now.v else Eheap.min_at t.queue in
+    if at >= stop then continue_run := false else ignore (step t)
+  done
+
 (* {2 Processes} *)
 
 let alive p = p.state <> Dead

@@ -105,6 +105,19 @@ val stats : t -> run_stats
 val step : t -> bool
 (** Execute the single next event. [false] if the queue was empty. *)
 
+val next_at : t -> float
+(** Virtual time of the next live event, or [infinity] when the queue is
+    empty. Does not execute anything (it may lazily discard cancelled
+    tombstones at the queue head). This is what {!Par} computes window
+    bounds from. *)
+
+val run_to : t -> stop:float -> unit
+(** Execute every event with time strictly below [stop], in exact
+    [(at, seq)] order, leaving the clock at the last executed event
+    (NOT advanced to [stop] — unlike [run ~until], the window is
+    half-open and a later [run_to] continues seamlessly). Used by {!Par}
+    to drive one partition through one safe window. *)
+
 val pending_events : t -> int
 (** Number of scheduled, uncancelled events (cheap upper bound used by
     tests and by {!run}'s accounting). *)

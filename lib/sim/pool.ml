@@ -5,6 +5,12 @@
    the bench harness hands the trial list here and we spread it over
    [jobs] domains with a shared atomic cursor (work stealing by index).
 
+   Execution rides on {!Dpool}: a persistent pool of parked worker
+   domains (no per-batch spawn/join cost), with [jobs] clamped to the
+   machine's core count. On a 1-core box jobs=2 therefore runs the plain
+   sequential loop instead of serializing every minor-GC rendezvous
+   across two oversubscribed domains — the PR 6 fan-out regression.
+
    Determinism contract: the results AND the observability side effects
    are byte-identical for any [jobs]. Each trial runs inside
    [Obs.capture], which gives it a fresh domain-local recording state
@@ -19,9 +25,7 @@ module Obs = Splay_obs.Obs
    trial as long as a single trial opens fewer than 16M spans. *)
 let ids_stride = 1 lsl 24
 
-let default_jobs () =
-  let n = Domain.recommended_domain_count () in
-  if n < 1 then 1 else n
+let default_jobs () = Dpool.effective max_int
 
 type 'b outcome = Value of 'b | Raised of exn * Printexc.raw_backtrace
 
@@ -36,24 +40,20 @@ let map ?(jobs = 1) f items =
   let n = Array.length arr in
   let jobs = if jobs < 1 then 1 else if jobs > n then n else jobs in
   let results = Array.make n None in
-  if jobs <= 1 then
+  let workers = Dpool.effective jobs in
+  if workers <= 1 then
     for i = 0 to n - 1 do
       results.(i) <- Some (run_trial f arr i)
     done
   else begin
     let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (run_trial f arr i);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
-    Array.iter Domain.join domains
+    Dpool.run ~workers (fun () ->
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then results.(i) <- Some (run_trial f arr i)
+          else continue := false
+        done)
   end;
   (* trial-index-ordered merge: same bytes whatever [jobs] was *)
   Array.iter (function Some (_, snap) -> Obs.absorb snap | None -> ()) results;

@@ -12,14 +12,18 @@
     to [stdout] from inside a trial. *)
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()], floored at 1. *)
+(** [Domain.recommended_domain_count ()], floored at 1 (honours the
+    {!Dpool.set_cap} test override). *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] is [List.map f items] computed on up to [jobs]
     domains ([jobs] defaults to 1 = run in the calling domain; it is
-    clamped to the item count). Results keep list order. If any trial
-    raises, the exception of the lowest-indexed failing trial is re-raised
-    after all trials settle and their observability snapshots are merged.
+    clamped to the item count and, via {!Dpool.effective}, to the
+    machine's core count — oversubscribing cores only serializes GC).
+    Domains come from the persistent {!Dpool}, so repeated batches pay
+    no spawn cost. Results keep list order. If any trial raises, the
+    exception of the lowest-indexed failing trial is re-raised after all
+    trials settle and their observability snapshots are merged.
     Identical output for any [jobs] value. *)
 
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

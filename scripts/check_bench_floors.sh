@@ -32,6 +32,20 @@ done
 # fails if baseline_rate / this_rate > R (jobs=1 rows only — multi-domain
 # rates are too noisy for a ratio gate). This is how the metrics-plane
 # `_obs` twins are held within a bounded overhead of their plain rows.
+#
+# Two parallel-engine bounds:
+#   "floor_jobs2_ratio": R     fails if rate(jobs=2) / rate(jobs=1) < R —
+#                              the jobs=2 fan-out must never collapse
+#                              below its jobs=1 twin again;
+#   "floor_speedup_x_per_worker": P, "floor_speedup_x_min": M
+#                              fails if the row's speedup_x field is
+#                              below max(M, P * workers). The workers
+#                              field is what the core count actually
+#                              granted, so a 4-core box must deliver
+#                              P*4 = 2x while a 1-core CI container
+#                              (where parallel speedup is physically
+#                              impossible) only has to clear the
+#                              no-collapse bound M on windowing overhead.
 awk -v FS='"' '
   FNR == NR {
     if ($2 == "name") {
@@ -43,6 +57,12 @@ awk -v FS='"' '
         ceiling[n] = substr($0, RSTART + RLENGTH) + 0
       if (match($0, /"ceiling_slowdown": */))
         slow[n] = substr($0, RSTART + RLENGTH) + 0
+      if (match($0, /"floor_jobs2_ratio": */))
+        j2r[n] = substr($0, RSTART + RLENGTH) + 0
+      if (match($0, /"floor_speedup_x_per_worker": */))
+        spw[n] = substr($0, RSTART + RLENGTH) + 0
+      if (match($0, /"floor_speedup_x_min": */))
+        spmin[n] = substr($0, RSTART + RLENGTH) + 0
       if (match($0, /"baseline": *"[^"]*"/)) {
         s = substr($0, RSTART, RLENGTH)
         sub(/^"baseline": *"/, "", s)
@@ -60,6 +80,8 @@ awk -v FS='"' '
       j = substr($0, RSTART + RLENGTH) + 0
     if (j == 1 && match($0, /"ops_per_sec": */))
       rate1[$4] = substr($0, RSTART + RLENGTH) + 0
+    if (j == 2 && match($0, /"ops_per_sec": */))
+      rate2[$4] = substr($0, RSTART + RLENGTH) + 0
   }
   $2 == "name" && ($4 in guarded) {
     name = $4
@@ -92,6 +114,29 @@ awk -v FS='"' '
         bad = 1
       }
     }
+    if ((name in spw) || (name in spmin)) {
+      if (match($0, /"speedup_x": */)) {
+        sp = substr($0, RSTART + RLENGTH) + 0
+        if (match($0, /"workers": */)) {
+          w = substr($0, RSTART + RLENGTH) + 0
+          req = (name in spmin) ? spmin[name] : 0
+          pw = ((name in spw) ? spw[name] : 0) * w
+          if (pw > req) req = pw
+          if (sp < req) {
+            printf "SPEEDUP VIOLATION: %s reached %.2fx on %d workers, floor is %.2fx\n", name, sp, w, req
+            bad = 1
+          } else {
+            printf "speedup ok: %-18s %11.2fx on %d workers (floor %.2fx)\n", name, sp, w, req
+          }
+        } else {
+          printf "SPEEDUP VIOLATION: %s has no workers field in bench output\n", name
+          bad = 1
+        }
+      } else {
+        printf "SPEEDUP VIOLATION: %s has no speedup_x field in bench output\n", name
+        bad = 1
+      }
+    }
   }
   END {
     for (n in guarded)
@@ -99,6 +144,22 @@ awk -v FS='"' '
         printf "FLOOR VIOLATION: workload %s missing from bench output\n", n
         bad = 1
       }
+    for (n in j2r) {
+      if (!(n in rate1) || !(n in rate2)) {
+        printf "JOBS2 VIOLATION: %s is missing a jobs=1 or jobs=2 ops_per_sec row\n", n
+        bad = 1
+      } else {
+        r = 0
+        if (rate1[n] > 0)
+          r = rate2[n] / rate1[n]
+        if (r < j2r[n]) {
+          printf "JOBS2 VIOLATION: %s jobs=2 runs at %.2fx its jobs=1 rate, floor is %.2fx\n", n, r, j2r[n]
+          bad = 1
+        } else {
+          printf "jobs2 ok:   %-18s %11.2fx vs jobs=1 (floor %.2fx)\n", n, r, j2r[n]
+        }
+      }
+    }
     for (n in slow) {
       if (!(n in rate1) || !(base[n] in rate1)) {
         printf "SLOWDOWN VIOLATION: %s or its baseline %s has no jobs=1 ops_per_sec row\n", n, base[n]
