@@ -22,7 +22,16 @@
    work (the callers here all loop on a shared [Atomic] cursor); extra
    participants simply find the cursor exhausted. [run] returns only
    after every participant finished the batch, which also gives the
-   caller a happens-before edge on everything the workers wrote. *)
+   caller a happens-before edge on everything the workers wrote.
+
+   The batch state below ([current]/[generation]/[batch_exn]) is one
+   global slot: only one submitter, with no batch in flight, may call
+   [run] — in practice the main domain, from which {!Pool} and {!Par}
+   submit strictly in sequence. Nested submission (e.g. [Pool.map] or
+   [Par.run] called from inside a pool trial, which executes on a worker
+   domain) would corrupt the generation protocol or deadlock the
+   submitter; [in_flight] turns that into an immediate
+   [Invalid_argument] instead of a hang. *)
 
 let cap_override = ref None
 
@@ -111,36 +120,45 @@ let ensure_helpers n =
     incr pool_size
   done
 
+let in_flight = Atomic.make false
+
 let run ~workers:requested job =
   let w = effective requested in
   if w <= 1 then job ()
   else begin
-    ensure_helpers (w - 1);
-    (* Every parked worker participates, even if the pool grew beyond
-       [w - 1] in an earlier batch: cursor-driven jobs are indifferent
-       to extra hands. *)
-    let b = { b_job = job; b_left = !pool_size } in
-    Mutex.lock mu;
-    batch_exn := None;
-    current := Some b;
-    incr generation;
-    Condition.broadcast work_cv;
-    Mutex.unlock mu;
-    let mine =
-      try
-        job ();
-        None
-      with e -> Some (e, Printexc.get_raw_backtrace ())
-    in
-    Mutex.lock mu;
-    while b.b_left > 0 do
-      Condition.wait done_cv mu
-    done;
-    current := None;
-    let theirs = !batch_exn in
-    batch_exn := None;
-    Mutex.unlock mu;
-    match (theirs, mine) with
-    | Some (e, bt), _ | None, Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None, None -> ()
+    if not (Atomic.compare_and_set in_flight false true) then
+      invalid_arg
+        "Dpool.run: a batch is already in flight — only one submitter at a time may use the pool \
+         (do not call Pool.map or Par.run from inside a pool trial)";
+    Fun.protect
+      ~finally:(fun () -> Atomic.set in_flight false)
+      (fun () ->
+        ensure_helpers (w - 1);
+        (* Every parked worker participates, even if the pool grew beyond
+           [w - 1] in an earlier batch: cursor-driven jobs are indifferent
+           to extra hands. *)
+        let b = { b_job = job; b_left = !pool_size } in
+        Mutex.lock mu;
+        batch_exn := None;
+        current := Some b;
+        incr generation;
+        Condition.broadcast work_cv;
+        Mutex.unlock mu;
+        let mine =
+          try
+            job ();
+            None
+          with e -> Some (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock mu;
+        while b.b_left > 0 do
+          Condition.wait done_cv mu
+        done;
+        current := None;
+        let theirs = !batch_exn in
+        batch_exn := None;
+        Mutex.unlock mu;
+        match (theirs, mine) with
+        | Some (e, bt), _ | None, Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None, None -> ())
   end

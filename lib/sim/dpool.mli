@@ -31,4 +31,12 @@ val run : workers:int -> (unit -> unit) -> unit
     finished, which establishes a happens-before edge on everything they
     wrote. If any participant raises, the first exception recorded is
     re-raised after the batch settles. With [effective workers <= 1]
-    this is exactly [job ()] on the calling domain. *)
+    this is exactly [job ()] on the calling domain.
+
+    Single submitter only: the pool holds one global batch slot, so
+    [run] may only be called with no batch in flight — in practice from
+    the main domain, where {!Pool} and {!Par} submit strictly in
+    sequence. Calling [run] from inside a running batch (e.g. [Pool.map]
+    or [Par.run] from within a pool trial) raises [Invalid_argument]
+    instead of corrupting the batch protocol or deadlocking.
+    @raise Invalid_argument on nested or concurrent submission. *)

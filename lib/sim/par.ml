@@ -8,10 +8,12 @@
    execute freely inside the window [tmin, tmin + L) where [tmin] is the
    global minimum next-event time, because nothing a peer does inside
    the window can reach it earlier than [tmin + L]. Cross-partition
-   traffic is posted into per-(src,dst) mailboxes and absorbed at the
-   next window barrier — by then the receiver's clock is still below the
-   message's arrival time, so no partition ever receives an event in its
-   past (checked, not assumed: absorption fails loudly on violation).
+   traffic is posted into per-(src,dst) mailboxes and absorbed by the
+   serial coordinator at the next window barrier, before any partition
+   of the new window starts — by then the receiver's clock is still
+   below the message's arrival time, so no partition ever receives an
+   event in its past (checked, not assumed: absorption fails loudly on
+   violation).
 
    Why conservative rather than optimistic (Time Warp): rollback would
    need checkpointing of arbitrary user state — fibers, closures, Obs
@@ -23,10 +25,13 @@
    Determinism: the run is a pure function of (seed, parts). Window
    bounds derive from virtual time only; within a window each partition
    executes its events in exact sequential (at, seq) order; mailboxes
-   are absorbed in canonical source order at barriers, acquiring fresh
-   local seqs — so the merged traces, metrics and results are
-   byte-identical whatever [domains] executed the partitions, 1 or 16.
-   (Changing [parts] IS a different schedule, like changing a seed.)
+   are absorbed between windows, serially, in canonical
+   (destination, source) order, acquiring fresh local seqs — so seq
+   assignment of cross-partition events never depends on execution
+   interleaving or worker count, and the merged traces, metrics and
+   results are byte-identical whatever [domains] executed the
+   partitions, 1 or 16. (Changing [parts] IS a different schedule, like
+   changing a seed.)
 
    Execution rides on {!Dpool}: one barrier per window, partitions
    handed to worker domains via an atomic cursor. A domain executing
@@ -44,18 +49,20 @@ let ids_stride = 1 lsl 24
 let noop () = ()
 
 (* Per-(src,dst) mailbox. Two parallel arrays keep the floats unboxed.
-   SPSC by construction: only [src] appends (inside a window), only
-   [dst] drains (at the barrier), and the serial coordinator reads
-   [min_at] between windows; the {!Dpool} barrier provides the
-   happens-before edges, so no atomics are needed. *)
+   Race-free by construction: inside a window only the one domain
+   currently executing partition [src] appends (the Dpool cursor hands
+   each partition to exactly one domain), and drains happen only in the
+   serial coordinator between windows — appends and drains never
+   overlap. The Dpool batch boundaries provide the happens-before edges
+   both ways (posts visible to the coordinator's drain, drained state
+   visible to the next window's posters), so no atomics are needed. *)
 type mail = {
   mutable m_at : float array;
   mutable m_fn : (unit -> unit) array;
   mutable m_len : int;
-  mutable m_min : float; (* min arrival among pending posts *)
 }
 
-let new_mail () = { m_at = [||]; m_fn = [||]; m_len = 0; m_min = infinity }
+let new_mail () = { m_at = [||]; m_fn = [||]; m_len = 0 }
 
 let mail_grow m =
   let cap = Array.length m.m_at in
@@ -127,12 +134,14 @@ let post t ~src ~dst ~at fn =
   if m.m_len = Array.length m.m_at then mail_grow m;
   m.m_at.(m.m_len) <- at;
   m.m_fn.(m.m_len) <- fn;
-  m.m_len <- m.m_len + 1;
-  if at < m.m_min then m.m_min <- at
+  m.m_len <- m.m_len + 1
 
 (* Drain every mailbox addressed to partition [i], oldest source first —
    the canonical order that makes same-instant seq assignment (and with
-   it the whole run) independent of domain count. *)
+   it the whole run) independent of domain count. Called only from the
+   serial coordinator, between windows, under partition [i]'s recording
+   state (scheduling touches the queue-depth gauge and captures the
+   partition's current trace ctx). *)
 let absorb_mail t i =
   let eng = t.engines.(i) in
   let now = Engine.now eng in
@@ -148,8 +157,7 @@ let absorb_mail t i =
         ignore (Engine.schedule_at eng ~at m.m_fn.(k));
         m.m_fn.(k) <- noop (* release the closure *)
       done;
-      m.m_len <- 0;
-      m.m_min <- infinity
+      m.m_len <- 0
     end
   done
 
@@ -170,14 +178,21 @@ let run ?domains t =
   let windows = ref 0 in
   let continue_run = ref true in
   while !continue_run do
-    (* serial coordinator: the global minimum next-event time, counting
-       both queued local events and still-unabsorbed cross posts *)
+    (* Serial coordinator, between Dpool barriers — no worker domain is
+       running, so this is the one place mailboxes may be touched. Drain
+       everything posted during the previous window first: absorption
+       timing is then a fixed point of the protocol (never mid-window),
+       identical whether the partitions below run on 1 domain or 16. *)
+    for i = 0 to p - 1 do
+      with_part t i (fun () -> absorb_mail t i)
+    done;
+    (* With all posts absorbed, the global minimum next-event time is
+       just the minimum over the partition queues. *)
     let tmin = ref infinity in
     for i = 0 to p - 1 do
       let a = Engine.next_at t.engines.(i) in
       if a < !tmin then tmin := a
     done;
-    Array.iter (fun m -> if m.m_min < !tmin then tmin := m.m_min) t.mail;
     if !tmin = infinity then continue_run := false
     else begin
       incr windows;
@@ -187,14 +202,9 @@ let run ?domains t =
           let prev = Obs.state_install t.states.(i) in
           Fun.protect
             ~finally:(fun () -> ignore (Obs.state_install prev))
-            (fun () ->
-              absorb_mail t i;
-              Engine.run_to t.engines.(i) ~stop:horizon)
+            (fun () -> Engine.run_to t.engines.(i) ~stop:horizon)
         end
-        else begin
-          absorb_mail t i;
-          Engine.run_to t.engines.(i) ~stop:horizon
-        end
+        else Engine.run_to t.engines.(i) ~stop:horizon
       in
       if workers <= 1 then
         for i = 0 to p - 1 do

@@ -6,9 +6,11 @@
     from {!Splay_net.Latency.lookahead}). Within a window
     [\[tmin, tmin + lookahead)] every partition executes its local
     events freely; cross-partition traffic goes through per-(src,dst)
-    mailboxes ({!post}) and is absorbed at window barriers, so no
+    mailboxes ({!post}) and is absorbed serially, by the coordinator at
+    window barriers — never while partitions are executing — so no
     partition ever receives an event in its past (violations raise
-    rather than corrupt causality).
+    rather than corrupt causality) and absorption order cannot depend
+    on domain count or timing.
 
     Determinism: a run is a pure function of [(seed, parts)] — results,
     traces and metrics are byte-identical whatever [?domains] executed

@@ -298,6 +298,22 @@ let test_pool_forced_domains_deterministic () =
       Alcotest.(check string) "trace identical" t1 t4;
       Alcotest.(check string) "metrics identical" m1 m4)
 
+(* The pool has one global batch slot: submitting from inside a running
+   batch (Pool.map or Par.run from within a pool trial) must raise
+   rather than corrupt the generation protocol or deadlock. *)
+let test_dpool_rejects_nested_submission () =
+  Dpool.set_cap (Some 2);
+  Fun.protect
+    ~finally:(fun () -> Dpool.set_cap None)
+    (fun () ->
+      match Dpool.run ~workers:2 (fun () -> Dpool.run ~workers:2 (fun () -> ())) with
+      | () -> Alcotest.fail "nested Dpool.run must be rejected"
+      | exception Invalid_argument _ -> ();
+      (* the guard resets: a fresh top-level batch still works *)
+      let hits = Atomic.make 0 in
+      Dpool.run ~workers:2 (fun () -> Atomic.incr hits);
+      Alcotest.(check bool) "pool usable after rejected nesting" true (Atomic.get hits >= 1))
+
 let test_check_sweep_jobs_deterministic () =
   Dpool.set_cap (Some 4);
   Fun.protect
@@ -363,6 +379,8 @@ let () =
           Alcotest.test_case "golden" `Quick test_golden_par_trace;
           Alcotest.test_case "pool on forced real domains" `Quick
             test_pool_forced_domains_deterministic;
+          Alcotest.test_case "dpool rejects nested submission" `Quick
+            test_dpool_rejects_nested_submission;
           Alcotest.test_case "check sweep failing seeds across jobs" `Quick
             test_check_sweep_jobs_deterministic;
           QCheck_alcotest.to_alcotest test_mailbox_safety;
