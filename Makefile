@@ -2,7 +2,7 @@ all:
 	dune build @all
 
 check:
-	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) bench-obs-smoke && $(MAKE) bench-par-smoke && $(MAKE) check-smoke
+	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) bench-obs-smoke && $(MAKE) bench-par-smoke && $(MAKE) check-smoke && $(MAKE) live-smoke
 
 test:
 	dune runtest
@@ -68,6 +68,16 @@ check-smoke:
 check-fuzz:
 	dune exec bin/splay_cli.exe -- check --suite all --seeds 25 --jobs 4 || true
 
+# Live-backend smoke test: 10 real splayd processes over loopback TCP
+# run Chord, all lookups must resolve, the structural invariants must
+# match the simulated twin (zero contract violations), every child is
+# reaped, and a SIGKILLed controller leaves no orphans behind. Failure
+# collects the per-daemon logs into _build/live-logs/.
+live-smoke:
+	dune build bin/splay_cli.exe bin/splayd.exe
+	scripts/live_smoke.sh
+	@echo "live-smoke: OK"
+
 # End-to-end tracing demo: run a traced Chord deployment, then verify the
 # analyzer extracts a non-empty RPC critical path from the dump.
 trace-demo:
@@ -78,4 +88,4 @@ trace-demo:
 	  | tee /dev/stderr | grep -q "rpc\."
 	@echo "trace-demo: OK (critical path extracted)"
 
-.PHONY: all check test bench bench-smoke bench-scale-smoke bench-obs-smoke bench-par-smoke bench-baseline trace-demo check-smoke check-fuzz
+.PHONY: all check test bench bench-smoke bench-scale-smoke bench-obs-smoke bench-par-smoke bench-baseline trace-demo check-smoke check-fuzz live-smoke

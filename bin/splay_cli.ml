@@ -515,6 +515,196 @@ let top_cmd_info =
       "Render a metrics-plane dump (splay run --metrics-out=FILE): per-window global rates and \
        latency percentiles, cumulative summaries, and splayctl job-status rows."
 
+(* {1 splay live ...} *)
+
+module Live = Splay_live
+
+(* The forked daemon binary normally sits next to the CLI in _build. *)
+let default_splayd () =
+  let beside = Filename.concat (Filename.dirname Sys.executable_name) "splayd.exe" in
+  if Sys.file_exists beside then beside else "splayd"
+
+let live_deploy app nodes daemons lookups m descriptor_file out_dir duration deadline seed
+    no_trace metrics diff_sim tolerance splayd_path kvs =
+  Live.Live_apps.init ();
+  let params =
+    ("m", string_of_int m)
+    :: ("lookups", string_of_int lookups)
+    :: ("seed", string_of_int seed)
+    :: List.map
+         (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+               (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+           | None ->
+               Printf.eprintf "splay live: --param expects KEY=VALUE, got %S\n" kv;
+               exit 2)
+         kvs
+  in
+  let desc =
+    match descriptor_file with
+    | Some path -> Descriptor.parse (read_file path)
+    | None ->
+        { Descriptor.default with Descriptor.bootstrap = Descriptor.All; nb_splayd = nodes }
+  in
+  let cfg =
+    {
+      Live.Ctl.default_cfg with
+      Live.Ctl.c_app = app;
+      c_params = params;
+      c_daemons = daemons;
+      c_desc = desc;
+      c_out_dir = out_dir;
+      c_splayd = (match splayd_path with Some p -> p | None -> default_splayd ());
+      c_trace = not no_trace;
+      c_metrics = metrics;
+      c_duration = duration;
+      c_deadline = deadline;
+      c_seed = seed;
+    }
+  in
+  Printf.printf "deploying %d x %s on %d live splayd processes (out: %s)...\n%!"
+    desc.Descriptor.nb_splayd app daemons out_dir;
+  let o = Live.Ctl.run cfg in
+  let sel = o.Live.Ctl.r_select in
+  Printf.printf "select: need %d instances; %d daemons alive, %d dead\n" sel.Live.Ctl.sel_need
+    sel.Live.Ctl.sel_alive sel.Live.Ctl.sel_dead;
+  Printf.printf "collected: %d log records, %d contract reports\n" o.Live.Ctl.r_log_records
+    (List.length o.Live.Ctl.r_reports);
+  (match o.Live.Ctl.r_trace_file with
+  | Some p -> Printf.printf "trace: %s (analyze with `splay trace %s`)\n" p p
+  | None -> ());
+  (match o.Live.Ctl.r_metrics_file with
+  | Some p -> Printf.printf "metrics: %s (render with `splay top %s`)\n" p p
+  | None -> ());
+  List.iter (fun f -> Printf.printf "FAILURE: %s\n" f) o.Live.Ctl.r_failures;
+  let violations =
+    if not diff_sim then []
+    else begin
+      Printf.printf "running simulated twin for the contract diff...\n%!";
+      match Live.Contract.run_sim ~seed ~n:desc.Descriptor.nb_splayd ~app ~params () with
+      | Error msg -> [ Printf.sprintf "sim twin failed: %s" msg ]
+      | Ok sim_reports ->
+          let sim = Live.Contract.summary_of_reports sim_reports in
+          let live = Live.Contract.summary_of_reports o.Live.Ctl.r_reports in
+          Live.Contract.diff ~tolerance ~sim ~live ()
+    end
+  in
+  if diff_sim then begin
+    List.iter (fun v -> Printf.printf "CONTRACT VIOLATION: %s\n" v) violations;
+    Printf.printf "contract: %s\n"
+      (if violations = [] then "OK (sim and live invariants match)"
+       else Printf.sprintf "%d violations" (List.length violations))
+  end;
+  if (not o.Live.Ctl.r_ok) || violations <> [] then exit 1
+
+let live_status dir =
+  match Live.Ctl.status dir with
+  | exception Sys_error msg ->
+      Printf.eprintf "splay live status: %s\n" msg;
+      exit 1
+  | (ctl_pid, ctl_alive), daemons ->
+      Printf.printf "controller: pid %d %s\n" ctl_pid (if ctl_alive then "alive" else "dead");
+      List.iter
+        (fun (host, pid, alive, log) ->
+          Printf.printf "splayd %-3d pid %-7d %-5s log %s\n" host pid
+            (if alive then "alive" else "dead")
+            log)
+        daemons;
+      if ctl_alive || List.exists (fun (_, _, alive, _) -> alive) daemons then exit 0
+      else exit 3
+
+let live_kill dir =
+  match Live.Ctl.kill dir with
+  | exception Sys_error msg ->
+      Printf.eprintf "splay live kill: %s\n" msg;
+      exit 1
+  | escalated ->
+      if escalated > 0 then
+        Printf.printf "killed (SIGKILL escalation for %d processes)\n" escalated
+      else Printf.printf "killed\n"
+
+let live_cmds =
+  let dir_arg = Arg.(value & pos 0 string "_live" & info [] ~docv:"DIR") in
+  let deploy =
+    let app_arg =
+      Arg.(value & opt string "chord" & info [ "app"; "a" ] ~docv:"APP" ~doc:"Registered live application.")
+    in
+    let nodes = Arg.(value & opt int 10 & info [ "nodes"; "n" ] ~doc:"Instances to deploy.") in
+    let daemons =
+      Arg.(value & opt int 10 & info [ "daemons" ] ~doc:"splayd processes to fork (instances are spread across them).")
+    in
+    let lookups = Arg.(value & opt int 20 & info [ "lookups" ] ~doc:"Lookups the driver instance issues.") in
+    let m = Arg.(value & opt int 16 & info [ "m" ] ~doc:"Chord identifier bits.") in
+    let descriptor =
+      Arg.(
+        value
+        & opt (some file) None
+        & info [ "descriptor" ]
+            ~doc:"Job file with a BEGIN SPLAY RESOURCES RESERVATION header (overrides --nodes).")
+    in
+    let out_dir =
+      Arg.(value & opt string "_live" & info [ "out-dir" ] ~docv:"DIR" ~doc:"Run directory (daemon logs, artifacts).")
+    in
+    let duration =
+      Arg.(
+        value & opt float 0.0
+        & info [ "duration"; "d" ]
+            ~doc:"Wall-clock seconds to run; 0 runs until the application reports done.")
+    in
+    let deadline =
+      Arg.(value & opt float 120.0 & info [ "deadline" ] ~doc:"Hard wall-clock budget for the whole run.")
+    in
+    let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deployment seed.") in
+    let no_trace =
+      Arg.(value & flag & info [ "no-trace" ] ~doc:"Skip collecting the merged observability trace.")
+    in
+    let metrics =
+      Arg.(value & flag & info [ "metrics" ] ~doc:"Collect the merged metrics-plane dump (splay top).")
+    in
+    let diff_sim =
+      Arg.(
+        value & flag
+        & info [ "diff-sim" ]
+            ~doc:"Run the same deployment on the simulated backend and diff the structural invariants.")
+    in
+    let tolerance =
+      Arg.(value & opt float 0.5 & info [ "tolerance" ] ~doc:"Relative message-count tolerance for --diff-sim.")
+    in
+    let splayd =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "splayd" ] ~docv:"PATH" ~doc:"splayd executable (default: next to this binary).")
+    in
+    let param =
+      Arg.(
+        value & opt_all string []
+        & info [ "param" ] ~docv:"KEY=VALUE" ~doc:"Extra application parameter (repeatable).")
+    in
+    Cmd.v
+      (Cmd.info "deploy" ~doc:"Fork real splayd daemons and run an application live over TCP.")
+      Term.(
+        const live_deploy $ app_arg $ nodes $ daemons $ lookups $ m $ descriptor $ out_dir $ duration
+        $ deadline $ seed $ no_trace $ metrics $ diff_sim $ tolerance $ splayd $ param)
+  in
+  let status =
+    Cmd.v
+      (Cmd.info "status" ~doc:"Report controller and daemon liveness for a live run directory.")
+      Term.(const live_status $ dir_arg)
+  in
+  let kill =
+    Cmd.v
+      (Cmd.info "kill" ~doc:"Terminate a live run's recorded processes (SIGTERM, then SIGKILL).")
+      Term.(const live_kill $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "live"
+       ~doc:
+         "Live execution backend: deploy applications as real OS processes over real sockets, \
+          inspect and kill running deployments.")
+    [ deploy; status; kill ]
+
 (* {1 splay trace ...} *)
 
 let write_out out data =
@@ -704,6 +894,7 @@ let () =
         Cmd.v check_cmd_info check_term;
         Cmd.v profile_cmd_info profile_term;
         Cmd.v top_cmd_info top_term;
+        live_cmds;
         trace_cmds;
       ]
   in

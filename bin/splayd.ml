@@ -1,0 +1,46 @@
+(* splayd — the real daemon process of the live execution backend.
+
+   Forked by `splay live deploy` (one per logical host), it connects back
+   to the controller, hosts application instances over real TCP sockets
+   and wall-clock time, and streams heartbeats, log records and
+   trace/metrics dumps home. Not meant to be launched by hand; see
+   Splay_live.Splayd for the protocol. *)
+
+let () =
+  let connect = ref "" in
+  let host = ref (-1) in
+  let parent = ref 0 in
+  let seed = ref 42 in
+  let trace = ref false in
+  let metrics = ref false in
+  let specs =
+    [
+      ("--connect", Arg.Set_string connect, "HOST:PORT controller control socket");
+      ("--host", Arg.Set_int host, "N logical host id of this daemon");
+      ("--parent-pid", Arg.Set_int parent, "N controller PID for the orphan watch (0 disables)");
+      ("--seed", Arg.Set_int seed, "N per-daemon RNG seed");
+      ("--trace", Arg.Set trace, " record an observability trace and ship it at shutdown");
+      ("--metrics", Arg.Set metrics, " record metrics-plane rollups and ship them at shutdown");
+    ]
+  in
+  let usage = "splayd --connect HOST:PORT --host N [--parent-pid N] [--seed N] [--trace] [--metrics]" in
+  Arg.parse specs
+    (fun a ->
+      Printf.eprintf "splayd: unexpected argument %S\n%s\n" a usage;
+      exit 2)
+    usage;
+  if !connect = "" || !host < 0 then begin
+    Printf.eprintf "splayd: --connect and --host are required\n%s\n" usage;
+    exit 2
+  end;
+  Splay_live.Live_apps.init ();
+  exit
+    (Splay_live.Splayd.run
+       {
+         Splay_live.Splayd.connect = !connect;
+         host = !host;
+         parent = !parent;
+         seed = !seed;
+         trace = !trace;
+         metrics = !metrics;
+       })

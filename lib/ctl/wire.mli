@@ -1,0 +1,105 @@
+(** Control-plane wire protocol.
+
+    The value layer ([addr_*]) encodes control-plane values carried in the
+    RPC arguments of the simulated control plane. The frame layer is the
+    {e live} control plane's transport: a versioned, length-prefixed binary
+    framing over {!Splay_runtime.Codec} payloads, and the typed message set
+    the live controller and real [splayd] processes exchange — deployment
+    verbs, heartbeats with sandbox resource reports, streamed log / trace
+    records, and tunnelled application traffic.
+
+    Frame format (version 1): 3-byte magic ["SPW"], 1 version byte, 4-byte
+    big-endian payload length, then [Codec.encode] of the payload value.
+    The streaming {!decoder} tolerates arbitrary read-chunk boundaries: a
+    frame torn across reads is incomplete, never desynchronizing. Corrupt
+    input raises {!Codec.Parse_error} — close the connection. *)
+
+val addr_to_value : Addr.t -> Splay_runtime.Codec.value
+val addr_of_value : Splay_runtime.Codec.value -> Addr.t
+val addrs_to_value : Addr.t list -> Splay_runtime.Codec.value
+val addrs_of_value : Splay_runtime.Codec.value -> Addr.t list
+
+(** {1 Framing} *)
+
+val version : int
+(** Protocol version carried in every frame header. *)
+
+val max_frame : int
+(** Upper bound on a frame's payload size; larger frames are refused on
+    both encode ([Invalid_argument]) and decode ({!Splay_runtime.Codec.Parse_error}). *)
+
+val frame_value : Splay_runtime.Codec.value -> string
+(** One complete frame: header + encoded payload, ready to write. *)
+
+type decoder
+(** Streaming frame parser. Feed it read chunks as they arrive; pull
+    complete frames with {!next_value}/{!next_msg}. *)
+
+val decoder : unit -> decoder
+
+val feed : decoder -> Bytes.t -> int -> int -> unit
+(** [feed d buf off len] appends [len] bytes of received data. *)
+
+val feed_string : decoder -> string -> unit
+
+val buffered : decoder -> int
+(** Bytes fed but not yet consumed by a completed frame. *)
+
+val next_value : decoder -> Splay_runtime.Codec.value option
+(** The next complete frame's payload, or [None] if the buffered data ends
+    mid-frame. Raises {!Splay_runtime.Codec.Parse_error} on corrupt input
+    (bad magic, unsupported version, absurd length, malformed payload). *)
+
+(** {1 Typed control messages}
+
+    The live control protocol. [Hello] / [Peers] is the bootstrap
+    handshake (the daemon announces its data port; the controller answers
+    with the shared wall-clock epoch and the peer table). [Deploy] /
+    [Start] / [Stop] / [Shutdown] are the job verbs, acknowledged by
+    [Ack]. [Heartbeat] carries the daemon's sandbox resource report;
+    [Logline] streams application log records; [Chunk] streams the
+    daemon's trace / metrics JSONL dump at shutdown; [App] tunnels one
+    application message between daemons over the data connections. *)
+
+type msg =
+  | Hello of { host : int; pid : int; data_port : int }
+  | Peers of { epoch : float; peers : (int * int) list }
+  | Deploy of {
+      job : int;
+      app : string;  (** registry name of the application to run *)
+      name : string;
+      port : int;
+      position : int;
+      nodes : Addr.t list;  (** bootstrap membership handed to the instance *)
+      limits : Sandbox.limits;
+      log_level : Log.level;
+      params : (string * string) list;  (** application parameters *)
+    }
+  | Start of { job : int; port : int }
+  | Stop of { job : int; port : int }
+  | Shutdown
+  | Ack of { re : string; ok : bool; detail : string }
+  | Heartbeat of {
+      host : int;
+      rss : int;  (** process resident set, bytes (self-polled) *)
+      mem : int;  (** sandbox-accounted application state, bytes *)
+      sockets : int;
+      fs : int;
+      fibers : int;
+      inflight : int;
+    }
+  | Logline of { time : float; node : string; level : Log.level; text : string }
+  | Chunk of { host : int; kind : string; data : string; final : bool }
+  | Bye of { host : int }
+  | App of { src : Addr.t; dst : Addr.t; size : int; payload : Splay_runtime.Codec.value }
+
+val msg_to_value : msg -> Splay_runtime.Codec.value
+val msg_of_value : Splay_runtime.Codec.value -> msg
+(** Raises {!Splay_runtime.Codec.Parse_error} on an unknown tag or a
+    shape mismatch. *)
+
+val frame_msg : msg -> string
+val next_msg : decoder -> msg option
+
+val limits_to_value : Sandbox.limits -> Splay_runtime.Codec.value
+val limits_of_value : Splay_runtime.Codec.value -> Sandbox.limits

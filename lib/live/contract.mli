@@ -1,0 +1,44 @@
+(** Sim-vs-live contract: run the same deployment under both execution
+    backends and diff the structural invariants.
+
+    Applications emit their evidence as structured ["REPORT ..."] log
+    lines; both backends collect them (in-process [Log.Forward] sink in
+    simulation, streamed [Logline] frames live). This module parses a
+    report stream into a {!summary} and diffs two summaries: ring
+    successorship and per-key lookup answers must match exactly, message
+    counts within a tolerance (a live run may retry where a simulated
+    first attempt always lands). *)
+
+type summary = {
+  ring : (int * int * int) list;  (** (id, successor, predecessor), sorted by id *)
+  lookups : (int * (int * int) option) list;
+      (** key -> [Some (owner, hops)], or [None] for a failed lookup, in
+          issue order *)
+  calls : int option;  (** driver's outgoing RPC count *)
+  done_ok : (int * int) option;  (** (lookups issued, lookups resolved) *)
+}
+
+val is_report : string -> bool
+(** Does this log line carry contract evidence? *)
+
+val summary_of_reports : (string * string) list -> summary
+(** Parse an ordered [(node, text)] report stream. Unrecognized lines are
+    ignored. *)
+
+val run_sim :
+  ?seed:int ->
+  ?until:float ->
+  n:int ->
+  app:string ->
+  params:(string * string) list ->
+  unit ->
+  ((string * string) list, string) result
+(** Run the simulated twin: [n] instances of registry app [app] with
+    [params] over a synthetic testbed, up to [until] virtual seconds.
+    [Ok reports] in emission order, or [Error] naming an unknown app or a
+    crashed instance. *)
+
+val diff : ?tolerance:float -> sim:summary -> live:summary -> unit -> string list
+(** Structural invariant diff; each violation is one human-readable
+    string, empty when the contract holds. [tolerance] (default 0.5)
+    bounds the allowed relative divergence of message counts. *)

@@ -1,0 +1,500 @@
+module Wire = Splay_ctl.Wire
+module Descriptor = Splay_ctl.Descriptor
+module Rng = Splay_sim.Rng
+
+(* The live controller (the paper's splayctl): forks real splayd
+   processes, runs the Hello/Peers bootstrap, performs the two-phase
+   deploy (Deploy all, ack; Start all, ack — the live mirror of the sim
+   controller's REGISTER/LIST/START conversation), then collects
+   heartbeats, streamed log records and shutdown-time trace/metrics
+   chunks until the run completes. Job accounting mirrors
+   [Controller.select_report]: which daemons answered the bootstrap,
+   which were selected to host instances, and why a deployment was
+   rejected.
+
+   Hygiene: children are reaped on every exit path — SIGINT/SIGTERM
+   handlers and an [at_exit] hook SIGKILL any daemon still alive, and the
+   daemons' own orphan watch covers the uncatchable SIGKILL case. *)
+
+type cfg = {
+  c_app : string;
+  c_params : (string * string) list;
+  c_daemons : int;
+  c_desc : Descriptor.t;
+  c_out_dir : string;
+  c_splayd : string;
+  c_trace : bool;
+  c_metrics : bool;
+  c_duration : float;  (* > 0: run this long; 0: until the app reports done *)
+  c_deadline : float;  (* hard wall-clock budget for the entire run *)
+  c_log_level : Log.level;
+  c_seed : int;
+}
+
+let default_cfg =
+  {
+    c_app = "chord";
+    c_params = [];
+    c_daemons = 3;
+    c_desc = { Descriptor.default with Descriptor.bootstrap = Descriptor.All; nb_splayd = 3 };
+    c_out_dir = "_live";
+    c_splayd = "splayd";
+    c_trace = true;
+    c_metrics = false;
+    c_duration = 0.0;
+    c_deadline = 120.0;
+    c_log_level = Log.Info;
+    c_seed = 42;
+  }
+
+type daemon = {
+  d_host : int;
+  d_pid : int;
+  d_log : string;
+  mutable d_conn : Conn.t option;
+  mutable d_data_port : int;
+  mutable d_last_hb : float;
+  mutable d_rss : int;
+  mutable d_fibers : int;
+  mutable d_bye : bool;
+  mutable d_status : Unix.process_status option;
+}
+
+type select_report = {
+  sel_need : int;
+  sel_alive : int;
+  sel_dead : int;
+  sel_matched : int list;  (* hosts selected to run instances *)
+}
+
+type outcome = {
+  r_ok : bool;
+  r_failures : string list;
+  r_reports : (string * string) list;  (* (node, REPORT line), arrival order *)
+  r_select : select_report;
+  r_log_records : int;
+  r_trace_file : string option;
+  r_metrics_file : string option;
+  r_out_dir : string;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let json_string s = Codec.encode (Codec.String s)
+
+let state_file dir = Filename.concat dir "daemons.json"
+
+let write_state dir daemons =
+  let v =
+    Codec.Assoc
+      [
+        ("controller_pid", Codec.Int (Unix.getpid ()));
+        ( "daemons",
+          Codec.List
+            (List.map
+               (fun d ->
+                 Codec.Assoc
+                   [
+                     ("host", Codec.Int d.d_host);
+                     ("pid", Codec.Int d.d_pid);
+                     ("log", Codec.String d.d_log);
+                   ])
+               daemons) );
+      ]
+  in
+  let oc = open_out (state_file dir) in
+  output_string oc (Codec.encode v);
+  output_char oc '\n';
+  close_out oc
+
+let kill_survivors daemons =
+  List.iter
+    (fun d ->
+      if d.d_status = None then begin
+        (try Unix.kill d.d_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        match Unix.waitpid [ Unix.WNOHANG ] d.d_pid with
+        | _, st -> d.d_status <- Some st
+        | exception Unix.Unix_error _ -> ()
+      end)
+    daemons
+
+let reap daemons ~grace =
+  let deadline = Unix.gettimeofday () +. grace in
+  let poll d =
+    if d.d_status = None then
+      match Unix.waitpid [ Unix.WNOHANG ] d.d_pid with
+      | 0, _ -> ()
+      | _, st -> d.d_status <- Some st
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> d.d_status <- Some (Unix.WEXITED 0)
+  in
+  let pending () = List.exists (fun d -> d.d_status = None) daemons in
+  List.iter poll daemons;
+  while pending () && Unix.gettimeofday () < deadline do
+    (try ignore (Unix.select [] [] [] 0.05) with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    List.iter poll daemons
+  done;
+  (* Escalate: anything still alive is beyond graceful shutdown. *)
+  List.iter
+    (fun d ->
+      if d.d_status = None then begin
+        (try Unix.kill d.d_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        match Unix.waitpid [] d.d_pid with
+        | _, st -> d.d_status <- Some st
+        | exception Unix.Unix_error _ -> d.d_status <- Some (Unix.WSIGNALED Sys.sigkill)
+      end)
+    daemons
+
+let spawn_daemon cfg ~cport ~host =
+  let log = Filename.concat cfg.c_out_dir (Printf.sprintf "daemon-%d.log" host) in
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let args =
+    [
+      cfg.c_splayd;
+      "--connect";
+      "127.0.0.1:" ^ string_of_int cport;
+      "--host";
+      string_of_int host;
+      "--parent-pid";
+      string_of_int (Unix.getpid ());
+      "--seed";
+      string_of_int (cfg.c_seed + host);
+    ]
+    @ (if cfg.c_trace then [ "--trace" ] else [])
+    @ if cfg.c_metrics then [ "--metrics" ] else []
+  in
+  let pid = Unix.create_process cfg.c_splayd (Array.of_list args) Unix.stdin fd fd in
+  Unix.close fd;
+  {
+    d_host = host;
+    d_pid = pid;
+    d_log = log;
+    d_conn = None;
+    d_data_port = 0;
+    d_last_hb = 0.0;
+    d_rss = 0;
+    d_fibers = 0;
+    d_bye = false;
+    d_status = None;
+  }
+
+let bootstrap_nodes desc ~seed all =
+  match desc.Descriptor.bootstrap with
+  | Descriptor.All -> all
+  | Descriptor.Head k -> List.filteri (fun i _ -> i < k) all
+  | Descriptor.Random_subset k ->
+      let arr = Array.of_list all in
+      Rng.shuffle (Rng.create seed) arr;
+      List.filteri (fun i _ -> i < k) (Array.to_list arr)
+
+let run cfg =
+  Live_apps.init ();
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  mkdir_p cfg.c_out_dir;
+  (* Control listener the daemons dial back to. *)
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 128;
+  let cport =
+    match Unix.getsockname lfd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  let daemons = List.init cfg.c_daemons (fun h -> spawn_daemon cfg ~cport ~host:h) in
+  write_state cfg.c_out_dir daemons;
+  (* Reap on every exit path; the daemons' orphan watch covers SIGKILL. *)
+  let fatal_signal code _ =
+    kill_survivors daemons;
+    Stdlib.exit code
+  in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle (fatal_signal 130)) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fatal_signal 143)) in
+  at_exit (fun () -> kill_survivors daemons);
+  let loop = Loop.create ~hosts:1 () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let reports = ref [] in
+  let log_records = ref [] in
+  let n_logs = ref 0 in
+  let done_seen = ref false in
+  let acks_ok : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let chunks : (int * string, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let find_daemon h = List.find_opt (fun d -> d.d_host = h) daemons in
+  let on_msg _conn msg =
+    match msg with
+    | Wire.Ack { re; ok; detail } ->
+        if ok then Hashtbl.replace acks_ok re (1 + Option.value ~default:0 (Hashtbl.find_opt acks_ok re))
+        else fail "%s rejected: %s" re detail
+    | Wire.Heartbeat { host; rss; fibers; _ } -> (
+        match find_daemon host with
+        | Some d ->
+            d.d_last_hb <- Unix.gettimeofday ();
+            d.d_rss <- rss;
+            d.d_fibers <- fibers
+        | None -> ())
+    | Wire.Logline { time; node; level; text } ->
+        incr n_logs;
+        log_records := (time, node, level, text) :: !log_records;
+        if Contract.is_report text then begin
+          reports := (node, text) :: !reports;
+          if String.length text >= 11 && String.sub text 0 11 = "REPORT done" then
+            done_seen := true
+        end
+    | Wire.Chunk { host; kind; data; final = _ } ->
+        let key = (host, kind) in
+        let buf =
+          match Hashtbl.find_opt chunks key with
+          | Some b -> b
+          | None ->
+              let b = Buffer.create 65536 in
+              Hashtbl.replace chunks key b;
+              b
+        in
+        Buffer.add_string buf data
+    | Wire.Bye { host } -> (
+        match find_daemon host with Some d -> d.d_bye <- true | None -> ())
+    | _ -> ()
+  in
+  ignore
+    (Loop.watch loop lfd
+       ~on_read:(fun () ->
+         match Unix.accept lfd with
+         | fd, _ ->
+             (* The first message on any control connection is Hello;
+                bind the connection to its daemon then. *)
+             ignore
+               (Conn.attach loop fd
+                 ~on_msg:(fun cc m ->
+                   match m with
+                   | Wire.Hello { host; pid; data_port } -> (
+                       match find_daemon host with
+                       | Some d when d.d_pid = pid ->
+                           d.d_conn <- Some cc;
+                           d.d_data_port <- data_port
+                       | _ ->
+                           fail "unexpected hello from host=%d pid=%d" host pid;
+                           Conn.close cc "unexpected hello")
+                   | m -> on_msg cc m)
+                 ~on_close:(fun cc _reason ->
+                   List.iter
+                     (fun d -> match d.d_conn with Some c when c == cc -> d.d_conn <- None | _ -> ())
+                     daemons))
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+       ~on_write:ignore);
+  let t0 = Unix.gettimeofday () in
+  let hard = t0 +. cfg.c_deadline in
+  let phase name ~timeout cond =
+    match
+      Loop.run loop ~deadline:(Float.min hard (Unix.gettimeofday () +. timeout)) ~until:cond
+    with
+    | `Done -> true
+    | `Deadline ->
+        fail "%s timed out" name;
+        false
+    | `Stopped ->
+        fail "%s aborted" name;
+        false
+  in
+  let connected d = d.d_conn <> None in
+  let need = cfg.c_desc.Descriptor.nb_splayd in
+  let boot_ok =
+    phase "daemon bootstrap" ~timeout:30.0 (fun () -> List.for_all connected daemons)
+  in
+  let alive = List.filter connected daemons in
+  let select =
+    {
+      sel_need = need;
+      sel_alive = List.length alive;
+      sel_dead = cfg.c_daemons - List.length alive;
+      sel_matched =
+        List.filteri (fun i _ -> i < need) alive |> List.map (fun d -> d.d_host);
+    }
+  in
+  let deployed =
+    if not boot_ok then false
+    else if List.length alive < 1 || List.length alive < min need cfg.c_daemons then begin
+      fail "selection failed: need %d daemons, %d alive" need (List.length alive);
+      false
+    end
+    else begin
+      (* Shared epoch: every daemon's virtual clock counts from here, so
+         log timestamps and merged traces align across processes. *)
+      let epoch = Unix.gettimeofday () in
+      let peers = List.map (fun d -> (d.d_host, d.d_data_port)) alive in
+      List.iter
+        (fun d ->
+          match d.d_conn with
+          | Some c -> Conn.send c (Wire.Peers { epoch; peers })
+          | None -> ())
+        alive;
+      (* Instance placement: round-robin over the selected daemons; the
+         port distinguishes multiple instances on one daemon. *)
+      let matched = Array.of_list (List.filter (fun d -> List.mem d.d_host select.sel_matched) alive) in
+      let nm = Array.length matched in
+      let placement =
+        List.init need (fun k ->
+            let d = matched.(k mod nm) in
+            (k, d, Addr.make d.d_host (9000 + (k / nm))))
+      in
+      let all_addrs = List.map (fun (_, _, a) -> a) placement in
+      let nodes = bootstrap_nodes cfg.c_desc ~seed:cfg.c_seed all_addrs in
+      List.iter
+        (fun (k, d, addr) ->
+          match d.d_conn with
+          | Some c ->
+              Conn.send c
+                (Wire.Deploy
+                   {
+                     job = 1;
+                     app = cfg.c_app;
+                     name = Printf.sprintf "%s.%d" cfg.c_app (k + 1);
+                     port = addr.Addr.port;
+                     position = k + 1;
+                     nodes;
+                     limits = cfg.c_desc.Descriptor.limits;
+                     log_level = cfg.c_log_level;
+                     params = cfg.c_params;
+                   })
+          | None -> ())
+        placement;
+      let acked re n = Option.value ~default:0 (Hashtbl.find_opt acks_ok re) >= n in
+      let dep_ok =
+        phase "deploy" ~timeout:30.0 (fun () -> acked "deploy" need || !failures <> [])
+        && !failures = []
+      in
+      if dep_ok then begin
+        List.iter
+          (fun (_, d, addr) ->
+            match d.d_conn with
+            | Some c -> Conn.send c (Wire.Start { job = 1; port = addr.Addr.port })
+            | None -> ())
+          placement;
+        phase "start" ~timeout:30.0 (fun () -> acked "start" need || !failures <> [])
+        && !failures = []
+      end
+      else false
+    end
+  in
+  if deployed then begin
+    (* Main phase: wait for the app's done report, or run the requested
+       duration. Losing a daemon mid-run is a failure. *)
+    let started = Unix.gettimeofday () in
+    let lost () = List.exists (fun d -> d.d_conn = None) alive in
+    let cond =
+      if cfg.c_duration > 0.0 then fun () ->
+        Unix.gettimeofday () -. started >= cfg.c_duration || lost ()
+      else fun () -> !done_seen || lost ()
+    in
+    let window = Float.max 1.0 (hard -. Unix.gettimeofday ()) in
+    ignore (phase "run" ~timeout:window cond);
+    if lost () then fail "daemon connection lost mid-run";
+    if cfg.c_duration <= 0.0 && not !done_seen then fail "application never reported done"
+  end;
+  (* Graceful teardown: Shutdown verb, wait for Byes, then reap. *)
+  List.iter
+    (fun d -> match d.d_conn with Some c -> Conn.send c Wire.Shutdown | None -> ())
+    daemons;
+  ignore
+    (Loop.run loop
+       ~deadline:(Unix.gettimeofday () +. 10.0)
+       ~until:(fun () -> List.for_all (fun d -> d.d_bye || d.d_conn = None) daemons));
+  reap daemons ~grace:5.0;
+  List.iter
+    (fun d ->
+      match d.d_status with
+      | Some (Unix.WEXITED 0) | None -> ()
+      | Some (Unix.WEXITED c) -> fail "daemon %d exited with code %d" d.d_host c
+      | Some (Unix.WSIGNALED s) -> fail "daemon %d killed by signal %d" d.d_host s
+      | Some (Unix.WSTOPPED s) -> fail "daemon %d stopped by signal %d" d.d_host s)
+    daemons;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  (* Artifacts. Logs use the sim controller's JSONL schema; trace/metrics
+     are the concatenated per-daemon dumps (id namespaces are disjoint by
+     construction, and the metrics loader is line-oriented). *)
+  let logs_path = Filename.concat cfg.c_out_dir "logs.jsonl" in
+  let oc = open_out logs_path in
+  List.iter
+    (fun (time, node, level, text) ->
+      Printf.fprintf oc {|{"t":%.6f,"ev":"L","node":%s,"level":"%s","msg":%s}|} time
+        (json_string node) (Log.level_to_string level) (json_string text);
+      output_char oc '\n')
+    (List.rev !log_records);
+  close_out oc;
+  let collect kind file =
+    let parts =
+      List.filter_map
+        (fun d -> Option.map Buffer.contents (Hashtbl.find_opt chunks (d.d_host, kind)))
+        daemons
+    in
+    if parts = [] then None
+    else begin
+      let path = Filename.concat cfg.c_out_dir file in
+      let oc = open_out path in
+      List.iter
+        (fun p ->
+          output_string oc p;
+          if String.length p > 0 && p.[String.length p - 1] <> '\n' then output_char oc '\n')
+        parts;
+      close_out oc;
+      Some path
+    end
+  in
+  let trace_file = if cfg.c_trace then collect "trace" "trace.jsonl" else None in
+  let metrics_file = if cfg.c_metrics then collect "metrics" "metrics.jsonl" else None in
+  (if cfg.c_trace && trace_file = None then fail "no trace chunks collected");
+  {
+    r_ok = !failures = [];
+    r_failures = List.rev !failures;
+    r_reports = List.rev !reports;
+    r_select = select;
+    r_log_records = !n_logs;
+    r_trace_file = trace_file;
+    r_metrics_file = metrics_file;
+    r_out_dir = cfg.c_out_dir;
+  }
+
+(* {1 Out-of-band job control: status / kill from the run directory} *)
+
+let read_state dir =
+  let path = state_file dir in
+  let ic = open_in path in
+  let line = Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_line ic) in
+  let v = Codec.decode line in
+  let pid = Codec.to_int (Codec.member "controller_pid" v) in
+  let ds =
+    List.map
+      (fun d ->
+        ( Codec.to_int (Codec.member "host" d),
+          Codec.to_int (Codec.member "pid" d),
+          Codec.to_string (Codec.member "log" d) ))
+      (Codec.to_list (Codec.member "daemons" v))
+  in
+  (pid, ds)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+  | exception Unix.Unix_error _ -> false
+
+let status dir =
+  let controller, ds = read_state dir in
+  ( (controller, pid_alive controller),
+    List.map (fun (host, pid, log) -> (host, pid, pid_alive pid, log)) ds )
+
+let kill dir =
+  let controller, ds = read_state dir in
+  let targets = controller :: List.map (fun (_, pid, _) -> pid) ds in
+  List.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) targets;
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let alive () = List.filter pid_alive targets in
+  while alive () <> [] && Unix.gettimeofday () < deadline do
+    try ignore (Unix.select [] [] [] 0.05) with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  let leftover = alive () in
+  List.iter (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()) leftover;
+  List.length leftover

@@ -1,0 +1,14 @@
+(** Built-in deployable applications for the live backend.
+
+    The same mains run under the simulated engine and the live loop; all
+    invariant evidence is emitted as structured ["REPORT ..."] log lines
+    (see {!Contract}). *)
+
+val chord : Registry.main
+(** Warm-started Chord ring over the deployment membership; the
+    lowest-position instance drives [lookups] seeded lookups. Parameters:
+    [m] (id bits, default 16), [lookups] (default 0), [seed]
+    (default 42). *)
+
+val init : unit -> unit
+(** Register the built-in applications (idempotent). *)

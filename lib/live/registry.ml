@@ -1,0 +1,25 @@
+(* Deployable applications, by name. A main takes the instance
+   environment plus string parameters from the deployment descriptor /
+   CLI — the SAME main runs under the simulated engine and under the live
+   loop, which is the paper's central claim and what the sim-vs-live
+   contract test exercises. *)
+
+type main = params:(string * string) list -> Env.t -> unit
+
+let apps : (string, string * main) Hashtbl.t = Hashtbl.create 8
+
+let register name ~doc main = Hashtbl.replace apps name (doc, main)
+
+let find name = Option.map snd (Hashtbl.find_opt apps name)
+
+let names () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) apps [])
+
+let doc name = Option.map fst (Hashtbl.find_opt apps name)
+
+let param params key default =
+  match List.assoc_opt key params with Some v -> v | None -> default
+
+let param_int params key default =
+  match List.assoc_opt key params with
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+  | None -> default

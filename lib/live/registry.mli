@@ -1,0 +1,15 @@
+(** Registry of deployable applications for the live backend.
+
+    A registered main runs unchanged under both execution backends — the
+    simulated engine and the live loop — parameterized only by its
+    [Env.t] and string parameters. *)
+
+type main = params:(string * string) list -> Env.t -> unit
+
+val register : string -> doc:string -> main -> unit
+val find : string -> main option
+val names : unit -> string list
+val doc : string -> string option
+
+val param : (string * string) list -> string -> string -> string
+val param_int : (string * string) list -> string -> int -> int

@@ -1,0 +1,22 @@
+(* Real process memory, self-polled. /proc/self/statm column 2 is the
+   resident set in pages; the portable fallback reports the OCaml major
+   heap, which under-counts but keeps the check meaningful off Linux. *)
+
+let page_size =
+  match Sys.getenv_opt "SPLAY_PAGE_SIZE" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 4096)
+  | None -> 4096
+
+let sample () =
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ ->
+      let s = Gc.quick_stat () in
+      s.Gc.heap_words * (Sys.word_size / 8)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match String.split_on_char ' ' (input_line ic) with
+          | _ :: resident :: _ -> (
+              match int_of_string_opt resident with Some r -> r * page_size | None -> 0)
+          | _ -> 0)

@@ -1,0 +1,5 @@
+(** Resident-set-size self-polling for the live sandbox. *)
+
+val sample : unit -> int
+(** Current process RSS in bytes (from [/proc/self/statm]; falls back to
+    the OCaml major-heap size where /proc is unavailable). *)

@@ -1,0 +1,328 @@
+module Engine = Splay_sim.Engine
+module Obs = Splay_obs.Obs
+module Wire = Splay_ctl.Wire
+
+(* The real splayd: one OS process hosting application instances over the
+   live loop. It connects to the controller, announces itself (Hello),
+   learns the shared epoch and the peer table (Peers), then serves the
+   job verbs. Application instances run on the unmodified runtime
+   ([Env] / [Rpc] / [Sb_socket]); only the cross-host leg of a send
+   changes — [Net.set_remote] tunnels it through a framed TCP connection
+   to the destination daemon, where it re-enters via
+   [Net.deliver_remote].
+
+   Hygiene: the daemon knows the controller's PID and self-terminates
+   when orphaned (getppid poll), when the control connection drops, or on
+   a Shutdown verb — flushing its trace/metrics dump to the controller as
+   Chunk frames first in the graceful case. *)
+
+type config = {
+  connect : string;  (** controller address, "host:port" *)
+  host : int;
+  parent : int;  (** controller PID; 0 disables the orphan watch *)
+  seed : int;
+  trace : bool;
+  metrics : bool;
+}
+
+(* Per-daemon span/trace id namespace: host * stride. Keeps ids of the
+   merged live trace collision-free across processes. *)
+let ids_stride = 10_000_000
+
+type inst = {
+  i_job : int;
+  i_port : int;
+  i_name : string;
+  i_env : Env.t;
+  i_main : Registry.main;
+  i_params : (string * string) list;
+  mutable i_started : bool;
+}
+
+type t = {
+  cfg : config;
+  loop : Loop.t;
+  mutable ctl : Conn.t option;
+  peers : (int, int) Hashtbl.t;  (* host -> data port *)
+  peer_conns : (int, Conn.t) Hashtbl.t;
+  insts : (int * int, inst) Hashtbl.t;  (* (job, port) *)
+  mutable shutting_down : bool;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let h = String.sub s 0 i and p = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt p with
+      | Some p -> (h, p)
+      | None -> invalid_arg ("bad address " ^ s))
+  | None -> invalid_arg ("bad address " ^ s)
+
+let connect_tcp host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let ip = try Unix.inet_addr_of_string host with Failure _ -> Unix.inet_addr_loopback in
+  (try Unix.connect fd (Unix.ADDR_INET (ip, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.set_nonblock fd;
+  fd
+
+let hard_exit code =
+  (* No graceful flushing: used for orphaning and lost controller, where
+     the collector side is already gone. *)
+  Stdlib.exit code
+
+(* {1 Inter-daemon data plane} *)
+
+let handle_data_msg t _conn msg =
+  match msg with
+  | Wire.App { src; dst; size; payload } when dst.Addr.host = t.cfg.host -> (
+      match Rpc.payload_of_value payload with
+      | p -> Net.deliver_remote (Loop.net t.loop) ~size ~src ~dst ~up_wait:0.0 ~ctx:Obs.null_ctx p
+      | exception Codec.Parse_error _ -> ())
+  | _ -> () (* misrouted or non-data message: drop *)
+
+let peer_conn t dsthost =
+  match Hashtbl.find_opt t.peer_conns dsthost with
+  | Some c when not (Conn.closed c) -> Some c
+  | _ -> (
+      match Hashtbl.find_opt t.peers dsthost with
+      | None -> None
+      | Some port -> (
+          match connect_tcp "127.0.0.1" port with
+          | exception Unix.Unix_error _ -> None (* peer dead: drop, like a dead host *)
+          | fd ->
+              let c =
+                Conn.attach t.loop fd ~on_msg:(handle_data_msg t)
+                  ~on_close:(fun _ _ -> Hashtbl.remove t.peer_conns dsthost)
+              in
+              Hashtbl.replace t.peer_conns dsthost c;
+              Some c))
+
+let route t ~src ~dst ~size ~arrival:_ ~up_wait:_ ~ctx:_ payload =
+  match Rpc.payload_to_value payload with
+  | None -> () (* payload kind with no wire form *)
+  | Some pv -> (
+      match peer_conn t dst.Addr.host with
+      | None -> ()
+      | Some c -> Conn.send c (Wire.App { src; dst; size; payload = pv }))
+
+(* {1 Control verbs} *)
+
+let ack conn re ok detail = Conn.send conn (Wire.Ack { re; ok; detail })
+
+let handle_deploy t conn ~job ~app ~name ~port ~position ~nodes ~limits ~log_level ~params =
+  let key = (job, port) in
+  if Hashtbl.mem t.insts key then ack conn "deploy" false "instance already deployed"
+  else
+    match Registry.find app with
+    | None -> ack conn "deploy" false (Printf.sprintf "unknown application %S" app)
+    | Some main ->
+        let env =
+          Env.create (Loop.net t.loop) ~me:(Addr.make t.cfg.host port) ~position ~nodes ~limits
+            ~log_level
+        in
+        (* Stream every log record to the controller; the sandbox's own
+           kill message travels the same way, so a resource death is
+           visible in the collected logs exactly as in simulation. *)
+        Log.set_sink env.Env.log
+          (Log.Forward
+             (fun ~time ~level ~node text ->
+               match t.ctl with
+               | Some c -> Conn.send c (Wire.Logline { time; node; level; text })
+               | None -> ()));
+        (* Real-resource leg of the sandbox: poll the process RSS and
+           enforce the memory cap with the same fatal path as simulated
+           accounting. The Violation raise is swallowed — on_kill has
+           already stopped the instance, which kills this monitor too. *)
+        if limits.Sandbox.max_memory < max_int then
+          ignore
+            (Env.periodic env 0.25 (fun () ->
+                 try Sandbox.check_rss env.Env.sandbox (Rss.sample ())
+                 with Sandbox.Violation _ -> ()));
+        Hashtbl.replace t.insts key
+          { i_job = job; i_port = port; i_name = name; i_env = env; i_main = main;
+            i_params = params; i_started = false };
+        ack conn "deploy" true name
+
+let handle_start t conn ~job ~port =
+  match Hashtbl.find_opt t.insts (job, port) with
+  | None -> ack conn "start" false "no such instance"
+  | Some i when i.i_started -> ack conn "start" false "already started"
+  | Some i ->
+      i.i_started <- true;
+      ignore
+        (Env.thread i.i_env ~name:(Printf.sprintf "%s@%d" i.i_name t.cfg.host) (fun () ->
+             i.i_main ~params:i.i_params i.i_env));
+      ack conn "start" true i.i_name
+
+let handle_stop t conn ~job ~port =
+  match Hashtbl.find_opt t.insts (job, port) with
+  | None -> ack conn "stop" false "no such instance"
+  | Some i ->
+      Env.stop i.i_env;
+      ack conn "stop" true i.i_name
+
+let begin_shutdown t =
+  if not t.shutting_down then begin
+    t.shutting_down <- true;
+    Hashtbl.iter (fun _ i -> Env.stop i.i_env) t.insts
+  end
+
+let handle_ctl_msg t conn msg =
+  match msg with
+  | Wire.Deploy { job; app; name; port; position; nodes; limits; log_level; params } ->
+      handle_deploy t conn ~job ~app ~name ~port ~position ~nodes ~limits ~log_level ~params
+  | Wire.Start { job; port } -> handle_start t conn ~job ~port
+  | Wire.Stop { job; port } -> handle_stop t conn ~job ~port
+  | Wire.Shutdown -> begin_shutdown t
+  | Wire.App _ -> handle_data_msg t conn msg
+  | _ -> ()
+
+(* {1 Telemetry} *)
+
+let heartbeat t =
+  match t.ctl with
+  | None -> ()
+  | Some c ->
+      let mem = ref 0 and sockets = ref 0 and fs = ref 0 and fibers = ref 0 and inflight = ref 0 in
+      Hashtbl.iter
+        (fun _ i ->
+          let sb = i.i_env.Env.sandbox in
+          mem := !mem + Sandbox.memory_used sb;
+          sockets := !sockets + Sandbox.sockets_open sb;
+          fs := !fs + Sandbox.fs_used sb;
+          fibers := !fibers + Env.live_procs i.i_env;
+          inflight := !inflight + Telemetry.inflight_rpcs i.i_env)
+        t.insts;
+      Conn.send c
+        (Wire.Heartbeat
+           {
+             host = t.cfg.host;
+             rss = Rss.sample ();
+             mem = !mem;
+             sockets = !sockets;
+             fs = !fs;
+             fibers = !fibers;
+             inflight = !inflight;
+           })
+
+let send_chunks t ~kind data =
+  match t.ctl with
+  | None -> ()
+  | Some c ->
+      let n = String.length data in
+      if n = 0 then Conn.send c (Wire.Chunk { host = t.cfg.host; kind; data = ""; final = true })
+      else begin
+        let chunk = 200_000 in
+        let off = ref 0 in
+        while !off < n do
+          let len = min chunk (n - !off) in
+          let final = !off + len >= n in
+          Conn.send c
+            (Wire.Chunk { host = t.cfg.host; kind; data = String.sub data !off len; final });
+          off := !off + len
+        done
+      end
+
+(* {1 Main} *)
+
+let run cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if cfg.trace || cfg.metrics then begin
+    Obs.enabled := cfg.trace;
+    Obs.metrics_enabled := cfg.metrics;
+    ignore (Obs.state_install (Obs.state_create ~ids_base:(cfg.host * ids_stride) ()))
+  end;
+  (* Data listener: where peer daemons connect to deliver app traffic. *)
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 128;
+  let data_port =
+    match Unix.getsockname lfd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  (* Control connection; handshake runs blocking, before the loop exists. *)
+  let chost, cport = parse_hostport cfg.connect in
+  let cfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect cfd (Unix.ADDR_INET (Unix.inet_addr_of_string chost, cport));
+  write_all cfd (Wire.frame_msg (Wire.Hello { host = cfg.host; pid = Unix.getpid (); data_port }));
+  let dec = Wire.decoder () in
+  let buf = Bytes.create 4096 in
+  let rec wait_peers () =
+    match Wire.next_msg dec with
+    | Some (Wire.Peers { epoch; peers }) -> (epoch, peers)
+    | Some _ -> wait_peers ()
+    | None -> (
+        match Unix.read cfd buf 0 (Bytes.length buf) with
+        | 0 -> failwith "controller closed during handshake"
+        | n ->
+            Wire.feed dec buf 0 n;
+            wait_peers ())
+  in
+  let epoch, peers = wait_peers () in
+  let hosts = 1 + List.fold_left (fun m (h, _) -> max m h) cfg.host peers in
+  let loop = Loop.create ~seed:(cfg.seed + cfg.host) ~hosts ~epoch () in
+  let t =
+    {
+      cfg;
+      loop;
+      ctl = None;
+      peers = Hashtbl.create 32;
+      peer_conns = Hashtbl.create 32;
+      insts = Hashtbl.create 8;
+      shutting_down = false;
+    }
+  in
+  List.iter (fun (h, p) -> if h <> cfg.host then Hashtbl.replace t.peers h p) peers;
+  Net.set_remote (Loop.net loop) ~local:(fun h -> h = cfg.host) ~route:(route t);
+  let ctl =
+    Conn.attach ~dec loop cfd ~on_msg:(handle_ctl_msg t) ~on_close:(fun _ _ ->
+        (* Controller gone: nothing left to report to. *)
+        if not t.shutting_down then hard_exit 1)
+  in
+  t.ctl <- Some ctl;
+  ignore
+    (Loop.watch loop lfd
+       ~on_read:(fun () ->
+         match Unix.accept lfd with
+         | fd, _ ->
+             Unix.set_nonblock fd;
+             ignore (Conn.attach loop fd ~on_msg:(handle_data_msg t) ~on_close:(fun _ _ -> ()))
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+       ~on_write:ignore);
+  let eng = Loop.engine loop in
+  ignore
+    (Engine.spawn ~name:"heartbeat" eng (fun () ->
+         while not t.shutting_down do
+           Engine.sleep 0.5;
+           heartbeat t
+         done));
+  if cfg.parent > 0 then
+    ignore
+      (Engine.spawn ~name:"orphan-watch" eng (fun () ->
+           while true do
+             Engine.sleep 0.25;
+             if Unix.getppid () <> cfg.parent then hard_exit 1
+           done));
+  (match Loop.run loop ~until:(fun () -> t.shutting_down) with
+  | `Done | `Stopped | `Deadline -> ());
+  (* Let the Env.stop kill events scheduled by the shutdown verb fire. *)
+  ignore (Engine.run ~until:(Loop.elapsed loop +. 0.001) eng);
+  (* Graceful exit: stream the observability dump, say goodbye, drain. *)
+  if cfg.trace then send_chunks t ~kind:"trace" (Obs.trace_jsonl ());
+  if cfg.metrics then send_chunks t ~kind:"metrics" (Obs.metrics_plane_jsonl ());
+  (match t.ctl with
+  | Some c ->
+      Conn.send c (Wire.Bye { host = cfg.host });
+      Conn.flush_blocking c
+  | None -> ());
+  0

@@ -267,6 +267,53 @@ let notify env dst proc args =
   try Sb_socket.send env ~dst ~size (Request { rid = -1; proc; args; ctx = Obs.current () })
   with Sb_socket.Network_error _ -> ()
 
+(* Wire serialization of the RPC envelope, for transports that leave the
+   process (the live backend's inter-daemon TCP tunnels). The trace
+   context travels explicitly — it is what stitches one logical request
+   into a single causal trace across real processes. *)
+
+let payload_to_value = function
+  | Request { rid; proc; args; ctx } ->
+      Some
+        (Codec.Assoc
+           [
+             ("k", Codec.String "q");
+             ("rid", Codec.Int rid);
+             ("proc", Codec.String proc);
+             ("args", Codec.List args);
+             ("tid", Codec.Int ctx.Obs.tid);
+             ("sid", Codec.Int ctx.Obs.sid);
+           ])
+  | Reply { rid; result = Ok v } ->
+      Some (Codec.Assoc [ ("k", Codec.String "p"); ("rid", Codec.Int rid); ("ok", v) ])
+  | Reply { rid; result = Error m } ->
+      Some
+        (Codec.Assoc [ ("k", Codec.String "p"); ("rid", Codec.Int rid); ("err", Codec.String m) ])
+  | _ -> None (* not RPC traffic: other payload kinds have no wire form *)
+
+let payload_of_value v =
+  match Codec.to_string (Codec.member "k" v) with
+  | "q" ->
+      Request
+        {
+          rid = Codec.to_int (Codec.member "rid" v);
+          proc = Codec.to_string (Codec.member "proc" v);
+          args = Codec.to_list (Codec.member "args" v);
+          ctx =
+            {
+              Obs.tid = Codec.to_int (Codec.member "tid" v);
+              sid = Codec.to_int (Codec.member "sid" v);
+            };
+        }
+  | "p" ->
+      let result =
+        match Codec.member "ok" v with
+        | ok -> Ok ok
+        | exception Codec.Parse_error _ -> Error (Codec.to_string (Codec.member "err" v))
+      in
+      Reply { rid = Codec.to_int (Codec.member "rid" v); result }
+  | k -> raise (Codec.Parse_error (Printf.sprintf "unknown rpc payload kind %S" k))
+
 (* Deprecated aliases for the pre-unification names. *)
 
 let a_call_opt env dst ?options proc args = a_call env dst ?options proc args

@@ -115,3 +115,19 @@ val ping_opt : Env.t -> ?options:options -> Addr.t -> bool
 
 val calls_issued : Env.t -> int
 (** Number of outgoing calls this instance has made (monitoring). *)
+
+(** {1 Wire form}
+
+    Serialization of the RPC envelope for transports that leave the
+    process — the live backend tunnels application messages between real
+    daemons as these values. The caller's trace context travels in the
+    encoding, so cross-process requests still stitch into one causal
+    trace. *)
+
+val payload_to_value : Net.payload -> Codec.value option
+(** [Some] for RPC requests / replies; [None] for payload kinds this
+    module does not own (they have no wire form here). *)
+
+val payload_of_value : Codec.value -> Net.payload
+(** Inverse of {!payload_to_value}. Raises {!Codec.Parse_error} on
+    malformed input. *)

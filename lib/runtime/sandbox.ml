@@ -80,6 +80,16 @@ let alloc t n =
 let free t n = t.mem <- max 0 (t.mem - n)
 let memory_used t = t.mem
 
+(* Live-backend variant of the memory check: the measured quantity is the
+   real process RSS (self-polled from /proc) instead of the simulated
+   accounting, but the threshold, the violation message and the fatal
+   kill path are the same — so a memory death is observably identical in
+   both worlds. *)
+let check_rss t rss =
+  if rss > t.lim.max_memory then
+    violation t ~fatal:true
+      (Printf.sprintf "memory limit exceeded (%d > %d bytes)" rss t.lim.max_memory)
+
 let socket_opened t =
   if t.sockets >= t.lim.max_sockets then
     violation t ~fatal:false (Printf.sprintf "socket limit reached (%d)" t.lim.max_sockets);

@@ -57,6 +57,13 @@ val alloc : t -> int -> unit
 val free : t -> int -> unit
 val memory_used : t -> int
 
+val check_rss : t -> int -> unit
+(** [check_rss t rss] enforces the memory limit against a measured real
+    process resident-set size (bytes) — the live backend's periodic
+    self-poll. Over the limit it triggers the kill callback and raises
+    {!Violation} with the same message {!alloc} would produce, so the
+    observable failure mode matches simulation. *)
+
 val socket_opened : t -> unit
 (** Raises {!Violation} when the socket cap is reached. *)
 

@@ -1,0 +1,326 @@
+(* Tests for the live execution backend: the framed control-plane wire
+   protocol (round-trips, torn reads, corrupt input), the RPC payload
+   wire form, real-RSS sandbox enforcement, the sim-vs-live contract
+   machinery, and a real three-daemon end-to-end deployment over
+   loopback TCP. *)
+
+open Splay_net
+open Splay_runtime
+open Splay_ctl
+module Live = Splay_live
+
+(* {2 Wire framing} *)
+
+let sample_msgs =
+  [
+    Wire.Hello { host = 3; pid = 1234; data_port = 45678 };
+    Wire.Peers { epoch = 1723111.25; peers = [ (0, 1111); (1, 2222); (2, 3333) ] };
+    Wire.Deploy
+      {
+        job = 1;
+        app = "chord";
+        name = "app.1";
+        port = 9000;
+        position = 1;
+        nodes = [ Addr.make 0 9000; Addr.make 1 9000 ];
+        limits = { Sandbox.default with Sandbox.max_memory = 1 lsl 20 };
+        log_level = Log.Info;
+        params = [ ("m", "16"); ("lookups", "5") ];
+      };
+    Wire.Start { job = 1; port = 9000 };
+    Wire.Stop { job = 1; port = 9000 };
+    Wire.Shutdown;
+    Wire.Ack { re = "deploy"; ok = false; detail = "unknown app" };
+    Wire.Heartbeat
+      { host = 2; rss = 4096 * 1000; mem = 100; sockets = 3; fs = 0; fibers = 7; inflight = 1 };
+    Wire.Logline
+      { time = 12.5; node = "app.1"; level = Log.Warn; text = "REPORT done lookups=5 ok=5" };
+    Wire.Chunk { host = 0; kind = "trace"; data = "{\"ev\":\"S\"}\n"; final = true };
+    Wire.Bye { host = 0 };
+    Wire.App
+      {
+        src = Addr.make 0 9000;
+        dst = Addr.make 1 9000;
+        size = 52;
+        payload = Codec.Assoc [ ("k", Codec.String "q"); ("rid", Codec.Int 7) ];
+      };
+  ]
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun m ->
+      let m' = Wire.msg_of_value (Wire.msg_to_value m) in
+      Alcotest.(check bool) "msg round-trips through its value form" true (m = m'))
+    sample_msgs
+
+let test_wire_stream () =
+  (* All samples framed back to back through one decoder. *)
+  let d = Wire.decoder () in
+  Wire.feed_string d (String.concat "" (List.map Wire.frame_msg sample_msgs));
+  let decoded = ref [] in
+  let rec drain () =
+    match Wire.next_msg d with
+    | Some m ->
+        decoded := m :: !decoded;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all frames decoded" (List.length sample_msgs) (List.length !decoded);
+  Alcotest.(check bool) "in order, intact" true (List.rev !decoded = sample_msgs);
+  Alcotest.(check int) "no residue" 0 (Wire.buffered d)
+
+let test_wire_truncated () =
+  (* A frame torn at every possible byte boundary is incomplete — never
+     an error, never a desync: completing it always yields the
+     message. *)
+  let m = List.nth sample_msgs 2 (* Deploy: the largest *) in
+  let s = Wire.frame_msg m in
+  for cut = 0 to String.length s - 1 do
+    let d = Wire.decoder () in
+    Wire.feed_string d (String.sub s 0 cut);
+    (match Wire.next_msg d with
+    | None -> ()
+    | Some _ -> Alcotest.fail (Printf.sprintf "frame complete at cut %d?" cut));
+    Wire.feed_string d (String.sub s cut (String.length s - cut));
+    match Wire.next_msg d with
+    | Some m' -> Alcotest.(check bool) "reassembled" true (m = m')
+    | None -> Alcotest.fail (Printf.sprintf "frame lost at cut %d" cut)
+  done
+
+let test_wire_garbage () =
+  let rejects what s =
+    let d = Wire.decoder () in
+    Wire.feed_string d s;
+    match Wire.next_msg d with
+    | exception Codec.Parse_error _ -> ()
+    | Some _ -> Alcotest.fail (what ^ ": decoded garbage")
+    | None -> Alcotest.fail (what ^ ": silently swallowed")
+  in
+  rejects "bad magic" "XYZ\x01\x00\x00\x00\x02{}";
+  rejects "bad version" "SPW\x7f\x00\x00\x00\x02{}";
+  (* length far beyond max_frame *)
+  rejects "absurd length" "SPW\x01\x7f\xff\xff\xff";
+  (* valid header, payload that is not valid codec *)
+  rejects "corrupt payload" "SPW\x01\x00\x00\x00\x04!!!!";
+  (* valid codec value of the wrong shape *)
+  let d = Wire.decoder () in
+  Wire.feed_string d (Wire.frame_value (Codec.Assoc [ ("t", Codec.String "nonsense") ]));
+  (match Wire.next_msg d with
+  | exception Codec.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unknown tag accepted")
+
+(* Torn reads at arbitrary boundaries never desynchronize the stream:
+   whatever the chunking, the decoded sequence is the sent sequence. *)
+let wire_torn_read_prop =
+  let blob = String.concat "" (List.map Wire.frame_msg sample_msgs) in
+  let n = String.length blob in
+  QCheck.Test.make ~name:"wire: any read chunking decodes the same message sequence" ~count:200
+    QCheck.(small_list (int_bound (n - 1)))
+    (fun cuts ->
+      let cuts = List.sort_uniq compare (List.filter (fun c -> c > 0 && c < n) cuts) in
+      let d = Wire.decoder () in
+      let decoded = ref [] in
+      let rec drain () =
+        match Wire.next_msg d with
+        | Some m ->
+            decoded := m :: !decoded;
+            drain ()
+        | None -> ()
+      in
+      let prev = ref 0 in
+      List.iter
+        (fun c ->
+          Wire.feed_string d (String.sub blob !prev (c - !prev));
+          drain ();
+          prev := c)
+        (cuts @ [ n ]);
+      List.rev !decoded = sample_msgs)
+
+(* {2 RPC payload wire form} *)
+
+(* The Request/Reply constructors are private to Rpc; exercise the wire
+   form at the value level: decoding a canonical wire value and
+   re-encoding it must be the identity. *)
+let test_rpc_payload_roundtrip () =
+  let open Codec in
+  let samples =
+    [
+      Assoc
+        [
+          ("k", String "q"); ("rid", Int 12); ("proc", String "find_successor");
+          ("args", List [ Int 99 ]); ("tid", Int 31); ("sid", Int 17);
+        ];
+      Assoc
+        [
+          ("k", String "q"); ("rid", Int (-1)); ("proc", String "notify"); ("args", List []);
+          ("tid", Int 0); ("sid", Int 0);
+        ];
+      Assoc [ ("k", String "p"); ("rid", Int 12); ("ok", String "yes") ];
+      Assoc [ ("k", String "p"); ("rid", Int 12); ("err", String "no route") ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Rpc.payload_to_value (Rpc.payload_of_value v) with
+      | Some v' -> Alcotest.(check bool) "decode/encode is the identity" true (v = v')
+      | None -> Alcotest.fail "decoded payload lost its wire form")
+    samples;
+  match Rpc.payload_of_value (Assoc [ ("k", String "zzz") ]) with
+  | exception Codec.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unknown payload kind accepted"
+
+(* {2 Real-resource sandbox enforcement} *)
+
+let test_sandbox_rss () =
+  let sb = Sandbox.create ~limits:{ Sandbox.unlimited with Sandbox.max_memory = 1 lsl 20 } () in
+  let killed = ref None in
+  Sandbox.set_on_kill sb (fun reason -> killed := Some reason);
+  Sandbox.check_rss sb (1 lsl 19);
+  Alcotest.(check bool) "under the limit: no kill" true (!killed = None);
+  (match Sandbox.check_rss sb (2 lsl 20) with
+  | exception Sandbox.Violation msg ->
+      (* identical failure mode to the simulated alloc path *)
+      Alcotest.(check string) "same message as alloc"
+        (Printf.sprintf "memory limit exceeded (%d > %d bytes)" (2 lsl 20) (1 lsl 20))
+        msg
+  | () -> Alcotest.fail "over the limit: no violation");
+  Alcotest.(check bool) "kill callback fired" true (!killed <> None)
+
+let test_rss_sample () =
+  let rss = Live.Rss.sample () in
+  Alcotest.(check bool) "a real process has a positive RSS" true (rss > 0)
+
+(* {2 Contract: report parsing and invariant diff} *)
+
+let reports =
+  [
+    ("app.1", "REPORT ring id=0 succ=21845 pred=43690");
+    ("app.2", "REPORT ring id=21845 succ=43690 pred=0");
+    ("app.3", "REPORT ring id=43690 succ=0 pred=21845");
+    ("app.1", "REPORT lookup key=1000 owner=21845 hops=1");
+    ("app.1", "REPORT lookup key=50000 owner=0 hops=2");
+    ("app.1", "REPORT msgs calls=9");
+    ("app.1", "REPORT done lookups=2 ok=2");
+    ("app.1", "this is not evidence");
+  ]
+
+let test_contract_summary () =
+  let s = Live.Contract.summary_of_reports reports in
+  Alcotest.(check int) "ring size" 3 (List.length s.Live.Contract.ring);
+  Alcotest.(check bool) "ring sorted and intact" true
+    (s.Live.Contract.ring = [ (0, 21845, 43690); (21845, 43690, 0); (43690, 0, 21845) ]);
+  Alcotest.(check bool) "lookups in issue order" true
+    (s.Live.Contract.lookups = [ (1000, Some (21845, 1)); (50000, Some (0, 2)) ]);
+  Alcotest.(check bool) "calls" true (s.Live.Contract.calls = Some 9);
+  Alcotest.(check bool) "done" true (s.Live.Contract.done_ok = Some (2, 2))
+
+let test_contract_diff () =
+  let s = Live.Contract.summary_of_reports reports in
+  Alcotest.(check (list string)) "a summary matches itself" []
+    (Live.Contract.diff ~sim:s ~live:s ());
+  (* a live run that resolved a key to the wrong owner must be caught *)
+  let bad =
+    {
+      s with
+      Live.Contract.lookups = [ (1000, Some (43690, 1)); (50000, Some (0, 2)) ];
+    }
+  in
+  Alcotest.(check bool) "wrong owner is a violation" true
+    (Live.Contract.diff ~sim:s ~live:bad () <> []);
+  (* a torn ring must be caught *)
+  let torn = { s with Live.Contract.ring = [ (0, 0, 0) ] } in
+  Alcotest.(check bool) "ring divergence is a violation" true
+    (Live.Contract.diff ~sim:s ~live:torn () <> []);
+  (* message counts: small divergence tolerated, large flagged *)
+  let drift = { s with Live.Contract.calls = Some 11 } in
+  Alcotest.(check (list string)) "small call-count drift tolerated" []
+    (Live.Contract.diff ~sim:s ~live:drift ());
+  let blowup = { s with Live.Contract.calls = Some 90 } in
+  Alcotest.(check bool) "10x call blow-up is a violation" true
+    (Live.Contract.diff ~sim:s ~live:blowup () <> [])
+
+let test_contract_sim_deterministic () =
+  Live.Live_apps.init ();
+  let params = [ ("m", "16"); ("lookups", "5"); ("seed", "7") ] in
+  let run () =
+    match Live.Contract.run_sim ~seed:7 ~n:4 ~app:"chord" ~params () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail ("sim twin failed: " ^ e)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same evidence" true (a = b);
+  let s = Live.Contract.summary_of_reports a in
+  Alcotest.(check int) "every instance reported its ring position" 4
+    (List.length s.Live.Contract.ring);
+  Alcotest.(check bool) "all lookups resolved" true (s.Live.Contract.done_ok = Some (5, 5))
+
+(* {2 End to end: a real deployment over loopback TCP} *)
+
+let test_live_e2e () =
+  Live.Live_apps.init ();
+  let splayd = "../bin/splayd.exe" in
+  if not (Sys.file_exists splayd) then Alcotest.fail ("missing " ^ splayd);
+  let params = [ ("m", "16"); ("lookups", "5"); ("seed", "7") ] in
+  let cfg =
+    {
+      Live.Ctl.default_cfg with
+      Live.Ctl.c_app = "chord";
+      c_params = params;
+      c_daemons = 3;
+      c_desc =
+        { Descriptor.default with Descriptor.bootstrap = Descriptor.All; nb_splayd = 3 };
+      c_out_dir = "_live_e2e";
+      c_splayd = splayd;
+      c_trace = true;
+      c_deadline = 60.0;
+      c_seed = 7;
+    }
+  in
+  let o = Live.Ctl.run cfg in
+  List.iter (fun f -> Printf.printf "live failure: %s\n" f) o.Live.Ctl.r_failures;
+  Alcotest.(check bool) "live run ok" true o.Live.Ctl.r_ok;
+  Alcotest.(check int) "all daemons bootstrapped" 3 o.Live.Ctl.r_select.Live.Ctl.sel_alive;
+  Alcotest.(check bool) "trace collected" true (o.Live.Ctl.r_trace_file <> None);
+  (* the contract: live invariants match the simulated twin's *)
+  let live = Live.Contract.summary_of_reports o.Live.Ctl.r_reports in
+  let sim =
+    match Live.Contract.run_sim ~seed:7 ~n:3 ~app:"chord" ~params () with
+    | Ok r -> Live.Contract.summary_of_reports r
+    | Error e -> Alcotest.fail ("sim twin failed: " ^ e)
+  in
+  Alcotest.(check (list string)) "zero contract violations" []
+    (Live.Contract.diff ~sim ~live ());
+  (* every forked daemon is gone *)
+  let (_, ctl_alive), daemons = Live.Ctl.status "_live_e2e" in
+  Alcotest.(check bool) "controller record is this process" true ctl_alive;
+  List.iter
+    (fun (host, _, alive, _) ->
+      Alcotest.(check bool) (Printf.sprintf "daemon %d reaped" host) false alive)
+    daemons
+
+let () =
+  Alcotest.run "live"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "round-trip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "stream" `Quick test_wire_stream;
+          Alcotest.test_case "truncated" `Quick test_wire_truncated;
+          Alcotest.test_case "garbage" `Quick test_wire_garbage;
+          QCheck_alcotest.to_alcotest wire_torn_read_prop;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "rpc payload wire form" `Quick test_rpc_payload_roundtrip;
+          Alcotest.test_case "sandbox rss" `Quick test_sandbox_rss;
+          Alcotest.test_case "rss sample" `Quick test_rss_sample;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "summary" `Quick test_contract_summary;
+          Alcotest.test_case "diff" `Quick test_contract_diff;
+          Alcotest.test_case "sim twin deterministic" `Quick test_contract_sim_deterministic;
+        ] );
+      ("e2e", [ Alcotest.test_case "three daemons over loopback" `Quick test_live_e2e ]);
+    ]
