@@ -2,7 +2,7 @@ all:
 	dune build @all
 
 check:
-	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) bench-obs-smoke && $(MAKE) bench-par-smoke && $(MAKE) check-smoke && $(MAKE) live-smoke
+	dune build @all && dune runtest && $(MAKE) trace-demo && $(MAKE) bench-smoke && $(MAKE) bench-scale-smoke && $(MAKE) bench-obs-smoke && $(MAKE) bench-par-smoke && $(MAKE) bench-serve-smoke && $(MAKE) check-smoke && $(MAKE) live-smoke
 
 test:
 	dune runtest
@@ -57,12 +57,26 @@ bench-par-smoke:
 	scripts/check_bench_floors.sh _build/BENCH_par.smoke.json BENCH_par.floors.json
 	@echo "bench-par-smoke: OK"
 
+# Serving-fast-path smoke test: the quick open-loop sweep (1M virtual
+# clients over 10k nodes, offered load stepped through the baseline
+# knee) guarded by the serve floors — sustained throughput, bounded
+# words per idle client, the all-on p99 improvement past the knee, the
+# coalescer's origin-fetch savings, and zero stale cache serves. The
+# parallel-engine row's speedup floor is core-count-aware like
+# bench-par-smoke. Same untracked-output story as bench-smoke.
+bench-serve-smoke:
+	dune exec bench/main.exe -- serve --bench-serve-out=_build/BENCH_serve.smoke.json
+	scripts/check_bench_floors.sh _build/BENCH_serve.smoke.json BENCH_serve.floors.json
+	@echo "bench-serve-smoke: OK"
+
 # Simulation-testing gates. check-smoke is the fast always-green CI gate;
 # check-fuzz is the broad fault-injection sweep over every suite (base
 # chord is *expected* to fail it — the || true keeps the target usable as
 # a bug-hunting report rather than a pass/fail gate).
 check-smoke:
 	dune exec bin/splay_cli.exe -- check --suite smoke --seeds 50 --jobs 2
+	dune exec bin/splay_cli.exe -- check --suite dht-store --seeds 12 --jobs 2
+	dune exec bin/splay_cli.exe -- check --suite webcache --seeds 12 --jobs 2
 	@echo "check-smoke: OK"
 
 check-fuzz:
@@ -88,4 +102,4 @@ trace-demo:
 	  | tee /dev/stderr | grep -q "rpc\."
 	@echo "trace-demo: OK (critical path extracted)"
 
-.PHONY: all check test bench bench-smoke bench-scale-smoke bench-obs-smoke bench-par-smoke bench-baseline trace-demo check-smoke check-fuzz live-smoke
+.PHONY: all check test bench bench-smoke bench-scale-smoke bench-obs-smoke bench-par-smoke bench-serve-smoke bench-baseline trace-demo check-smoke check-fuzz live-smoke

@@ -44,6 +44,10 @@ let bench_scale_out = ref "BENCH_scale.json"
    pair (--bench-par-out=PATH); same smoke-test redirection story. *)
 let bench_par_out = ref "BENCH_par.json"
 
+(* Where the open-loop serving section writes its offered-load sweep
+   (--bench-serve-out=PATH); same smoke-test redirection story. *)
+let bench_serve_out = ref "BENCH_serve.json"
+
 (* Observability: --obs / --obs-trace=FILE / --critical-path, parsed and
    acted on by the shared Obs_flags helper (same flags as splay_cli). *)
 let obs_begin () = Obs_flags.arm ()

@@ -57,7 +57,7 @@ let run () =
                    | `Hit ->
                        Series.Counter.incr hit_c ~time:rel;
                        incr hits
-                   | `Miss | `Failed -> ()
+                   | `Miss | `Failed | `Shed -> ()
                  done))
         done;
         Env.sleep duration;

@@ -32,6 +32,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("macro", "Macro    message-plane workloads (Chord, epidemic, RPC)", Macro.run);
     ("scale", "Scale    single-run node-count curve (epidemic flood, Chord lookups)", Scale.run);
     ("par", "Par      parallel single-run engine vs sequential (100k epidemic)", Par_bench.run);
+    ("serve", "Serve    open-loop serving fast path (offered-load sweep, Dht/Web)", Serve.run);
   ]
 
 let aliases = [ ("fig6b", "fig6a"); ("fig6", "fig6a"); ("fig7", "fig7a"); ("loc", "tab-loc") ]
@@ -79,9 +80,11 @@ let () =
     | "--domains" :: n :: rest ->
         Common.domains := jobs_of_string "--domains" n;
         scan_flags rest
-    | ("--bench-out" | "--bench-macro-out" | "--bench-scale-out" | "--bench-par-out") :: _ ->
+    | ( "--bench-out" | "--bench-macro-out" | "--bench-scale-out" | "--bench-par-out"
+      | "--bench-serve-out" )
+      :: _ ->
         Printf.eprintf
-          "output flags take inline values: --bench-out=PATH / --bench-macro-out=PATH / --bench-scale-out=PATH / --bench-par-out=PATH\n";
+          "output flags take inline values: --bench-out=PATH / --bench-macro-out=PATH / --bench-scale-out=PATH / --bench-par-out=PATH / --bench-serve-out=PATH\n";
         exit 2
     | a :: rest ->
         (match value_of ~pfx:"--jobs=" a with
@@ -101,7 +104,11 @@ let () =
                         | None -> (
                             match value_of ~pfx:"--bench-par-out=" a with
                             | Some v -> Common.bench_par_out := out_path ~flag:"--bench-par-out" v
-                            | None -> ()))))));
+                            | None -> (
+                                match value_of ~pfx:"--bench-serve-out=" a with
+                                | Some v ->
+                                    Common.bench_serve_out := out_path ~flag:"--bench-serve-out" v
+                                | None -> ())))))));
         scan_flags rest
   in
   scan_flags args;

@@ -41,6 +41,47 @@ let bench_rng () =
   let r = Rng.create 1 in
   Staged.stage (fun () -> ignore (Rng.exponential r ~mean:1.0))
 
+(* The pre-alias Zipf sampler, kept here as the before/after baseline:
+   materialized CDF + binary search, O(log n) cache-missing probes per
+   draw. [Rng.Zipf] proper is now a Walker alias table. *)
+module Zipf_cdf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. (Float.of_int (i + 1) ** s));
+      cdf.(i) <- !acc
+    done;
+    let total = !acc in
+    for i = 0 to n - 1 do
+      cdf.(i) <- cdf.(i) /. total
+    done;
+    { cdf }
+
+  let draw z rng =
+    let u = Rng.float rng 1.0 in
+    let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if z.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo + 1
+end
+
+let zipf_n = 1_000_000
+
+let bench_zipf_alias () =
+  let z = Rng.Zipf.create ~n:zipf_n ~s:1.0 in
+  let r = Rng.create 1 in
+  Staged.stage (fun () -> ignore (Rng.Zipf.draw z r))
+
+let bench_zipf_cdf () =
+  let z = Zipf_cdf.create ~n:zipf_n ~s:1.0 in
+  let r = Rng.create 1 in
+  Staged.stage (fun () -> ignore (Zipf_cdf.draw z r))
+
 let bench_sha1 () =
   let input = String.make 1024 'a' in
   Staged.stage (fun () -> ignore (Crypto.sha1 input))
@@ -81,6 +122,8 @@ let tests =
       Test.make ~name:"engine schedule+cancel" (bench_engine_schedule_cancel ());
       Test.make ~name:"engine schedule+pop (1k standing)" (bench_engine_schedule_pop ());
       Test.make ~name:"rng exponential draw" (bench_rng ());
+      Test.make ~name:"zipf draw alias (n=1M)" (bench_zipf_alias ());
+      Test.make ~name:"zipf draw cdf baseline (n=1M)" (bench_zipf_cdf ());
       Test.make ~name:"sha1 (1 KiB)" (bench_sha1 ());
       Test.make ~name:"codec encode+decode (rpc reply)" (bench_codec ());
       Test.make ~name:"ring between" (bench_between ());

@@ -128,8 +128,9 @@ let epidemic_run ?(obs = false) ~n ~seed () =
    (seed, parts), but bench-side telemetry sampling would read host
    state across partitions mid-window, so the metrics twins stay
    sequential. Extras record what the speedup floor needs: the partition
-   count, how many workers the machine actually granted, and the window
-   count (virtual span / lookahead — the barrier overhead driver). *)
+   count, how many workers the machine actually granted, the cores it
+   could have granted, and the window count (virtual span / lookahead —
+   the barrier overhead driver). *)
 let epidemic_par_run ~domains ~parts ~n ~seed () =
   let fab = Fabric.create ~seed ~hosts:n ~parts () in
   let graph_rng = Rng.split (Engine.rng (Fabric.engine fab 0)) in
@@ -172,6 +173,7 @@ let epidemic_par_run ~domains ~parts ~n ~seed () =
         ("coverage", Float.of_int !covered /. Float.of_int n);
         ("domains", Float.of_int domains);
         ("workers", Float.of_int (Dpool.effective (min domains parts)));
+        ("cores", Float.of_int (Pool.default_jobs ()));
         ("windows", Float.of_int info.Par.windows);
       ];
   }

@@ -469,7 +469,24 @@ let profile_cmd_info =
 
 (* {1 splay top} *)
 
-let top_cmd metric k prom path =
+let top_cmd metric k prom slo path =
+  let slo =
+    match slo with
+    | None -> None
+    | Some spec -> (
+        match String.rindex_opt spec ':' with
+        | Some i when i > 0 && i < String.length spec - 1 -> (
+            let m = String.sub spec 0 i in
+            let thr = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match float_of_string_opt thr with
+            | Some t -> Some (m, t)
+            | None ->
+                Printf.eprintf "splay top: --slo threshold %S is not a number\n" thr;
+                exit 1)
+        | _ ->
+            Printf.eprintf "splay top: --slo expects METRIC:THRESHOLD, got %S\n" spec;
+            exit 1)
+  in
   let m =
     try Metrics_analysis.load_file path
     with Sys_error msg ->
@@ -481,7 +498,7 @@ let top_cmd metric k prom path =
     exit 1
   end;
   if prom then print_string (Metrics_analysis.prometheus m)
-  else Metrics_analysis.print_top ?metric ~k m
+  else Metrics_analysis.print_top ?metric ~k ?slo m
 
 let top_term =
   (* [string], not [file]: a missing path must be our clean exit-1 error,
@@ -507,13 +524,151 @@ let top_term =
             "Emit the whole-run totals in Prometheus text exposition format instead of the \
              per-window dashboard.")
   in
-  Term.(const top_cmd $ metric $ k $ prom $ path)
+  let slo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"METRIC:THRESHOLD"
+          ~doc:
+            "Add a violation-rate column: the share of $(i,METRIC)'s observations per window \
+             (and whole-run) above $(i,THRESHOLD), interpolated from the rendered quantiles \
+             (e.g. rpc.latency:0.25).")
+  in
+  Term.(const top_cmd $ metric $ k $ prom $ slo $ path)
 
 let top_cmd_info =
   Cmd.info "top"
     ~doc:
       "Render a metrics-plane dump (splay run --metrics-out=FILE): per-window global rates and \
        latency percentiles, cumulative summaries, and splayctl job-status rows."
+
+(* {1 splay serve} *)
+
+module Serve_h = Splay_serve.Harness
+module Serve_load = Splay_serve.Load
+
+let serve_cmd target nodes gateways serve_cost rates duration clients keys batching p2c admission
+    all_on parts domains jobs seed =
+  if rates = [] then begin
+    Printf.eprintf "splay serve: --rates expects at least one offered rate\n";
+    exit 1
+  end;
+  let scenario =
+    {
+      Serve_h.default with
+      Serve_h.nodes;
+      gateways;
+      target;
+      serve_cost;
+      batching;
+      p2c;
+      admission;
+      load = { Serve_load.default with Serve_load.clients; keys; duration };
+    }
+  in
+  let scenario = if all_on then Serve_h.all_on scenario else scenario in
+  let mode = if parts > 1 then Serve_h.Fab { parts; domains } else Serve_h.Seq in
+  let step rate = Serve_h.run ~mode scenario ~seed ~rate in
+  let results =
+    (* a Fabric step owns the worker-domain pool, so the offered-load
+       steps only fan out across --jobs in sequential mode *)
+    match mode with
+    | Serve_h.Seq -> Pool.map ~jobs step rates
+    | Serve_h.Fab _ -> List.map step rates
+  in
+  Printf.printf "%d nodes, %d gateways, %d virtual clients, %s target%s%s\n" scenario.Serve_h.nodes
+    (min scenario.Serve_h.gateways scenario.Serve_h.nodes)
+    clients
+    (match target with Serve_h.Dht -> "dht" | Serve_h.Web -> "web")
+    (match mode with
+    | Serve_h.Seq -> ""
+    | Serve_h.Fab { parts; domains } -> Printf.sprintf ", %d partitions on %d domains" parts domains)
+    (let on =
+       List.filter_map
+         (fun (name, v) -> if v then Some name else None)
+         [
+           ("batching", scenario.Serve_h.batching);
+           ("p2c", scenario.Serve_h.p2c);
+           ("admission", scenario.Serve_h.admission);
+         ]
+     in
+     if on = [] then ", baseline" else ", " ^ String.concat "+" on);
+  Printf.printf "  %9s %9s %9s %7s %7s %7s %9s %9s %9s %8s %8s\n" "rate" "offered" "ok" "miss"
+    "shed" "failed" "p50" "p99" "p999" "sshed" "batched";
+  List.iter
+    (fun r ->
+      Printf.printf "  %9.1f %9d %9d %7d %7d %7d %9.4f %9.4f %9.4f %8d %8d\n" r.Serve_h.r_rate
+        r.Serve_h.offered r.Serve_h.ok r.Serve_h.misses r.Serve_h.shed r.Serve_h.failed
+        r.Serve_h.p50 r.Serve_h.p99 r.Serve_h.p999 r.Serve_h.server_shed r.Serve_h.batched)
+    results
+
+let serve_target_conv = Arg.enum [ ("dht", Serve_h.Dht); ("web", Serve_h.Web) ]
+
+let serve_term =
+  let target =
+    Arg.(
+      value & opt serve_target_conv Serve_h.Dht
+      & info [ "target" ] ~docv:"APP" ~doc:"Serving application: $(b,dht) or $(b,web).")
+  in
+  let nodes = Arg.(value & opt int 1_000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Overlay size.") in
+  let gateways =
+    Arg.(
+      value & opt int 32
+      & info [ "gateways" ] ~docv:"N" ~doc:"Nodes accepting client requests.")
+  in
+  let serve_cost =
+    Arg.(
+      value & opt float 0.002
+      & info [ "serve-cost" ] ~docv:"S" ~doc:"Owner-side service time per request, seconds.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) [ 500.0; 1000.0; 2000.0 ]
+      & info [ "rates" ] ~docv:"R,R,..." ~doc:"Offered-load steps, requests/second.")
+  in
+  let duration =
+    Arg.(value & opt float 30.0 & info [ "d"; "duration" ] ~docv:"S" ~doc:"Offered load per step, seconds.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 100_000
+      & info [ "clients" ] ~docv:"N" ~doc:"Virtual client population (O(1) words each).")
+  in
+  let keys = Arg.(value & opt int 1_000 & info [ "keys" ] ~docv:"N" ~doc:"Key-space size (Zipf popularity).") in
+  let batching = Arg.(value & flag & info [ "batching" ] ~doc:"Coalesce same-key gets at the owner.") in
+  let p2c = Arg.(value & flag & info [ "p2c" ] ~doc:"Power-of-two-choices replica selection.") in
+  let admission =
+    Arg.(value & flag & info [ "admission" ] ~doc:"Token-bucket + SLO-budget shedding at the owner.")
+  in
+  let all_on = Arg.(value & flag & info [ "all-on" ] ~doc:"Enable batching, p2c and admission together.") in
+  let parts =
+    Arg.(
+      value & opt int 1
+      & info [ "parts" ] ~docv:"N"
+          ~doc:"Partition the deployment for the parallel engine ($(b,1) = sequential).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for a partitioned run.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~doc:"Run offered-load steps on this many domains (sequential mode).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.") in
+  Term.(
+    const serve_cmd $ target $ nodes $ gateways $ serve_cost $ rates $ duration $ clients $ keys
+    $ batching $ p2c $ admission $ all_on $ parts $ domains $ jobs $ seed)
+
+let serve_cmd_info =
+  Cmd.info "serve"
+    ~doc:
+      "Open-loop serving benchmark: drive a simulated overlay's DHT store or web cache with \
+       Zipf-popularity traffic from compact virtual clients and print coordinated-omission-free \
+       latency percentiles per offered-load step."
 
 (* {1 splay live ...} *)
 
@@ -894,6 +1049,7 @@ let () =
         Cmd.v check_cmd_info check_term;
         Cmd.v profile_cmd_info profile_term;
         Cmd.v top_cmd_info top_term;
+        Cmd.v serve_cmd_info serve_term;
         live_cmds;
         trace_cmds;
       ]

@@ -51,7 +51,7 @@ let () =
               | _, `Miss, d ->
                   incr misses;
                   Dist.add delay_miss d
-              | _, `Failed, _ -> incr failed)
+              | _, (`Failed | `Shed), _ -> incr failed)
         done;
         (* inject a failure every other minute; the maintainer heals it *)
         if minute mod 2 = 0 then begin

@@ -3,28 +3,75 @@ module Rpc = Splay_runtime.Rpc
 module Env = Splay_runtime.Env
 module Crypto = Splay_runtime.Crypto
 module Sandbox = Splay_runtime.Sandbox
+module Rng = Splay_sim.Rng
+module Ivar = Splay_sim.Ivar
 
 type config = {
   replicas : int;
   republish_interval : float;
   entry_ttl : float;
   rpc_timeout : float;
+  serve_cost : float;
+  batching : bool;
+  p2c : bool;
+  admission : bool;
+  token_rate : float;
+  token_burst : float;
+  slo_budget : float;
 }
 
 let default_config =
-  { replicas = 3; republish_interval = 30.0; entry_ttl = 120.0; rpc_timeout = 10.0 }
+  {
+    replicas = 3;
+    republish_interval = 30.0;
+    entry_ttl = 120.0;
+    rpc_timeout = 10.0;
+    serve_cost = 0.0;
+    batching = false;
+    p2c = false;
+    admission = false;
+    token_rate = 2000.0;
+    token_burst = 64.0;
+    slo_budget = 0.25;
+  }
 
 type entry = { value : string; mutable refreshed_at : float }
+
+(* One unit of owner-side work. A [Fetch] carries every reader waiting on
+   the key: under [batching], concurrent gets for the same key coalesce
+   into one service slot and the reply fans out to all of them. *)
+type job =
+  | Store of { key : string; value : string; done_ : unit Ivar.t }
+  | Fetch of { key : string; waiters : string option Ivar.t list ref }
 
 type t = {
   cfg : config;
   p : Pastry.node;
   env : Env.t;
   store : (string, entry) Hashtbl.t;
+  (* owner-side serving state (active only when [serve_cost > 0]) *)
+  queue : job Queue.t;
+  mutable worker : bool;
+  inflight : (string, string option Ivar.t list ref) Hashtbl.t;
+  mutable tokens : float;
+  mutable refilled_at : float;
+  (* client-side replica selection state *)
+  ewma : (int, float) Hashtbl.t;
+  mutable rtt_hint : (Addr.t -> float option) option;
+  c_rng : Rng.t;
+  (* serving counters (observability) *)
+  mutable n_served : int;
+  mutable n_shed : int;
+  mutable n_batched : int;
 }
 
 let stored_entries t = Hashtbl.length t.store
 let stored_bytes t = Hashtbl.fold (fun _ e acc -> acc + String.length e.value) t.store 0
+let served_count t = t.n_served
+let shed_count t = t.n_shed
+let batched_count t = t.n_batched
+let queue_depth t = Queue.length t.queue
+let set_rtt_estimator t f = t.rtt_hint <- Some f
 
 let now t = Env.now t.env
 
@@ -43,6 +90,11 @@ let store_local t ~key ~value =
    with Sandbox.Violation _ -> ());
   Hashtbl.replace t.store key { value; refreshed_at = now t }
 
+(* Warm-start insertion for benches that place replicas directly from the
+   full membership instead of routing [replicas * keys] puts through the
+   overlay first. *)
+let preload t ~key ~value = store_local t ~key ~value
+
 let fetch_local t ~key =
   match Hashtbl.find_opt t.store key with
   | Some e when now t -. e.refreshed_at <= t.cfg.entry_ttl -> Some e.value
@@ -59,14 +111,131 @@ let delete_local t ~key =
       Sandbox.free t.env.Env.sandbox (String.length e.value)
   | None -> ()
 
+(* {2 Owner-side serving fast path}
+
+   With [serve_cost > 0] every store/fetch costs service time at the
+   owner, so requests queue. The queue is drained by a single worker
+   fiber, spawned lazily on the empty->nonempty transition and exiting
+   when the queue drains — an idle owner holds no live fiber and the
+   engine's event queue empties cleanly at end of run.
+
+   Admission control ([admission]) sheds work at enqueue time with a
+   distinguished fast-reject reply instead of letting the queue grow
+   without bound: a token bucket caps the sustained accept rate, and the
+   queue-delay budget ([slo_budget]) rejects requests that would wait
+   longer than the SLO even if accepted — overload degrades into fast
+   rejects the client can retry elsewhere, not into collapse. *)
+
+let admit t =
+  if not t.cfg.admission then true
+  else begin
+    let n = now t in
+    t.tokens <-
+      Float.min t.cfg.token_burst (t.tokens +. ((n -. t.refilled_at) *. t.cfg.token_rate));
+    t.refilled_at <- n;
+    let backlog = Float.of_int (Queue.length t.queue) *. t.cfg.serve_cost in
+    if t.tokens >= 1.0 && backlog <= t.cfg.slo_budget then begin
+      t.tokens <- t.tokens -. 1.0;
+      true
+    end
+    else begin
+      t.n_shed <- t.n_shed + 1;
+      false
+    end
+  end
+
+let service_pause t =
+  let m =
+    Testbed.service_mult (Net.testbed t.env.Env.net) (Pastry.self_node t.p).Node.addr.Addr.host
+  in
+  Env.sleep (t.cfg.serve_cost *. m)
+
+let rec drain t =
+  match Queue.take_opt t.queue with
+  | None -> t.worker <- false
+  | Some job ->
+      (match job with
+      | Fetch { key; waiters } ->
+          (* unhook before the service pause: gets arriving while this one
+             is in service start the next batch rather than missing the
+             reply fan-out *)
+          Hashtbl.remove t.inflight key;
+          service_pause t;
+          let v = fetch_local t ~key in
+          let ws = !waiters in
+          let k = List.length ws in
+          t.n_served <- t.n_served + k;
+          if k > 1 then t.n_batched <- t.n_batched + (k - 1);
+          List.iter (fun iv -> Ivar.fill iv v) ws
+      | Store { key; value; done_ } ->
+          service_pause t;
+          store_local t ~key ~value;
+          t.n_served <- t.n_served + 1;
+          Ivar.fill done_ ());
+      drain t
+
+let kick t =
+  if not t.worker then begin
+    t.worker <- true;
+    ignore (Env.thread t.env ~name:"kv-worker" (fun () -> drain t))
+  end
+
+(* Blocking enqueue of a fetch; [`Shed] is the fast-reject path. *)
+let queue_fetch t ~key =
+  match (if t.cfg.batching then Hashtbl.find_opt t.inflight key else None) with
+  | Some ws ->
+      (* coalesce: ride the already-queued service slot for this key *)
+      let iv = Ivar.create () in
+      ws := iv :: !ws;
+      `Value (Ivar.read iv)
+  | None ->
+      if not (admit t) then `Shed
+      else begin
+        let iv = Ivar.create () in
+        let ws = ref [ iv ] in
+        if t.cfg.batching then Hashtbl.replace t.inflight key ws;
+        Queue.push (Fetch { key; waiters = ws }) t.queue;
+        kick t;
+        `Value (Ivar.read iv)
+      end
+
+let queue_store t ~key ~value =
+  if not (admit t) then `Shed
+  else begin
+    let iv = Ivar.create () in
+    Queue.push (Store { key; value; done_ = iv }) t.queue;
+    kick t;
+    Ivar.read iv;
+    `Stored
+  end
+
+(* {2 Client-side operations} *)
+
 (* Route to the owner of one replica and run an operation there. *)
 let with_owner t ~key i f =
   match Pastry.lookup t.p (replica_id t ~key i) with
   | None -> None
   | Some (owner, _) -> f owner
 
-let put t ~key ~value =
-  let acks = ref 0 in
+(* EWMA of observed fetch round-trips per host — the fallback latency
+   estimate for power-of-two-choices when no coordinate hook is set. An
+   unknown host estimates 0 so fresh replicas get explored. *)
+let observe_rtt t addr dt =
+  let v =
+    match Hashtbl.find_opt t.ewma addr.Addr.host with
+    | None -> dt
+    | Some p -> (0.8 *. p) +. (0.2 *. dt)
+  in
+  Hashtbl.replace t.ewma addr.Addr.host v
+
+let estimate t addr =
+  let ewma () = Option.value ~default:0.0 (Hashtbl.find_opt t.ewma addr.Addr.host) in
+  match t.rtt_hint with
+  | Some f -> ( match f addr with Some r -> r | None -> ewma ())
+  | None -> ewma ()
+
+let put_r t ~key ~value =
+  let acks = ref 0 and sheds = ref 0 in
   for i = 0 to t.cfg.replicas - 1 do
     ignore
       (with_owner t ~key i (fun owner ->
@@ -80,6 +249,11 @@ let put t ~key ~value =
                Rpc.a_call t.env owner.Node.addr ~timeout:t.cfg.rpc_timeout "kv.store"
                  [ Codec.String key; Codec.String value ]
              with
+             | Ok (Codec.Bool false) ->
+                 (* shed by admission control: no ack, but the owner is
+                    healthy — do not feed the failure detector *)
+                 incr sheds;
+                 None
              | Ok _ ->
                  incr acks;
                  Some ()
@@ -87,29 +261,91 @@ let put t ~key ~value =
                  Pastry.report_failure t.p owner;
                  None))
   done;
-  !acks
+  (!acks, !sheds)
 
-let get t ~key =
-  let rec try_replica i =
-    if i >= t.cfg.replicas then None
-    else
-      let found =
-        with_owner t ~key i (fun owner ->
-            if Node.equal owner (Pastry.self_node t.p) then fetch_local t ~key
-            else
-              match
-                Rpc.a_call t.env owner.Node.addr ~timeout:t.cfg.rpc_timeout "kv.fetch"
-                  [ Codec.String key ]
-              with
-              | Ok (Codec.String v) -> Some v
-              | Ok _ -> None
-              | Error _ ->
-                  Pastry.report_failure t.p owner;
-                  None)
-      in
-      match found with Some v -> Some v | None -> try_replica (i + 1)
+let put t ~key ~value = fst (put_r t ~key ~value)
+
+(* Fetch from one resolved owner. A shed reply arrives fast but signals
+   overload: it is penalized in the EWMA by a full SLO budget so
+   power-of-two-choices steers the next draws away from the hot node. *)
+let fetch_from_r t ~key owner =
+  if Node.equal owner (Pastry.self_node t.p) then
+    match fetch_local t ~key with Some v -> `Value v | None -> `Miss
+  else begin
+    let t0 = now t in
+    match
+      Rpc.a_call t.env owner.Node.addr ~timeout:t.cfg.rpc_timeout "kv.fetch"
+        [ Codec.String key ]
+    with
+    | Ok (Codec.String v) ->
+        observe_rtt t owner.Node.addr (now t -. t0);
+        `Value v
+    | Ok (Codec.Bool false) ->
+        observe_rtt t owner.Node.addr (now t -. t0 +. t.cfg.slo_budget);
+        `Shed
+    | Ok _ ->
+        observe_rtt t owner.Node.addr (now t -. t0);
+        `Miss
+    | Error _ ->
+        Pastry.report_failure t.p owner;
+        `Miss
+  end
+
+let get_r t ~key =
+  let r = t.cfg.replicas in
+  (* a shed anywhere along the fallback chain marks the final verdict:
+     "no value" because of overload reads differently from a clean miss *)
+  let shed = ref false in
+  let fetch_from t ~key owner =
+    match fetch_from_r t ~key owner with
+    | `Value v -> Some v
+    | `Shed ->
+        shed := true;
+        None
+    | `Miss -> None
   in
-  try_replica 0
+  (* sequential fallback over replicas not yet tried *)
+  let rec scan i tried =
+    if i >= r then None
+    else if List.mem i tried then scan (i + 1) tried
+    else
+      match with_owner t ~key i (fun owner -> fetch_from t ~key owner) with
+      | Some v -> Some v
+      | None -> scan (i + 1) tried
+  in
+  let verdict = function
+    | Some v -> `Value v
+    | None -> if !shed then `Shed else `Miss
+  in
+  verdict
+  @@
+  if t.cfg.p2c && r >= 2 then begin
+    (* sample two distinct replicas, resolve their owners, fetch from the
+       estimated-closer / less-loaded one first *)
+    let i = Rng.int t.c_rng r in
+    let j = (i + 1 + Rng.int t.c_rng (r - 1)) mod r in
+    let resolve i = with_owner t ~key i (fun o -> Some o) in
+    match (resolve i, resolve j) with
+    | Some a, Some b -> (
+        let est n =
+          if Node.equal n (Pastry.self_node t.p) then 0.0 else estimate t n.Node.addr
+        in
+        let first, second = if est b < est a then (b, a) else (a, b) in
+        match fetch_from t ~key first with
+        | Some v -> Some v
+        | None -> (
+            match fetch_from t ~key second with
+            | Some v -> Some v
+            | None -> scan 0 [ i; j ]))
+    | Some a, None -> (
+        match fetch_from t ~key a with Some v -> Some v | None -> scan 0 [ i ])
+    | None, Some b -> (
+        match fetch_from t ~key b with Some v -> Some v | None -> scan 0 [ j ])
+    | None, None -> scan 0 [ i; j ]
+  end
+  else scan 0 []
+
+let get t ~key = match get_r t ~key with `Value v -> Some v | `Shed | `Miss -> None
 
 let delete t ~key =
   let acks = ref 0 in
@@ -147,17 +383,50 @@ let republish t =
 
 let create ?(config = default_config) p =
   let env = Pastry.node_env p in
-  let t = { cfg = config; p; env; store = Hashtbl.create 32 } in
+  let t =
+    {
+      cfg = config;
+      p;
+      env;
+      store = Hashtbl.create 32;
+      queue = Queue.create ();
+      worker = false;
+      inflight = Hashtbl.create 16;
+      tokens = config.token_burst;
+      refilled_at = 0.0;
+      ewma = Hashtbl.create 16;
+      rtt_hint = None;
+      (* private stream derived from the node id, not split from env_rng:
+         enabling p2c must not perturb any other component's draws *)
+      c_rng = Rng.create ((Pastry.self_node p).Node.id lxor 0x2C00B5);
+      n_served = 0;
+      n_shed = 0;
+      n_batched = 0;
+    }
+  in
+  let serving = config.serve_cost > 0.0 in
   Rpc.add_handler env "kv.store" (fun args ->
       match args with
       | [ Codec.String key; Codec.String value ] ->
-          store_local t ~key ~value;
-          Codec.Null
+          if serving then
+            match queue_store t ~key ~value with
+            | `Stored -> Codec.Null
+            | `Shed -> Codec.Bool false
+          else begin
+            store_local t ~key ~value;
+            Codec.Null
+          end
       | _ -> failwith "kv.store: bad arguments");
   Rpc.add_handler env "kv.fetch" (fun args ->
       match args with
-      | [ Codec.String key ] -> (
-          match fetch_local t ~key with Some v -> Codec.String v | None -> Codec.Null)
+      | [ Codec.String key ] ->
+          if serving then
+            match queue_fetch t ~key with
+            | `Value (Some v) -> Codec.String v
+            | `Value None -> Codec.Null
+            | `Shed -> Codec.Bool false
+          else (
+            match fetch_local t ~key with Some v -> Codec.String v | None -> Codec.Null)
       | _ -> failwith "kv.fetch: bad arguments");
   Rpc.add_handler env "kv.delete" (fun args ->
       match args with
@@ -165,5 +434,6 @@ let create ?(config = default_config) p =
           delete_local t ~key;
           Codec.Null
       | _ -> failwith "kv.delete: bad arguments");
-  ignore (Env.periodic env config.republish_interval (fun () -> republish t));
+  if config.republish_interval > 0.0 then
+    ignore (Env.periodic env config.republish_interval (fun () -> republish t));
   t

@@ -228,8 +228,8 @@ and handle_route t args =
   match args with
   | [ key; hops ] -> (
       if t.cfg.per_hop_overhead > 0.0 then begin
-        let h = Testbed.host (Net.testbed t.env.Env.net) t.self.Node.addr.Addr.host in
-        Env.sleep (t.cfg.per_hop_overhead *. h.Testbed.service_mult)
+        let m = Testbed.service_mult (Net.testbed t.env.Env.net) t.self.Node.addr.Addr.host in
+        Env.sleep (t.cfg.per_hop_overhead *. m)
       end;
       match route t (Codec.to_int key) ~hops:(Codec.to_int hops) with
       | Some (n, h) -> Codec.Assoc [ ("node", Node.to_value n); ("hops", Codec.Int h) ]
@@ -322,6 +322,20 @@ let stabilize t =
         if not (Rpc.ping t.env ~timeout:t.cfg.rpc_timeout n.Node.addr) then suspect t n
       done
 
+let serve t =
+  Rpc.server t.env
+    [
+      ("p.route", handle_route t);
+      ("p.join", handle_join t);
+      ("p.leafset", fun _ -> Codec.List (List.map Node.to_value (t.self :: leafset t)));
+      ( "p.announce",
+        fun args ->
+          (match args with
+          | [ nv ] -> learn t (Node.of_value nv)
+          | _ -> failwith "p.announce: bad arguments");
+          Codec.Null );
+    ]
+
 let app ?(config = default_config) ~register env =
   if config.bits mod config.b <> 0 then invalid_arg "Pastry: bits must be a multiple of b";
   let self = Node.self ~how:config.id_assignment ~bits:config.bits env in
@@ -341,23 +355,79 @@ let app ?(config = default_config) ~register env =
     }
   in
   register t;
-  Rpc.server env
-    [
-      ("p.route", handle_route t);
-      ("p.join", handle_join t);
-      ("p.leafset", fun _ -> Codec.List (List.map Node.to_value (t.self :: leafset t)));
-      ( "p.announce",
-        fun args ->
-          (match args with
-          | [ nv ] -> learn t (Node.of_value nv)
-          | _ -> failwith "p.announce: bad arguments");
-          Codec.Null );
-    ];
+  serve t;
   ignore (Env.periodic env config.stabilize_interval (fun () -> stabilize t));
   Env.sleep (Float.of_int env.Env.position *. config.join_delay_per_position);
   match env.Env.nodes with
   | rendezvous :: _ when env.Env.position > 1 -> join t (Node.make ~id:0 ~addr:rendezvous)
   | _ -> ()
+
+(* Warm start, mirroring [Chord.assemble]: build the converged routing
+   state directly from the full membership instead of running O(n)
+   serialized joins plus stabilization rounds. The leafset halves are the
+   [leaf_size/2] nearest ring neighbours on each side; routing-table slot
+   (row [r], column [c]) covers ids sharing self's top [r] digits with
+   digit [c] next, so it gets the first ring member inside that id range
+   (binary search) — a fixed point of [learn] modulo proximity
+   tie-breaking, which only affects locality, not correctness. No
+   periodic processes are started and no [Sandbox] accounting is done:
+   the assembled ring exists to serve application traffic (the DHT store,
+   the web cache) at node counts where join-protocol convergence is the
+   dominant — and irrelevant — cost. *)
+let assemble ?(config = default_config) ~register ~ring ~index env =
+  if config.bits mod config.b <> 0 then invalid_arg "Pastry: bits must be a multiple of b";
+  let n = Array.length ring in
+  if n = 0 then invalid_arg "Pastry.assemble: empty ring";
+  if index < 0 || index >= n then invalid_arg "Pastry.assemble: index out of range";
+  let self = ring.(index) in
+  let half = min (config.leaf_size / 2) (n - 1) in
+  let right = List.init half (fun k -> ring.((index + k + 1) mod n)) in
+  let left = List.init half (fun k -> ring.((index + n - k - 1) mod n)) in
+  (* first ring member with id >= key, or None past the top (no wrap:
+     table ranges never cross zero) *)
+  let first_at_or_after key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ring.(mid).Node.id < key then lo := mid + 1 else hi := mid
+    done;
+    if !lo = n then None else Some ring.(!lo)
+  in
+  let nd = digits config in
+  let cols = 1 lsl config.b in
+  let table =
+    Array.init nd (fun r ->
+        let span = config.bits - (config.b * (r + 1)) in
+        let prefix = self.Node.id lsr (span + config.b) in
+        let own = (self.Node.id lsr span) land (cols - 1) in
+        Array.init cols (fun c ->
+            if c = own then None
+            else
+              let base = ((prefix lsl config.b) lor c) lsl span in
+              match first_at_or_after base with
+              | Some m when m.Node.id < base + (1 lsl span) -> Some m
+              | Some _ | None -> None))
+  in
+  let t =
+    {
+      cfg = config;
+      env;
+      self;
+      left;
+      right;
+      table;
+      misses = Hashtbl.create 16;
+      dead = Hashtbl.create 16;
+      n_suspected = 0;
+      bootstrap = None;
+      (* private stream derived from the id, not split from [env_rng]:
+         assemble must not perturb the env's stream relative to runs that
+         don't use it *)
+      p_rng = Rng.create (self.Node.id lxor 0x7A57E1);
+    }
+  in
+  register t;
+  serve t
 
 (* {2 Hooks for layered applications} *)
 

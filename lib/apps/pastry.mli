@@ -30,6 +30,18 @@ type node
 
 val app : ?config:config -> register:(node -> unit) -> Env.t -> unit
 
+val assemble :
+  ?config:config -> register:(node -> unit) -> ring:Node.t array -> index:int -> Env.t -> unit
+(** Warm-start this instance at position [index] of an already-converged
+    overlay: [ring] is the complete membership sorted by id (ids unique),
+    shared read-only across instances. Leafset halves are the nearest
+    [leaf_size/2] ring neighbours per side and every routing-table slot
+    is filled with a member of its prefix range when one exists, so
+    routing behaves as after full convergence; the same RPC surface as
+    {!app} is bound. No join traffic, no periodic maintenance — the form
+    used by serving benchmarks at node counts where running the join
+    protocol to convergence is infeasible. *)
+
 val id : node -> int
 val addr : node -> Addr.t
 val leafset : node -> Node.t list

@@ -4,6 +4,7 @@ module Env = Splay_runtime.Env
 module Crypto = Splay_runtime.Crypto
 module Sandbox = Splay_runtime.Sandbox
 module Rng = Splay_sim.Rng
+module Ivar = Splay_sim.Ivar
 
 type config = {
   max_entries : int;
@@ -11,10 +12,26 @@ type config = {
   origin_delay_mean : float;
   object_size : int;
   rpc_timeout : float;
+  serve_cost : float;
+  coalesce : bool;
+  admission : bool;
+  token_rate : float;
+  token_burst : float;
 }
 
 let default_config =
-  { max_entries = 100; ttl = 120.0; origin_delay_mean = 1.5; object_size = 2048; rpc_timeout = 30.0 }
+  {
+    max_entries = 100;
+    ttl = 120.0;
+    origin_delay_mean = 1.5;
+    object_size = 2048;
+    rpc_timeout = 30.0;
+    serve_cost = 0.0;
+    coalesce = false;
+    admission = false;
+    token_rate = 2000.0;
+    token_burst = 64.0;
+  }
 
 type entry = { value : string; fetched_at : float; mutable last_used : float }
 
@@ -27,6 +44,14 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evicted : int;
+  mutable origin : int;
+  mutable stale : int;
+  mutable shed : int;
+  (* in-flight origin fetches, for [coalesce]: later missers of the same
+     url wait on the first fetch instead of hammering the origin *)
+  inflight : (string, string Ivar.t) Hashtbl.t;
+  mutable tokens : float;
+  mutable refilled_at : float;
   w_rng : Rng.t;
 }
 
@@ -35,6 +60,9 @@ let home_hits t = t.hits
 let home_misses t = t.misses
 let cached_entries t = Hashtbl.length t.cache
 let evictions t = t.evicted
+let origin_fetches t = t.origin
+let stale_served t = t.stale
+let shed_count t = t.shed
 
 let now t = Env.now t.env
 
@@ -67,13 +95,41 @@ let insert t url value =
   Sandbox.alloc t.env.Env.sandbox (String.length value);
   Hashtbl.replace t.cache url { value; fetched_at = now t; last_used = now t }
 
+(* Token-bucket admission at the home node: overload answers with a fast
+   reject the client sees as [`Shed], not with an origin-fetch pile-up. *)
+let admit t =
+  if not t.cfg.admission then true
+  else begin
+    let n = now t in
+    t.tokens <-
+      Float.min t.cfg.token_burst (t.tokens +. ((n -. t.refilled_at) *. t.cfg.token_rate));
+    t.refilled_at <- n;
+    if t.tokens >= 1.0 then begin
+      t.tokens <- t.tokens -. 1.0;
+      true
+    end
+    else begin
+      t.shed <- t.shed + 1;
+      false
+    end
+  end
+
 (* Serve a request as the home node. *)
 let serve t url =
   t.served <- t.served + 1;
+  if t.cfg.serve_cost > 0.0 then begin
+    let m =
+      Testbed.service_mult (Net.testbed t.env.Env.net) (Pastry.self_node t.p).Node.addr.Addr.host
+    in
+    Env.sleep (t.cfg.serve_cost *. m)
+  end;
   match Hashtbl.find_opt t.cache url with
   | Some e when now t -. e.fetched_at <= t.cfg.ttl ->
       e.last_used <- now t;
       t.hits <- t.hits + 1;
+      (* the freshness guard above is the invariant; the counter exists so
+         the check suite can observe it never fired *)
+      if now t -. e.fetched_at > t.cfg.ttl then t.stale <- t.stale + 1;
       (e.value, true)
   | stale ->
       (match stale with
@@ -82,15 +138,36 @@ let serve t url =
           Sandbox.free t.env.Env.sandbox (String.length e.value)
       | None -> ());
       t.misses <- t.misses + 1;
-      let value = fetch_origin t url in
-      insert t url value;
+      let value =
+        match (if t.cfg.coalesce then Hashtbl.find_opt t.inflight url else None) with
+        | Some iv ->
+            (* another fiber already went to the origin for this url: ride
+               its reply (it inserts into the cache as well) *)
+            Ivar.read iv
+        | None ->
+            let iv = if t.cfg.coalesce then Some (Ivar.create ()) else None in
+            (match iv with
+            | Some iv -> Hashtbl.replace t.inflight url iv
+            | None -> ());
+            t.origin <- t.origin + 1;
+            let v = fetch_origin t url in
+            (match iv with
+            | Some iv ->
+                Hashtbl.remove t.inflight url;
+                Ivar.fill iv v
+            | None -> ());
+            insert t url v;
+            v
+      in
       (value, false)
 
 let handle_get t args =
   match args with
   | [ Codec.String url ] ->
-      let value, hit = serve t url in
-      Codec.Assoc [ ("v", Codec.String value); ("hit", Codec.Bool hit) ]
+      if not (admit t) then Codec.Bool false
+      else
+        let value, hit = serve t url in
+        Codec.Assoc [ ("v", Codec.String value); ("hit", Codec.Bool hit) ]
   | _ -> failwith "wc.get: bad arguments"
 
 let get t url =
@@ -100,14 +177,21 @@ let get t url =
   | None -> ("", `Failed, now t -. t0)
   | Some (home, _) ->
       if Node.equal home (Pastry.self_node t.p) then begin
-        let value, hit = serve t url in
-        (value, (if hit then `Hit else `Miss), now t -. t0)
+        if not (admit t) then ("", `Shed, now t -. t0)
+        else begin
+          let value, hit = serve t url in
+          (value, (if hit then `Hit else `Miss), now t -. t0)
+        end
       end
       else begin
         match
           Rpc.a_call t.env home.Node.addr ~timeout:t.cfg.rpc_timeout "wc.get"
             [ Codec.String url ]
         with
+        | Ok (Codec.Bool false) ->
+            (* admission fast-reject: the home node is healthy, just
+               overloaded — do not feed the failure detector *)
+            ("", `Shed, now t -. t0)
         | Ok v ->
             let value = Codec.to_string (Codec.member "v" v) in
             let hit = Codec.to_bool (Codec.member "hit" v) in
@@ -129,6 +213,12 @@ let create ?(config = default_config) p =
       hits = 0;
       misses = 0;
       evicted = 0;
+      origin = 0;
+      stale = 0;
+      shed = 0;
+      inflight = Hashtbl.create 8;
+      tokens = config.token_burst;
+      refilled_at = 0.0;
       w_rng = Rng.split env.Env.env_rng;
     }
   in

@@ -13,6 +13,15 @@ type config = {
   origin_delay_mean : float; (** origin fetch time, exponential (paper: 1–2 s) *)
   object_size : int; (** bytes of a fetched object *)
   rpc_timeout : float;
+  serve_cost : float;
+      (** home-node service time per request, seconds (default 0 — the
+          original behaviour) *)
+  coalesce : bool;
+      (** singleflight origin fetches: concurrent missers of one url wait
+          on the first fetch instead of each hitting the origin *)
+  admission : bool; (** token-bucket shedding at the home node *)
+  token_rate : float; (** sustained accepts per second (default 2000) *)
+  token_burst : float; (** bucket depth (default 64) *)
 }
 
 val default_config : config
@@ -21,10 +30,11 @@ type t
 
 val create : ?config:config -> Pastry.node -> t
 
-val get : t -> string -> (string * [ `Hit | `Miss | `Failed ] * float)
+val get : t -> string -> (string * [ `Hit | `Miss | `Failed | `Shed ] * float)
 (** [get t url] proxies one request: returns the object (empty on
-    [`Failed]), whether the home node had it cached, and the experienced
-    delay in simulated seconds. Blocking. *)
+    [`Failed] and [`Shed]), whether the home node had it cached, and the
+    experienced delay in simulated seconds. [`Shed] is an admission-control
+    fast reject from a healthy but overloaded home node. Blocking. *)
 
 (** Counters for the figure series. *)
 
@@ -35,3 +45,14 @@ val home_hits : t -> int
 val home_misses : t -> int
 val cached_entries : t -> int
 val evictions : t -> int
+
+val origin_fetches : t -> int
+(** Actual origin-server fetches (with [coalesce] this stays at or below
+    {!home_misses}: coalesced missers share one fetch). *)
+
+val stale_served : t -> int
+(** Cache hits served past their TTL — 0 by construction; the check suite
+    pins it. *)
+
+val shed_count : t -> int
+(** Requests fast-rejected by admission control at this home node. *)

@@ -496,6 +496,270 @@ let epidemic_run ~seed ~nemesis ~perturb =
     o_crashes = crashes;
   }
 
+(* {2 dht-store — the replicated store serves what the single writer wrote}
+
+   Pastry with Dht_store layered on top, a single writer bumping one
+   version per key per round while crashes and partitions land, then a
+   quiescent read-back. Replication (3 copies at salted owners) plus
+   republish-driven migration is what the oracles hold to account: a
+   read may be stale (an old version from a lagging replica) but never
+   fabricated, and an acknowledged key may be lost only rarely — a crash
+   can eat at most one wave of replicas before republish re-spreads it. *)
+
+let dht_store_nodes = 16
+let dht_store_keys = 10
+let dht_store_rounds = 4
+
+let dht_store_gen rng =
+  (* the crash window stretches past the last write round, so some trials
+     probe pure durability (no rewrite can repair the damage, only the
+     replica spread and republish migration can) *)
+  let ops = [ Nemesis.Crash { at = 10.0 +. Rng.float rng 50.0; count = 1 + Rng.int rng 2 } ] in
+  if Rng.chance rng 0.4 then
+    ops
+    @ [
+        Nemesis.Partition
+          { at = 15.0 +. Rng.float rng 10.0; until = 45.0 +. Rng.float rng 15.0; groups = 2 };
+      ]
+  else ops
+
+let dht_store_run ~seed ~nemesis ~perturb =
+  let rng = check_rng seed in
+  let cfg =
+    {
+      Apps.Dht_store.default_config with
+      republish_interval = 10.0;
+      entry_ttl = 600.0;
+      rpc_timeout = 5.0;
+    }
+  in
+  let violations, crashes =
+    run_platform ~suite:"dht-store" ~seed ~perturb ~hosts:7 ~until:600_000.0 (fun eng _net ctl ->
+        let nodes = ref [] in
+        let dep =
+          Controller.deploy ctl ~name:"dht-store"
+            ~main:(Apps.Pastry.app ~config:pastry_config ~register:(fun c -> nodes := c :: !nodes))
+            (Descriptor.make ~bootstrap:(Descriptor.Head 1) dht_store_nodes)
+        in
+        Env.sleep ((Float.of_int dht_store_nodes *. 0.3) +. 120.0);
+        let stores = List.map (fun p -> (p, Apps.Dht_store.create ~config:cfg p)) !nodes in
+        let live_stores () =
+          List.filter_map
+            (fun (p, s) -> if Apps.Pastry.is_stopped p then None else Some s)
+            stores
+        in
+        ignore
+          (Env.thread (Controller.env ctl) ~name:"nemesis" (fun () ->
+               Nemesis.run ~rng ~dep nemesis));
+        (* single writer: one version per key per round, rounds riding
+           through the fault window. [written] is the ground truth for
+           no-wrong-value; [acked] (puts at least one replica took) is
+           the ground truth for no-lost. *)
+        let acked : (string, string) Hashtbl.t = Hashtbl.create 16 in
+        let written : (string, string) Hashtbl.t = Hashtbl.create 64 in
+        for round = 1 to dht_store_rounds do
+          for k = 0 to dht_store_keys - 1 do
+            let key = Printf.sprintf "k%d" k in
+            let value = Printf.sprintf "%s@v%d" key round in
+            match live_stores () with
+            | [] -> ()
+            | l ->
+                let s = List.nth l (Rng.int rng (List.length l)) in
+                Hashtbl.replace written value key;
+                if Apps.Dht_store.put s ~key ~value > 0 then Hashtbl.replace acked key value
+          done;
+          Env.sleep 12.0
+        done;
+        (* outlive the nemesis, then give republish a few intervals to
+           migrate entries onto the healed ring's owners *)
+        Env.sleep (Float.max 0.0 (Nemesis.duration nemesis -. 48.0) +. 60.0);
+        let checker = Invariant.create () in
+        let read key i =
+          match live_stores () with
+          | [] -> None
+          | l -> Apps.Dht_store.get (List.nth l ((key + i) mod List.length l)) ~key:(Printf.sprintf "k%d" key)
+        in
+        Invariant.register checker "dht.no-wrong-value" (fun () ->
+            let wrong = ref 0 and reads = ref 0 in
+            for k = 0 to dht_store_keys - 1 do
+              for i = 0 to 1 do
+                match read k i with
+                | None -> ()
+                | Some v ->
+                    incr reads;
+                    if Hashtbl.find_opt written v <> Some (Printf.sprintf "k%d" k) then incr wrong
+              done
+            done;
+            if !wrong = 0 then Ok ()
+            else
+              Error
+                (Printf.sprintf "%d of %d reads returned a value the writer never wrote" !wrong
+                   !reads));
+        Invariant.register checker "dht.no-lost" (fun () ->
+            let lost = ref 0 and acked_n = ref 0 in
+            for k = 0 to dht_store_keys - 1 do
+              if Hashtbl.mem acked (Printf.sprintf "k%d" k) then begin
+                incr acked_n;
+                if read k 0 = None && read k 1 = None then incr lost
+              end
+            done;
+            if !acked_n > 0 && !lost <= 1 then Ok ()
+            else if !acked_n = 0 then Error "no put was ever acknowledged"
+            else
+              Error
+                (Printf.sprintf "%d of %d acknowledged keys unreadable after quiescence" !lost
+                   !acked_n));
+        let vs = Invariant.eval checker ~at:(Engine.now eng) Invariant.Quiescence in
+        Controller.undeploy dep;
+        vs)
+  in
+  {
+    o_suite = "dht-store";
+    o_seed = seed;
+    o_nemesis = nemesis;
+    o_violations = violations;
+    o_crashes = crashes;
+  }
+
+(* {2 webcache — freshness and origin discipline under faults}
+
+   The cooperative cache with singleflight coalescing on, driven by
+   concurrent readers through drop/slow/crash bursts. TTL is short
+   enough that entries expire between rounds, so the expiry path runs
+   for real — and stale-beyond-TTL serves must still be exactly zero.
+   Origin fetches can never exceed home misses (coalescing only merges),
+   and once the air clears a warmed url must be served from its home
+   cache, not the origin. *)
+
+let webcache_nodes = 16
+let webcache_urls = 12
+
+let webcache_gen rng =
+  let ops = ref [] in
+  if Rng.chance rng 0.5 then
+    ops := [ Nemesis.Crash { at = 15.0 +. Rng.float rng 15.0; count = 1 } ];
+  if Rng.chance rng 0.6 then
+    ops :=
+      !ops
+      @ [
+          Nemesis.Drop
+            {
+              at = 10.0 +. Rng.float rng 10.0;
+              until = 30.0 +. Rng.float rng 15.0;
+              loss = 0.05 +. Rng.float rng 0.1;
+            };
+        ];
+  if !ops = [] || Rng.chance rng 0.4 then
+    ops :=
+      !ops
+      @ [
+          Nemesis.Slow
+            { at = 10.0; until = 40.0 +. Rng.float rng 10.0; delay = 0.1 +. Rng.float rng 0.3 };
+        ];
+  !ops
+
+let webcache_run ~seed ~nemesis ~perturb =
+  let rng = check_rng seed in
+  let cfg =
+    { Apps.Webcache.default_config with ttl = 60.0; rpc_timeout = 5.0; coalesce = true }
+  in
+  let violations, crashes =
+    run_platform ~suite:"webcache" ~seed ~perturb ~hosts:7 ~until:600_000.0 (fun eng _net ctl ->
+        let nodes = ref [] in
+        let dep =
+          Controller.deploy ctl ~name:"webcache"
+            ~main:(Apps.Pastry.app ~config:pastry_config ~register:(fun c -> nodes := c :: !nodes))
+            (Descriptor.make ~bootstrap:(Descriptor.Head 1) webcache_nodes)
+        in
+        Env.sleep ((Float.of_int webcache_nodes *. 0.3) +. 120.0);
+        let caches = List.map (fun p -> (p, Apps.Webcache.create ~config:cfg p)) !nodes in
+        let live_caches () =
+          List.filter_map
+            (fun (p, c) -> if Apps.Pastry.is_stopped p then None else Some c)
+            caches
+        in
+        ignore
+          (Env.thread (Controller.env ctl) ~name:"nemesis" (fun () ->
+               Nemesis.run ~rng ~dep nemesis));
+        (* three request waves through the fault window; each wave reads
+           every url from two origins concurrently, so same-url misses
+           actually race and the coalescing path runs *)
+        let url u = Printf.sprintf "u%d" u in
+        for round = 0 to 2 do
+          let pending = ref 0 in
+          (match live_caches () with
+          | [] -> ()
+          | l ->
+              let arr = Array.of_list l in
+              for u = 0 to webcache_urls - 1 do
+                for i = 0 to 1 do
+                  incr pending;
+                  ignore
+                    (Env.thread (Controller.env ctl) ~name:"webcache-reader" (fun () ->
+                         Fun.protect
+                           ~finally:(fun () -> decr pending)
+                           (fun () ->
+                             ignore
+                               (Apps.Webcache.get
+                                  arr.((u + i + round) mod Array.length arr)
+                                  (url u)))))
+                done
+              done);
+          while !pending > 0 do
+            Env.sleep 1.0
+          done;
+          (* longer than the TTL: the next wave refetches expired entries *)
+          Env.sleep 65.0
+        done;
+        Env.sleep (Float.max 0.0 (Nemesis.duration nemesis -. 195.0) +. 30.0);
+        let checker = Invariant.create () in
+        let sum f = List.fold_left (fun a (_, c) -> a + f c) 0 caches in
+        Invariant.register checker "webcache.freshness" (fun () ->
+            let stale = sum Apps.Webcache.stale_served in
+            if stale = 0 then Ok ()
+            else Error (Printf.sprintf "%d hits served past their TTL" stale));
+        Invariant.register checker "webcache.origin-bounded" (fun () ->
+            let origin = sum Apps.Webcache.origin_fetches
+            and misses = sum Apps.Webcache.home_misses in
+            if origin <= misses then Ok ()
+            else
+              Error
+                (Printf.sprintf "%d origin fetches exceed %d home misses: coalescing amplified"
+                   origin misses));
+        Invariant.register checker "webcache.warm-hit" (fun () ->
+            match live_caches () with
+            | [] -> Error "no live caches left to read from"
+            | l ->
+                let arr = Array.of_list l in
+                (* warm sweep, then a measuring sweep from different
+                   origins within one TTL: home caches must serve it *)
+                for u = 0 to webcache_urls - 1 do
+                  ignore (Apps.Webcache.get arr.(u mod Array.length arr) (url u))
+                done;
+                let hits = ref 0 and failed = ref 0 in
+                for u = 0 to webcache_urls - 1 do
+                  match Apps.Webcache.get arr.((u + 1) mod Array.length arr) (url u) with
+                  | _, `Hit, _ -> incr hits
+                  | _, `Failed, _ -> incr failed
+                  | _ -> ()
+                done;
+                if !failed = 0 && !hits >= webcache_urls - 2 then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "%d/%d warmed urls served from cache, %d failed" !hits
+                       webcache_urls !failed));
+        let vs = Invariant.eval checker ~at:(Engine.now eng) Invariant.Quiescence in
+        Controller.undeploy dep;
+        vs)
+  in
+  {
+    o_suite = "webcache";
+    o_seed = seed;
+    o_nemesis = nemesis;
+    o_violations = violations;
+    o_crashes = crashes;
+  }
+
 (* {2 Registry} *)
 
 let chord =
@@ -538,6 +802,22 @@ let epidemic =
     run = epidemic_run;
   }
 
+let dht_store =
+  {
+    name = "dht-store";
+    doc = "replicated DHT store: no fabricated reads, no lost acked keys (crash/partition)";
+    gen = dht_store_gen;
+    run = dht_store_run;
+  }
+
+let webcache =
+  {
+    name = "webcache";
+    doc = "cooperative web cache: zero stale serves, bounded origin fetches, warm hits";
+    gen = webcache_gen;
+    run = webcache_run;
+  }
+
 let smoke =
   {
     name = "smoke";
@@ -546,7 +826,7 @@ let smoke =
     run = (fun ~seed ~nemesis ~perturb -> chord_ft_run ~name:"smoke" ~n:10 ~seed ~nemesis ~perturb);
   }
 
-let all = [ chord; chord_ft; pastry; rpc; epidemic; smoke ]
+let all = [ chord; chord_ft; pastry; rpc; epidemic; dht_store; webcache; smoke ]
 
 let find name =
   match name with

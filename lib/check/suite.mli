@@ -21,6 +21,13 @@
       and partition bursts; safety oracles run at checkpoints.
     - ["epidemic"] — rumor dissemination under lossy and slow links;
       eventual delivery to (almost) every live node.
+    - ["dht-store"] — the replicated key-value store over Pastry under a
+      single writer and crash/partition nemeses: reads never fabricate a
+      value the writer didn't write, acknowledged keys survive (small
+      lost tolerance while republish re-spreads replicas).
+    - ["webcache"] — the cooperative web cache with coalescing on, under
+      drop/slow/crash bursts: zero stale-beyond-TTL serves, origin
+      fetches never exceed home misses, warmed urls hit their home cache.
     - ["smoke"] — a fast, always-green chord-ft variant for CI gates. *)
 
 type outcome = {

@@ -53,6 +53,11 @@ let to_string t =
            e.node)
        t)
 
+(* The diurnal wave shared by the synthetic churn trace and the open-loop
+   serving load: a mild sinusoid around 1.0, one full cycle per [period]. *)
+let diurnal ?(amplitude = 0.15) ~period t =
+  1.0 +. (amplitude *. sin (2.0 *. Float.pi *. t /. period))
+
 (* Overnet-like availability (Bhagwan et al.): most sessions are short,
    some last hours; peers cycle on and off. We draw session/offline times
    from Weibull distributions with shape < 1 (heavy tail) and modulate the
@@ -71,7 +76,7 @@ let synthetic_overnet ?(concurrent = 600) ?(duration = 3000.0) rng =
   in
   let events = ref [] in
   let emit time node action = events := { time; node; action } :: !events in
-  let diurnal t = 1.0 +. (0.15 *. sin (2.0 *. Float.pi *. t /. duration)) in
+  let diurnal t = diurnal ~period:duration t in
   for node = 0 to total_peers - 1 do
     (* start somewhere in a virtual on/off cycle *)
     let up0 = Rng.chance rng (mean_session /. (mean_session +. mean_down)) in

@@ -19,6 +19,12 @@ val of_string : string -> t
 
 val to_string : t -> string
 
+val diurnal : ?amplitude:float -> period:float -> float -> float
+(** [diurnal ~period t] is the trace generator's arrival-rate modulation: a
+    sinusoid around 1.0 with the given [amplitude] (default 0.15), one full
+    cycle per [period]. Shared with the open-loop serving load generator so
+    simulated request waves have the same shape as simulated churn. *)
+
 val synthetic_overnet :
   ?concurrent:int -> ?duration:float -> Splay_sim.Rng.t -> t
 (** Generate an Overnet-like trace: [concurrent] (default 600) peers online

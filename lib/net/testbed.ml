@@ -313,6 +313,9 @@ let service_delay t id =
       let h = t.all.(id) in
       Rng.exponential h.host_rng ~mean:(h.slowness *. h.service_mult)
 
+let service_mult t id =
+  match t.cmp with Some _ -> 1.0 | None -> t.all.(id).service_mult
+
 let proc_cost_h h = 0.000_1 *. h.load_factor *. h.service_mult
 
 let proc_cost t id =

@@ -126,6 +126,12 @@ val service_delay : t -> Addr.host_id -> float
     probe answer): exponential with the host's [slowness] mean, scaled by
     its contention multiplier. *)
 
+val service_mult : t -> Addr.host_id -> float
+(** Contention multiplier for application service time, uniform over
+    representations: per-host record where one exists, 1.0 on
+    {!synthetic} testbeds (which model contention in the network layer
+    only). *)
+
 val proc_cost : t -> Addr.host_id -> float
 (** Per-message processing cost on this host for data-plane traffic:
     sub-millisecond, scaled by [load_factor] and [service_mult]. *)

@@ -96,6 +96,50 @@ let hist_agg rows =
   in
   { ha_n = !n; ha_sum = !sum; ha_min = !mn; ha_max = !mx; ha_q = q }
 
+(* SLO violation rate: the share of a histogram's observations above a
+   threshold, reconstructed from the rendered quantiles. The bucket
+   tables are gone by dump time, so the CDF is interpolated piecewise-
+   linearly through (min,0) (p50,.5) (p90,.9) (p99,.99) (p999,.999)
+   (max,1) — exact at the recorded points, linear between them, which is
+   as much fidelity as a merged sketch row can support. *)
+let violation_rate h ~threshold =
+  if h.ha_n = 0 then nan
+  else
+    let raw =
+      List.filter
+        (fun (x, _) -> Float.is_finite x)
+        [
+          (h.ha_min, 0.0);
+          (h.ha_q 0.5, 0.5);
+          (h.ha_q 0.9, 0.9);
+          (h.ha_q 0.99, 0.99);
+          (h.ha_q 0.999, 0.999);
+          (h.ha_max, 1.0);
+        ]
+    in
+    match raw with
+    | [] -> nan
+    | (x0, p0) :: rest ->
+        (* n-weighted quantile merging can cross neighbouring estimates
+           by epsilon; clamp the x axis monotone before interpolating *)
+        let pts =
+          List.rev
+            (List.fold_left
+               (fun acc (x, p) ->
+                 match acc with (px, _) :: _ -> (Float.max x px, p) :: acc | [] -> [ (x, p) ])
+               [ (x0, p0) ] rest)
+        in
+        let rec cdf = function
+          | [] -> 1.0
+          | [ (x, p) ] -> if threshold >= x then 1.0 else p
+          | (x1, p1) :: ((x2, p2) :: _ as tl) ->
+              if threshold < x1 then 0.0
+              else if threshold >= x2 then cdf tl
+              else if x2 <= x1 then p2
+              else p1 +. ((p2 -. p1) *. (threshold -. x1) /. (x2 -. x1))
+        in
+        1.0 -. cdf pts
+
 let metrics_of_kind t kind =
   List.sort_uniq compare
     (List.filter_map (fun r -> if r.r_kind = kind && r.r_w >= 0 then Some r.r_metric else None) t.rows)
@@ -121,7 +165,7 @@ let pick_hist t = function
       if List.mem "rpc.latency" hists then "rpc.latency"
       else match hists with m :: _ -> m | [] -> "rpc.latency")
 
-let render ?metric ?(k = 5) t =
+let render ?metric ?(k = 5) ?slo t =
   let b = Buffer.create 4096 in
   let hist = pick_hist t metric in
   let span_hi =
@@ -129,18 +173,41 @@ let render ?metric ?(k = 5) t =
   in
   Printf.bprintf b "window %gs · %d windows · %d series · virtual span [0, %g)s\n" t.window
     (List.length t.windows) (series_count t) span_hi;
-  Printf.bprintf b "percentile columns: %s\n\n" hist;
-  Printf.bprintf b "  %3s %10s %12s %12s %12s %10s %12s %12s %12s\n" "w" "t0" "msgs/s" "rpc/s"
-    "events/s" "drops/s" "p50" "p99" "p999";
+  Printf.bprintf b "percentile columns: %s\n" hist;
+  (match slo with
+  | Some (m, thr) -> Printf.bprintf b "slo column: share of %s observations over %g\n" m thr
+  | None -> ());
+  Buffer.add_char b '\n';
+  let viol_cell rows thr =
+    let h = hist_agg rows in
+    let v = violation_rate h ~threshold:thr in
+    if Float.is_nan v then "-" else Printf.sprintf "%.2f%%" (100.0 *. v)
+  in
+  Printf.bprintf b "  %3s %10s %12s %12s %12s %10s %12s %12s %12s%s\n" "w" "t0" "msgs/s" "rpc/s"
+    "events/s" "drops/s" "p50" "p99" "p999"
+    (match slo with Some _ -> Printf.sprintf " %9s" "slo-viol" | None -> "");
   List.iter
     (fun w ->
       let c name = rate_cell t (rows_of t ~w name) in
       let h = hist_agg (rows_of t ~w hist) in
-      Printf.bprintf b "  %3d %10.1f %12s %12s %12s %10s %12s %12s %12s\n" w
+      Printf.bprintf b "  %3d %10.1f %12s %12s %12s %10s %12s %12s %12s%s\n" w
         (Float.of_int w *. t.window)
         (c "net.msgs_sent") (c "rpc.calls") (c "engine.events") (c "net.dropped")
-        (cell_f (h.ha_q 0.5)) (cell_f (h.ha_q 0.99)) (cell_f (h.ha_q 0.999)))
+        (cell_f (h.ha_q 0.5)) (cell_f (h.ha_q 0.99)) (cell_f (h.ha_q 0.999))
+        (match slo with
+        | Some (m, thr) -> Printf.sprintf " %9s" (viol_cell (rows_of t ~w m) thr)
+        | None -> ""))
     t.windows;
+  (match slo with
+  | Some (m, thr) ->
+      let cum = List.filter (fun r -> r.r_w = -1 && r.r_metric = m && r.r_kind = "hist") t.rows in
+      let h = hist_agg cum in
+      if h.ha_n > 0 then
+        Printf.bprintf b "\nslo: %s over %g → %s of %d observations whole-run\n" m thr
+          (let v = violation_rate h ~threshold:thr in
+           if Float.is_nan v then "-" else Printf.sprintf "%.2f%%" (100.0 *. v))
+          h.ha_n
+  | None -> ());
   let cum = List.filter (fun r -> r.r_w = -1 && r.r_kind = "hist") t.rows in
   if cum <> [] then begin
     Printf.bprintf b "\ncumulative histograms\n";
@@ -174,7 +241,7 @@ let render ?metric ?(k = 5) t =
   end;
   Buffer.contents b
 
-let print_top ?metric ?k t = print_string (render ?metric ?k t)
+let print_top ?metric ?k ?slo t = print_string (render ?metric ?k ?slo t)
 
 (* {1 Prometheus text exposition}
 

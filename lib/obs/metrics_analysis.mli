@@ -43,14 +43,34 @@ val rows_of : t -> w:int -> string -> row list
 val metrics_of_kind : t -> string -> string list
 (** Sorted distinct metric names of the given kind with windowed rows. *)
 
-val render : ?metric:string -> ?k:int -> t -> string
+type hist_agg = {
+  ha_n : int;
+  ha_sum : float;
+  ha_min : float;
+  ha_max : float;
+  ha_q : float -> float;  (** quantile at 0.5 / 0.9 / 0.99 / 0.999 *)
+}
+
+val hist_agg : row list -> hist_agg
+(** Merge histogram rows (e.g. {!rows_of} output) into one summary. *)
+
+val violation_rate : hist_agg -> threshold:float -> float
+(** Share of the histogram's observations above [threshold], in [0, 1]:
+    the CDF interpolated piecewise-linearly through (min, 0), (p50, .5),
+    (p90, .9), (p99, .99), (p999, .999), (max, 1). [nan] when the
+    histogram is empty or carries no finite quantiles. *)
+
+val render : ?metric:string -> ?k:int -> ?slo:string * float -> t -> string
 (** The [splay top] dashboard: one line per window (t0, global msgs/s,
     rpc/s, events/s, drops/s rates, and p50/p99/p999 of [metric] —
     default [rpc.latency], falling back to the first histogram present),
     then cumulative histogram summaries and the last [k] (default 5)
-    status-note rows. Missing cells render as ["-"]. *)
+    status-note rows. Missing cells render as ["-"]. With [slo = (m,
+    threshold)] each window line gains a violation-rate column — the
+    {!violation_rate} of histogram [m] against [threshold] — plus a
+    whole-run summary line. *)
 
-val print_top : ?metric:string -> ?k:int -> t -> unit
+val print_top : ?metric:string -> ?k:int -> ?slo:string * float -> t -> unit
 (** Print {!render} on stdout. *)
 
 val prometheus : t -> string

@@ -1,0 +1,69 @@
+(** One offered-load step of the serving benchmark: warm-assembled Pastry
+    overlay, a serving application layered on every node ({!Dht_store} or
+    {!Webcache}), the key space preloaded at its replica owners, and the
+    open-loop generator of {!Load} driving it — sequentially or as one
+    deployment spread over engine partitions (Fabric / the parallel
+    engine).
+
+    Results are a pure function of [(seed, scenario, rate, parts)]: the
+    arrival schedule, the overlay, and the data placement all derive from
+    explicit seeds, and Fabric runs are byte-identical for any worker
+    count. {!to_line} renders the fixed-format row the determinism tests
+    pin. *)
+
+type target = Dht | Web
+
+type scenario = {
+  nodes : int;
+  gateways : int; (** nodes 0..gateways-1 also act as client entry points *)
+  target : target;
+  serve_cost : float; (** owner-side service seconds per request *)
+  batching : bool; (** Dht: same-key get coalescing; Web: origin singleflight *)
+  p2c : bool; (** power-of-two-choices replica selection (Dht only) *)
+  admission : bool; (** token-bucket + SLO-budget shedding at owners *)
+  token_rate : float; (** [<= 0]: auto — 90% of [1/serve_cost] *)
+  token_burst : float;
+  slo_budget : float;
+  replicas : int;
+  load : Load.config; (** [load.rate] is overridden by the step rate *)
+}
+
+val default : scenario
+
+val all_on : scenario -> scenario
+(** Every serving optimization enabled. *)
+
+type mode =
+  | Seq
+  | Fab of { parts : int; domains : int }
+      (** one deployment over [parts] engine partitions, executed on up
+          to [domains] worker domains via the parallel engine *)
+
+type result = {
+  r_rate : float; (** offered load of this step, requests/second *)
+  offered : int;
+  ok : int;
+  misses : int;
+  shed : int;
+  failed : int;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  mean_lat : float;
+  served : int; (** owner-side completions through the serving queues *)
+  server_shed : int; (** owner-side admission fast-rejects *)
+  batched : int; (** extra waiters absorbed by coalescing *)
+  origin : int; (** origin fetches (web target) *)
+  stale : int; (** stale-beyond-TTL serves — must be 0 *)
+  client_words : float; (** generator heap words per virtual client *)
+  windows : int; (** parallel-engine windows (0 for sequential) *)
+  workers : int; (** effective worker domains (1 for sequential) *)
+}
+
+val to_line : result -> string
+(** Fixed-format rendering for byte-identical determinism pins. *)
+
+val run : ?mode:mode -> scenario -> seed:int -> rate:float -> result
+(** Run one step to completion (arrivals stop at [load.duration]; the
+    engine then drains, so every arrival's latency is accounted — no
+    censoring of the slow tail). *)

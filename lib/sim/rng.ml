@@ -84,29 +84,61 @@ let sample t k xs =
 module Zipf = struct
   type rng = t
 
-  type t = { cdf : float array }
+  (* Walker/Vose alias table: rank [i+1] is drawn either directly from
+     column [i] (with probability [prob.(i)]) or via its alias. Same
+     two-array footprint as the materialized CDF this replaces, but a
+     draw is O(1) instead of an O(log n) binary search — at n = 1M the
+     CDF search walks ~20 cache-missing probes per sample, which is what
+     a million-client load generator spends most of its rng time on. *)
+  type t = { prob : float array; alias : int array }
 
   let create ~n ~s =
     if n <= 0 then invalid_arg "Zipf.create";
-    let cdf = Array.make n 0.0 in
-    let acc = ref 0.0 in
-    for r = 1 to n do
-      acc := !acc +. (1.0 /. (Float.of_int r ** s));
-      cdf.(r - 1) <- !acc
-    done;
-    let total = !acc in
+    let scaled = Array.init n (fun i -> 1.0 /. (Float.of_int (i + 1) ** s)) in
+    let total = Array.fold_left ( +. ) 0.0 scaled in
+    let k = Float.of_int n /. total in
     for i = 0 to n - 1 do
-      cdf.(i) <- cdf.(i) /. total
+      scaled.(i) <- scaled.(i) *. k
     done;
-    { cdf }
+    let prob = Array.make n 1.0 in
+    let alias = Array.init n Fun.id in
+    (* worklists as arrays with explicit tops: construction order is a
+       pure function of the weights, so tables (and every draw stream
+       derived from them) are deterministic *)
+    let small = Array.make n 0 and large = Array.make n 0 in
+    let ns = ref 0 and nl = ref 0 in
+    for i = 0 to n - 1 do
+      if scaled.(i) < 1.0 then begin
+        small.(!ns) <- i;
+        incr ns
+      end
+      else begin
+        large.(!nl) <- i;
+        incr nl
+      end
+    done;
+    while !ns > 0 && !nl > 0 do
+      decr ns;
+      let s_i = small.(!ns) in
+      let l_i = large.(!nl - 1) in
+      prob.(s_i) <- scaled.(s_i);
+      alias.(s_i) <- l_i;
+      scaled.(l_i) <- scaled.(l_i) -. (1.0 -. scaled.(s_i));
+      if scaled.(l_i) < 1.0 then begin
+        decr nl;
+        small.(!ns) <- l_i;
+        incr ns
+      end
+    done;
+    (* leftovers are 1.0 up to rounding; their aliases are never taken *)
+    { prob; alias }
 
   let draw z rng =
-    let u = float rng 1.0 in
-    (* binary search for first index with cdf >= u *)
-    let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if z.cdf.(mid) < u then lo := mid + 1 else hi := mid
-    done;
-    !lo + 1
+    let n = Array.length z.prob in
+    (* one uniform draw serves both choices: integer part picks the
+       column, fractional part decides column vs alias — the same single
+       rng consumption per sample as the CDF version had *)
+    let u = float rng (Float.of_int n) in
+    let k = Int.min (n - 1) (int_of_float u) in
+    if u -. Float.of_int k < z.prob.(k) then k + 1 else z.alias.(k) + 1
 end

@@ -70,8 +70,8 @@ module Zipf : sig
   type rng = t
 
   type t
-  (** Zipf sampler over ranks [1..n] with exponent [s], using a precomputed
-      inverse-CDF table ([O(log n)] per draw). *)
+  (** Zipf sampler over ranks [1..n] with exponent [s], using a Walker
+      alias table ([O(1)] per draw, one uniform rng draw per sample). *)
 
   val create : n:int -> s:float -> t
   val draw : t -> rng -> int

@@ -1,11 +1,10 @@
 #!/bin/sh
 # CI guard for the benchmark baselines: fail if any workload in a fresh
-# BENCH_*.json dropped below its committed floor (ops/sec) or rose above
-# its committed ceiling (resident words per node), if a guarded workload
-# is missing from the output entirely, or if the metric a bound refers to
-# is missing from that workload's line — a silently-absent key must read
-# as a regression, not as a pass. Bounds are deliberately conservative
-# (an order of magnitude off the healthy numbers) — the guard catches
+# BENCH_*.json violates a committed bound, if a guarded workload is
+# missing from the output entirely, or if the metric a bound refers to is
+# missing from that workload's line — a silently-absent key must read as
+# a regression, not as a pass. Bounds are deliberately conservative (an
+# order of magnitude off the healthy numbers) — the guard catches
 # collapses, not noise.
 #
 # Usage: scripts/check_bench_floors.sh BENCH_x.json BENCH_x.floors.json
@@ -27,114 +26,140 @@ done
 # Both files keep one workload per line ({"name": ..., "ops_per_sec": ...}),
 # so a line-oriented awk pass is enough — no JSON parser dependency.
 #
-# Besides absolute bounds, a workload may carry a relative one:
-#   "ceiling_slowdown": R, "baseline": "other_workload"
-# fails if baseline_rate / this_rate > R (jobs=1 rows only — multi-domain
-# rates are too noisy for a ratio gate). This is how the metrics-plane
-# `_obs` twins are held within a bounded overhead of their plain rows.
+# Generic bounds — FIELD names any numeric field of the bench row:
+#   "floor_FIELD": V      fails if the row's FIELD < V
+#   "ceiling_FIELD": V    fails if the row's FIELD > V
+#   "ceiling_ratio_FIELD": R, "baseline": "other_workload"
+#                         fails if this_FIELD / baseline_FIELD > R
+#                         (jobs=1 rows; this is how "all-on must beat the
+#                         baseline p99 past the knee" is floor-enforced)
 #
-# Two parallel-engine bounds:
-#   "floor_jobs2_ratio": R     fails if rate(jobs=2) / rate(jobs=1) < R —
-#                              the jobs=2 fan-out must never collapse
-#                              below its jobs=1 twin again;
+# Special bounds with their own semantics:
+#   "ceiling_slowdown": R, "baseline": "other"
+#                         fails if baseline_rate / this_rate > R
+#                         (jobs=1 rows only — multi-domain rates are too
+#                         noisy for a ratio gate); holds the `_obs`
+#                         metrics twins within a bounded overhead.
+#   "floor_jobs2_ratio": R
+#                         fails if rate(jobs=2) / rate(jobs=1) < R — the
+#                         jobs=2 fan-out must never collapse below its
+#                         jobs=1 twin again.
 #   "floor_speedup_x_per_worker": P, "floor_speedup_x_min": M
-#                              fails if the row's speedup_x field is
-#                              below max(M, P * workers). The workers
-#                              field is what the core count actually
-#                              granted, so a 4-core box must deliver
-#                              P*4 = 2x while a 1-core CI container
-#                              (where parallel speedup is physically
-#                              impossible) only has to clear the
-#                              no-collapse bound M on windowing overhead.
-awk -v FS='"' '
+#                         fails if the row's speedup_x field is below
+#                         max(M, P * workers). Gated ONLY when the row's
+#                         workers field is >= 2: the workers field is
+#                         what the core count actually granted, and on a
+#                         1-core container — where parallel speedup is
+#                         physically impossible — the row is annotated
+#                         as degenerate instead of gated (windowing
+#                         overhead is guarded separately by a plain
+#                         floor_ops_per_sec where it matters).
+awk '
+  # arr[key] = num for every "key": number pair on the line
+  function numpairs(line, arr,    pair, kv, key) {
+    delete arr
+    while (match(line, /"[A-Za-z0-9_]+": *-?[0-9][0-9.eE+-]*/)) {
+      pair = substr(line, RSTART, RLENGTH)
+      line = substr(line, RSTART + RLENGTH)
+      split(pair, kv, /": */)
+      key = kv[1]
+      sub(/^"/, "", key)
+      arr[key] = kv[2] + 0
+    }
+  }
+  function rowname(line,    s) {
+    if (match(line, /"name": *"[^"]*"/)) {
+      s = substr(line, RSTART, RLENGTH)
+      sub(/^"name": *"/, "", s)
+      sub(/"$/, "", s)
+      return s
+    }
+    return ""
+  }
   FNR == NR {
-    if ($2 == "name") {
-      n = $4
-      guarded[n] = 1
-      if (match($0, /"floor_ops_per_sec": */))
-        floor[n] = substr($0, RSTART + RLENGTH) + 0
-      if (match($0, /"ceiling_words_per_node": */))
-        ceiling[n] = substr($0, RSTART + RLENGTH) + 0
-      if (match($0, /"ceiling_slowdown": */))
-        slow[n] = substr($0, RSTART + RLENGTH) + 0
-      if (match($0, /"floor_jobs2_ratio": */))
-        j2r[n] = substr($0, RSTART + RLENGTH) + 0
-      if (match($0, /"floor_speedup_x_per_worker": */))
-        spw[n] = substr($0, RSTART + RLENGTH) + 0
-      if (match($0, /"floor_speedup_x_min": */))
-        spmin[n] = substr($0, RSTART + RLENGTH) + 0
-      if (match($0, /"baseline": *"[^"]*"/)) {
-        s = substr($0, RSTART, RLENGTH)
-        sub(/^"baseline": *"/, "", s)
-        sub(/"$/, "", s)
-        base[n] = s
-      }
+    n = rowname($0)
+    if (n == "") next
+    guarded[n] = 1
+    numpairs($0, kv)
+    for (k in kv) {
+      if (k == "floor_jobs2_ratio") j2r[n] = kv[k]
+      else if (k == "floor_speedup_x_per_worker") spw[n] = kv[k]
+      else if (k == "floor_speedup_x_min") spmin[n] = kv[k]
+      else if (k == "ceiling_slowdown") slow[n] = kv[k]
+      else if (k ~ /^ceiling_ratio_/) relc[n SUBSEP substr(k, 15)] = kv[k]
+      else if (k ~ /^floor_/) fl[n SUBSEP substr(k, 7)] = kv[k]
+      else if (k ~ /^ceiling_/) ce[n SUBSEP substr(k, 9)] = kv[k]
+    }
+    if (match($0, /"baseline": *"[^"]*"/)) {
+      s = substr($0, RSTART, RLENGTH)
+      sub(/^"baseline": *"/, "", s)
+      sub(/"$/, "", s)
+      base[n] = s
     }
     next
   }
-  $2 == "name" {
-    # jobs=1 rate of every workload (rows without a jobs field are
-    # single-domain scale rows), for the END-phase ratio checks
-    j = 1
-    if (match($0, /"jobs": */))
-      j = substr($0, RSTART + RLENGTH) + 0
-    if (j == 1 && match($0, /"ops_per_sec": */))
-      rate1[$4] = substr($0, RSTART + RLENGTH) + 0
-    if (j == 2 && match($0, /"ops_per_sec": */))
-      rate2[$4] = substr($0, RSTART + RLENGTH) + 0
-  }
-  $2 == "name" && ($4 in guarded) {
-    name = $4
+  {
+    name = rowname($0)
+    if (name == "") next
+    numpairs($0, kv)
+    j = ("jobs" in kv) ? kv["jobs"] : 1
+    # jobs=1 field values of every workload, for the END-phase ratio checks
+    if (j == 1)
+      for (k in kv) val[name SUBSEP k] = kv[k]
+    if (j == 1 && ("ops_per_sec" in kv)) rate1[name] = kv["ops_per_sec"]
+    if (j == 2 && ("ops_per_sec" in kv)) rate2[name] = kv["ops_per_sec"]
+    if (!(name in guarded)) next
     seen[name] = 1
-    if (name in floor) {
-      if (match($0, /"ops_per_sec": */)) {
-        rate = substr($0, RSTART + RLENGTH) + 0
-        if (rate < floor[name]) {
-          printf "FLOOR VIOLATION: %s ran at %.0f ops/s, floor is %.0f\n", name, rate, floor[name]
-          bad = 1
-        } else {
-          printf "floor ok:   %-18s %12.0f ops/s (floor %.0f)\n", name, rate, floor[name]
-        }
-      } else {
-        printf "FLOOR VIOLATION: %s has no ops_per_sec field in bench output\n", name
+    for (key in fl) {
+      split(key, a, SUBSEP)
+      if (a[1] != name) continue
+      f = a[2]
+      if (!(f in kv)) {
+        printf "FLOOR VIOLATION: %s has no %s field in bench output\n", name, f
         bad = 1
+      } else if (kv[f] < fl[key]) {
+        printf "FLOOR VIOLATION: %s has %s = %g, floor is %g\n", name, f, kv[f], fl[key]
+        bad = 1
+      } else {
+        printf "floor ok:   %-28s %14g %s (floor %g)\n", name, kv[f], f, fl[key]
       }
     }
-    if (name in ceiling) {
-      if (match($0, /"words_per_node": */)) {
-        words = substr($0, RSTART + RLENGTH) + 0
-        if (words > ceiling[name]) {
-          printf "CEILING VIOLATION: %s uses %.1f words/node, ceiling is %.1f\n", name, words, ceiling[name]
-          bad = 1
-        } else {
-          printf "ceiling ok: %-18s %12.1f words/node (ceiling %.1f)\n", name, words, ceiling[name]
-        }
-      } else {
-        printf "CEILING VIOLATION: %s has no words_per_node field in bench output\n", name
+    for (key in ce) {
+      split(key, a, SUBSEP)
+      if (a[1] != name) continue
+      f = a[2]
+      if (!(f in kv)) {
+        printf "CEILING VIOLATION: %s has no %s field in bench output\n", name, f
         bad = 1
+      } else if (kv[f] > ce[key]) {
+        printf "CEILING VIOLATION: %s has %s = %g, ceiling is %g\n", name, f, kv[f], ce[key]
+        bad = 1
+      } else {
+        printf "ceiling ok: %-28s %14g %s (ceiling %g)\n", name, kv[f], f, ce[key]
       }
     }
     if ((name in spw) || (name in spmin)) {
-      if (match($0, /"speedup_x": */)) {
-        sp = substr($0, RSTART + RLENGTH) + 0
-        if (match($0, /"workers": */)) {
-          w = substr($0, RSTART + RLENGTH) + 0
-          req = (name in spmin) ? spmin[name] : 0
-          pw = ((name in spw) ? spw[name] : 0) * w
-          if (pw > req) req = pw
-          if (sp < req) {
-            printf "SPEEDUP VIOLATION: %s reached %.2fx on %d workers, floor is %.2fx\n", name, sp, w, req
-            bad = 1
-          } else {
-            printf "speedup ok: %-18s %11.2fx on %d workers (floor %.2fx)\n", name, sp, w, req
-          }
-        } else {
-          printf "SPEEDUP VIOLATION: %s has no workers field in bench output\n", name
-          bad = 1
-        }
-      } else {
+      if (!("speedup_x" in kv)) {
         printf "SPEEDUP VIOLATION: %s has no speedup_x field in bench output\n", name
         bad = 1
+      } else if (!("workers" in kv)) {
+        printf "SPEEDUP VIOLATION: %s has no workers field in bench output\n", name
+        bad = 1
+      } else if (kv["workers"] < 2) {
+        printf "speedup n/a: %-27s %13.2fx on %d worker(s), %s core(s) — degenerate, not gated\n", \
+          name, kv["speedup_x"], kv["workers"], ("cores" in kv) ? sprintf("%d", kv["cores"]) : "?"
+      } else {
+        req = (name in spmin) ? spmin[name] : 0
+        pw = ((name in spw) ? spw[name] : 0) * kv["workers"]
+        if (pw > req) req = pw
+        if (kv["speedup_x"] < req) {
+          printf "SPEEDUP VIOLATION: %s reached %.2fx on %d workers, floor is %.2fx\n", \
+            name, kv["speedup_x"], kv["workers"], req
+          bad = 1
+        } else {
+          printf "speedup ok: %-28s %13.2fx on %d workers (floor %.2fx)\n", \
+            name, kv["speedup_x"], kv["workers"], req
+        }
       }
     }
   }
@@ -156,7 +181,7 @@ awk -v FS='"' '
           printf "JOBS2 VIOLATION: %s jobs=2 runs at %.2fx its jobs=1 rate, floor is %.2fx\n", n, r, j2r[n]
           bad = 1
         } else {
-          printf "jobs2 ok:   %-18s %11.2fx vs jobs=1 (floor %.2fx)\n", n, r, j2r[n]
+          printf "jobs2 ok:   %-28s %13.2fx vs jobs=1 (floor %.2fx)\n", n, r, j2r[n]
         }
       }
     }
@@ -172,7 +197,31 @@ awk -v FS='"' '
           printf "SLOWDOWN VIOLATION: %s runs %.2fx slower than %s, ceiling is %.2fx\n", n, ratio, base[n], slow[n]
           bad = 1
         } else {
-          printf "slowdown ok: %-17s %11.2fx vs %s (ceiling %.2fx)\n", n, ratio, base[n], slow[n]
+          printf "slowdown ok: %-27s %13.2fx vs %s (ceiling %.2fx)\n", n, ratio, base[n], slow[n]
+        }
+      }
+    }
+    for (key in relc) {
+      split(key, a, SUBSEP)
+      n = a[1]
+      f = a[2]
+      b = (n in base) ? base[n] : ""
+      if (b == "") {
+        printf "RATIO VIOLATION: %s has a ceiling_ratio_%s bound but no baseline field\n", n, f
+        bad = 1
+      } else if (!((n SUBSEP f) in val) || !((b SUBSEP f) in val)) {
+        printf "RATIO VIOLATION: %s or its baseline %s has no %s field in bench output\n", n, b, f
+        bad = 1
+      } else {
+        ratio = 999
+        if (val[b SUBSEP f] > 0)
+          ratio = val[n SUBSEP f] / val[b SUBSEP f]
+        if (ratio > relc[key]) {
+          printf "RATIO VIOLATION: %s %s is %.2fx its baseline %s, ceiling is %.2fx\n", \
+            n, f, ratio, b, relc[key]
+          bad = 1
+        } else {
+          printf "ratio ok:   %-28s %13.2fx %s vs %s (ceiling %.2fx)\n", n, ratio, f, b, relc[key]
         }
       }
     }

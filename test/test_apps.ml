@@ -399,6 +399,63 @@ let test_pastry_proximity_prefers_close_entries () =
     (Printf.sprintf "proximity lowers entry RTT (%.4f < %.4f)" with_prox without)
     true (with_prox < without)
 
+(* Warm start: an overlay built by [Pastry.assemble] must route every key
+   to the numerically closest id, with no periodics and no join traffic
+   — the same contract the chord assemble test pins. *)
+let test_pastry_assemble_routes_correctly () =
+  let n = 500 in
+  let config = { Apps.Pastry.default_config with bits = 16 } in
+  let md = 1 lsl 16 in
+  let eng = Engine.create ~seed:77 () in
+  let tb = Testbed.synthetic ~hosts:n (Engine.rng eng) in
+  let net = Net.create eng tb in
+  (* odd spacing: no key is ever exactly equidistant from two ids, so the
+     expected owner is unique *)
+  let spacing = md / n in
+  let ring =
+    Array.init n (fun i -> Apps.Node.make ~id:(i * spacing) ~addr:(Addr.make i 9000))
+  in
+  let nodes = Array.make n None in
+  for i = 0 to n - 1 do
+    let env = Env.create net ~me:ring.(i).Apps.Node.addr in
+    Apps.Pastry.assemble ~config ~ring ~index:i ~register:(fun p -> nodes.(i) <- Some p) env
+  done;
+  let ids = Array.to_list (Array.map (fun nd -> nd.Apps.Node.id) ring) in
+  let rng = Rng.create 5 in
+  let checked = ref 0 in
+  ignore
+    (Env.thread
+       (match nodes.(0) with
+       | Some p -> Apps.Pastry.node_env p
+       | None -> assert false)
+       ~name:"assemble-lookups"
+       (fun () ->
+         for _ = 1 to 100 do
+           let key = Rng.int rng md in
+           let origin = match nodes.(Rng.int rng n) with Some p -> p | None -> assert false in
+           match Apps.Pastry.lookup origin key with
+           | Some (owner, hops) ->
+               incr checked;
+               Alcotest.(check int) "routes to the numerically closest node"
+                 (pastry_owner ids key ~modulus:md)
+                 owner.Apps.Node.id;
+               Alcotest.(check bool) "hop count bounded by table depth" true
+                 (hops <= 2 * Apps.Pastry.digits config)
+           | None -> Alcotest.fail "lookup failed on a failure-free assembled overlay"
+         done));
+  ignore (Engine.run ~until:3600.0 eng);
+  Alcotest.(check int) "all lookups ran" 100 !checked;
+  (match nodes.(3) with
+  | Some p ->
+      Alcotest.(check int) "leafset is the nearest ring neighbours"
+        config.Apps.Pastry.leaf_size
+        (List.length (Apps.Pastry.leafset p));
+      Alcotest.(check bool) "routing table populated" true
+        (List.length (Apps.Pastry.table_entries p) >= Apps.Pastry.digits config)
+  | None -> Alcotest.fail "node 3 not registered");
+  (* assembled overlays start no maintenance: the queue must drain *)
+  Alcotest.(check int) "assemble started no periodic processes" 0 (Engine.pending_events eng)
+
 (* {2 Cyclon} *)
 
 let test_cyclon_mixes () =
@@ -957,6 +1014,8 @@ let () =
           Alcotest.test_case "lookup correct" `Quick test_pastry_lookup_correct;
           Alcotest.test_case "survives churn" `Quick test_pastry_survives_churn;
           Alcotest.test_case "proximity tables" `Quick test_pastry_proximity_prefers_close_entries;
+          Alcotest.test_case "assemble routes correctly" `Quick
+            test_pastry_assemble_routes_correctly;
         ] );
       ("cyclon", [ Alcotest.test_case "mixes and stays connected" `Quick test_cyclon_mixes ]);
       ( "epidemic",

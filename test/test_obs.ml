@@ -319,6 +319,28 @@ let test_golden_metrics_plane () =
       Alcotest.(check bool) "golden splay-top render is byte-identical" true
         (read_file (golden_top ()) = top)
 
+(* The --slo column: violation rate reconstructed from rendered quantiles
+   by piecewise-linear CDF interpolation — exact at the recorded points,
+   linear between them, saturating outside [min, max]. *)
+let test_slo_violation_rate () =
+  let dump =
+    "{\"schema\":\"splay-metrics/1\",\"window\":10}\n"
+    ^ "{\"m\":\"lat\",\"kind\":\"hist\",\"w\":0,\"n\":100,\"sum\":100.0,\"min\":0.0,\"max\":2.0,\"p50\":1.0,\"p90\":1.5,\"p99\":1.8,\"p999\":1.9}\n"
+  in
+  let m = Ma.load dump in
+  let h = Ma.hist_agg (Ma.rows_of m ~w:0 "lat") in
+  let vr thr = Ma.violation_rate h ~threshold:thr in
+  Alcotest.(check (float 1e-9)) "below min: everything violates" 1.0 (vr (-1.0));
+  Alcotest.(check (float 1e-9)) "at max: nothing violates" 0.0 (vr 2.0);
+  Alcotest.(check (float 1e-9)) "exact at p50" 0.5 (vr 1.0);
+  Alcotest.(check (float 1e-9)) "interpolated min..p50" 0.75 (vr 0.5);
+  Alcotest.(check (float 1e-9)) "interpolated p50..p90" 0.3 (vr 1.25);
+  Alcotest.(check bool) "empty histogram renders nan" true
+    (Float.is_nan (Ma.violation_rate (Ma.hist_agg []) ~threshold:1.0));
+  let top = Ma.render ~slo:("lat", 1.0) m in
+  Alcotest.(check bool) "slo column rendered" true (contains top "slo-viol");
+  Alcotest.(check bool) "window violation rendered" true (contains top "50.00%")
+
 let test_metrics_only_no_spans () =
   let dump, spans, trace =
     with_metrics (fun () ->
@@ -733,6 +755,7 @@ let () =
           Alcotest.test_case "capture merge" `Quick test_rollup_capture_merge;
           Alcotest.test_case "window rotation" `Quick test_rollup_window_rotation;
           Alcotest.test_case "golden metrics plane" `Quick test_golden_metrics_plane;
+          Alcotest.test_case "slo violation rate" `Quick test_slo_violation_rate;
           Alcotest.test_case "metrics-only records no spans" `Quick test_metrics_only_no_spans;
           Alcotest.test_case "trace cap" `Quick test_trace_cap;
         ] );

@@ -163,6 +163,49 @@ let test_rng_zipf () =
   (* rank 1 must dominate rank 50 under s=1 *)
   Alcotest.(check bool) "skewed" true (counts.(1) > counts.(50) * 5)
 
+(* Golden draw fixtures: the alias table is built deterministically from
+   the weights, so a fixed seed pins the exact rank sequence. A change
+   here means the sampler's stream moved — every fixed-seed serve run
+   with it. *)
+let test_rng_zipf_golden () =
+  let r = Rng.create 7 in
+  let z = Rng.Zipf.create ~n:1000 ~s:1.0 in
+  let got = List.init 16 (fun _ -> Rng.Zipf.draw z r) in
+  Alcotest.(check (list int)) "n=1000 s=1.0 seed=7"
+    [ 247; 2; 431; 2; 9; 183; 462; 2; 22; 3; 2; 27; 987; 54; 12; 2 ]
+    got;
+  let r = Rng.create 7 in
+  let z = Rng.Zipf.create ~n:5 ~s:0.8 in
+  let got = List.init 12 (fun _ -> Rng.Zipf.draw z r) in
+  Alcotest.(check (list int)) "n=5 s=0.8 seed=7" [ 2; 3; 3; 3; 4; 1; 3; 1; 5; 3; 3; 5 ] got
+
+(* The alias table must reproduce the exact Zipf mass function, not just
+   "something skewed": compare rank-1/2/10 frequencies against 1/(r^s H)
+   within Monte-Carlo tolerance. *)
+let test_rng_zipf_exactness () =
+  let n = 1000 and s = 1.0 in
+  let h = ref 0.0 in
+  for r = 1 to n do
+    h := !h +. (1.0 /. (Float.of_int r ** s))
+  done;
+  let z = Rng.Zipf.create ~n ~s in
+  let r = Rng.create 123 in
+  let trials = 200_000 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to trials do
+    let k = Rng.Zipf.draw z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  List.iter
+    (fun rank ->
+      let expect = 1.0 /. ((Float.of_int rank ** s) *. !h) in
+      let got = Float.of_int counts.(rank) /. Float.of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d frequency" rank)
+        true
+        (Float.abs (got -. expect) < 0.004))
+    [ 1; 2; 10 ]
+
 let test_rng_sample () =
   let r = Rng.create 11 in
   let xs = List.init 20 Fun.id in
@@ -648,6 +691,8 @@ let () =
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "chance" `Quick test_rng_chance;
           Alcotest.test_case "zipf" `Quick test_rng_zipf;
+          Alcotest.test_case "zipf golden" `Quick test_rng_zipf_golden;
+          Alcotest.test_case "zipf exactness" `Quick test_rng_zipf_exactness;
           Alcotest.test_case "sample" `Quick test_rng_sample;
         ] );
       ( "engine",
